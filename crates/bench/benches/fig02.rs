@@ -1,0 +1,10 @@
+// Regenerates Fig. 2 (TDC vs TiD on high-MPMS workloads).
+use nomad_bench::{figs::fig02, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig02: 6 workloads × 2 schemes ({:?})", scale);
+    let rows = fig02::run(&scale);
+    fig02::print(&rows);
+    save_json("fig02", &rows);
+}

@@ -1,0 +1,11 @@
+// Regenerates Fig. 9 (IPC + DC access time, all schemes × workloads)
+// and the paper's §IV-B.5 headline numbers.
+use nomad_bench::{figs::fig09, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig09: 15 workloads × 5 schemes ({:?})", scale);
+    let rows = fig09::run(&scale);
+    fig09::print(&rows);
+    save_json("fig09", &rows);
+}

@@ -1,0 +1,10 @@
+// Regenerates Fig. 10 (on-package bandwidth breakdown + row hits).
+use nomad_bench::{figs::fig10, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig10: 15 workloads × 3 schemes ({:?})", scale);
+    let rows = fig10::run(&scale);
+    fig10::print(&rows);
+    save_json("fig10", &rows);
+}

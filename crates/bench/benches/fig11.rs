@@ -1,0 +1,10 @@
+// Regenerates Fig. 11 (stall-cycle ratios + tag-management latency).
+use nomad_bench::{figs::fig11, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig11: 15 workloads × 2 schemes ({:?})", scale);
+    let rows = fig11::run(&scale);
+    fig11::print(&rows);
+    save_json("fig11", &rows);
+}

@@ -1,0 +1,12 @@
+// Regenerates Fig. 14 (cact vs libq stall/tag latency vs PCSHRs).
+use nomad_bench::{figs::pcshr_sweeps, save_json, Scale};
+
+const COUNTS: &[usize] = &[4, 8, 16, 32];
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig14: 2 workloads × {} PCSHR counts ({:?})", COUNTS.len(), scale);
+    let rows = pcshr_sweeps::fig14(&scale, COUNTS);
+    pcshr_sweeps::print_fig14(&rows, COUNTS);
+    save_json("fig14", &rows);
+}

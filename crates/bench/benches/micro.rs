@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the core data structures: the
+//! PCSHR data-hit verification (which the paper budgets at 0.21 CPU
+//! cycles of hardware), the DRAM channel scheduler, an SRAM cache
+//! level, and the workload generator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nomad_cache::{CacheLevel, CacheLevelConfig};
+use nomad_core::{Backend, BackendConfig, CopyCommand, CopyKind};
+use nomad_dcache::DcAccessReq;
+use nomad_dram::{Dram, DramConfig, DramRequest};
+use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+use nomad_types::{
+    AccessKind, BlockAddr, Cfn, MemReq, MemTarget, Pfn, ReqId, SubBlockIdx, TrafficClass,
+};
+
+fn bench_pcshr_lookup(c: &mut Criterion) {
+    let mut backend = Backend::new(0, BackendConfig::default());
+    for i in 0..16u64 {
+        backend.try_send(CopyCommand {
+            kind: CopyKind::Fill,
+            pfn: Pfn(i),
+            cfn: Cfn(1000 + i),
+            priority: Some(SubBlockIdx(0)),
+        });
+    }
+    let miss = DcAccessReq {
+        token: ReqId(1),
+        addr: BlockAddr(999 * 64 + 5),
+        target: MemTarget::DramCache,
+        kind: AccessKind::Read,
+        core: 0,
+        wants_response: true,
+    };
+    c.bench_function("pcshr_data_hit_verification", |b| {
+        b.iter(|| black_box(backend.check_access(black_box(miss), 0)))
+    });
+}
+
+fn bench_dram_channel(c: &mut Criterion) {
+    c.bench_function("dram_tick_loaded", |b| {
+        let mut dram = Dram::new(DramConfig::hbm());
+        let mut out = Vec::new();
+        let mut token = 0u64;
+        b.iter(|| {
+            if dram.can_accept(token * 64) {
+                let _ = dram.try_push(DramRequest {
+                    token: ReqId(token),
+                    addr: (token * 2891) % (1 << 26) & !63,
+                    kind: AccessKind::Read,
+                    class: TrafficClass::DemandRead,
+                    wants_completion: false,
+                });
+                token += 1;
+            }
+            dram.tick(&mut out);
+            out.clear();
+        })
+    });
+}
+
+fn bench_cache_level(c: &mut Criterion) {
+    c.bench_function("cache_level_hit", |b| {
+        let mut l1 = CacheLevel::new(CacheLevelConfig::l1d());
+        // Warm one line.
+        l1.push_req(
+            MemReq::read(ReqId(0), BlockAddr(7), MemTarget::OffPackage, 0),
+            0,
+        );
+        for now in 0..200 {
+            l1.tick(now);
+            if let Some(req) = l1.pop_to_lower() {
+                l1.push_resp(req.response());
+            }
+            let _ = l1.pop_to_upper(now);
+        }
+        let mut now = 200u64;
+        b.iter(|| {
+            if l1.can_accept() {
+                l1.push_req(
+                    MemReq::read(ReqId(now), BlockAddr(7), MemTarget::OffPackage, 0),
+                    now,
+                );
+            }
+            l1.tick(now);
+            while l1.pop_to_upper(now).is_some() {}
+            now += 1;
+        })
+    });
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let profile = WorkloadProfile::cact();
+    let mut t = SyntheticTrace::new(&profile, 42);
+    c.bench_function("trace_generate_record", |b| {
+        b.iter(|| black_box(t.next_record()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pcshr_lookup,
+    bench_dram_channel,
+    bench_cache_level,
+    bench_trace_gen
+);
+criterion_main!(benches);

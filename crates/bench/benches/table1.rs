@@ -1,0 +1,10 @@
+// Regenerates Table I (workload characteristics under Ideal).
+use nomad_bench::{figs::table1, save_json, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("table1: 15 workloads × Ideal ({:?})", scale);
+    let rows = table1::run(&scale);
+    table1::print(&rows);
+    save_json("table1", &rows);
+}

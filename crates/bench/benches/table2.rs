@@ -1,0 +1,8 @@
+// Prints Table II (system configuration self-check).
+use nomad_bench::{figs::table2, save_json, Scale};
+
+fn main() {
+    let cfg = Scale::from_env().config();
+    table2::print(&cfg);
+    save_json("table2", &cfg);
+}

@@ -1,0 +1,3 @@
+//! Binary mirror of the `ablations` bench target:
+//! `cargo run --release -p nomad-bench --bin ablations`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/ablations.rs"));

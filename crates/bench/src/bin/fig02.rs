@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig02` bench target:
+//! `cargo run --release -p nomad-bench --bin fig02`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig02.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig09` bench target:
+//! `cargo run --release -p nomad-bench --bin fig09`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig09.rs"));

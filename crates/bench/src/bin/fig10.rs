@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig10` bench target:
+//! `cargo run --release -p nomad-bench --bin fig10`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig10.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig11` bench target:
+//! `cargo run --release -p nomad-bench --bin fig11`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig11.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig12` bench target:
+//! `cargo run --release -p nomad-bench --bin fig12`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig12.rs"));

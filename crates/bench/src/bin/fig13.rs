@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig13` bench target:
+//! `cargo run --release -p nomad-bench --bin fig13`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig13.rs"));

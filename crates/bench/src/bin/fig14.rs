@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig14` bench target:
+//! `cargo run --release -p nomad-bench --bin fig14`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig14.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig15` bench target:
+//! `cargo run --release -p nomad-bench --bin fig15`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig15.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `fig16` bench target:
+//! `cargo run --release -p nomad-bench --bin fig16`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/fig16.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `table1` bench target:
+//! `cargo run --release -p nomad-bench --bin table1`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/table1.rs"));

@@ -1,0 +1,3 @@
+//! Binary mirror of the `table2` bench target:
+//! `cargo run --release -p nomad-bench --bin table2`.
+include!(concat!(env!("CARGO_MANIFEST_DIR"), "/benches/table2.rs"));

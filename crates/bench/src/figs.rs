@@ -1,0 +1,815 @@
+//! One module per table/figure of the paper's evaluation. Each
+//! exposes `run(&Scale)` returning serializable rows plus a
+//! `print(&rows)` that renders the table the paper reports.
+
+use crate::{geomean, hr, run, run_with_cfg, Scale};
+use nomad_sim::{RunReport, SchemeSpec};
+use nomad_trace::{WorkloadClass, WorkloadProfile};
+use serde::Serialize;
+
+/// A generic result row: one (workload × scheme) measurement with the
+/// metrics every figure draws from.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload abbreviation.
+    pub workload: String,
+    /// Workload class.
+    pub class: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Instructions per cycle (per-core average).
+    pub ipc: f64,
+    /// Mean DC access time at the controller (cycles).
+    pub dc_access_time: f64,
+    /// Mean tag-management latency (cycles).
+    pub tag_mgmt_latency: f64,
+    /// OS stall-cycle ratio.
+    pub os_stall_ratio: f64,
+    /// Memory (non-OS) stall-cycle ratio.
+    pub mem_stall_ratio: f64,
+    /// RMHB in GB/s.
+    pub rmhb_gbps: f64,
+    /// LLC misses per microsecond.
+    pub llc_mpms: f64,
+    /// On-package bandwidth per class, GB/s:
+    /// [demand_rd, demand_wr, metadata, fill, writeback].
+    pub hbm_gbps: [f64; 5],
+    /// On-package row-buffer hit rate.
+    pub hbm_row_hit: f64,
+    /// Off-package total bandwidth, GB/s.
+    pub ddr_gbps: f64,
+    /// Page-copy-buffer hit rate among data misses.
+    pub buffer_hit_rate: f64,
+}
+
+impl Row {
+    /// Build a row from a report.
+    pub fn from_report(r: &RunReport, class: &str) -> Self {
+        use nomad_types::TrafficClass as T;
+        Row {
+            workload: r.workload.clone(),
+            class: class.to_string(),
+            scheme: r.scheme.clone(),
+            ipc: r.ipc(),
+            dc_access_time: r.dc_access_time(),
+            tag_mgmt_latency: r.tag_mgmt_latency(),
+            os_stall_ratio: r.os_stall_ratio(),
+            mem_stall_ratio: r.mem_stall_ratio(),
+            rmhb_gbps: r.rmhb_gbps(),
+            llc_mpms: r.llc_mpms(),
+            hbm_gbps: [
+                r.hbm_class_gbps(T::DemandRead),
+                r.hbm_class_gbps(T::DemandWrite),
+                r.hbm_class_gbps(T::Metadata),
+                r.hbm_class_gbps(T::Fill),
+                r.hbm_class_gbps(T::Writeback),
+            ],
+            hbm_row_hit: r.hbm_row_hit_rate(),
+            ddr_gbps: r.ddr_total_gbps(),
+            buffer_hit_rate: r.buffer_hit_rate(),
+        }
+    }
+}
+
+/// Run `specs × workloads` and collect rows.
+pub fn sweep(scale: &Scale, specs: &[SchemeSpec], workloads: &[WorkloadProfile]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        for spec in specs {
+            let r = run(scale, spec, w);
+            rows.push(Row::from_report(&r, w.class.label()));
+            eprintln!(
+                "  [{}/{}] ipc {:.3}",
+                w.name,
+                spec.label(),
+                rows.last().expect("just pushed").ipc
+            );
+        }
+    }
+    rows
+}
+
+/// Table I — workload characteristics under the ideal OS-managed
+/// configuration.
+pub mod table1 {
+    use super::*;
+
+    /// One Table I row.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct T1Row {
+        /// Class label.
+        pub class: String,
+        /// Abbreviation.
+        pub abbr: String,
+        /// Full benchmark name.
+        pub workload: String,
+        /// Measured RMHB (GB/s).
+        pub rmhb_gbps: f64,
+        /// Paper-reported RMHB (GB/s).
+        pub paper_rmhb: f64,
+        /// Measured LLC MPMS.
+        pub llc_mpms: f64,
+        /// Paper-reported LLC MPMS.
+        pub paper_mpms: f64,
+        /// Scaled footprint (MB) used by the generator config.
+        pub footprint_mb: f64,
+        /// Paper footprint (GB).
+        pub paper_footprint_gb: f64,
+    }
+
+    /// Measure all 15 workloads under the Ideal scheme.
+    pub fn run(scale: &Scale) -> Vec<T1Row> {
+        let cfg = scale.config();
+        WorkloadProfile::all()
+            .iter()
+            .map(|w| {
+                let r = run_with_cfg(&cfg, scale, &SchemeSpec::Ideal, w);
+                eprintln!("  [{}] rmhb {:.1}", w.name, r.rmhb_gbps());
+                let d = w.derive(cfg.pages_per_gb, cfg.l3_reach_pages());
+                T1Row {
+                    class: w.class.label().to_string(),
+                    abbr: w.name.clone(),
+                    workload: w.full_name.clone(),
+                    rmhb_gbps: r.rmhb_gbps(),
+                    paper_rmhb: w.rmhb_gbps,
+                    llc_mpms: r.llc_mpms(),
+                    paper_mpms: w.llc_mpms,
+                    footprint_mb: d.footprint_pages as f64 * 4096.0 / 1e6,
+                    paper_footprint_gb: w.footprint_gb,
+                }
+            })
+            .collect()
+    }
+
+    /// Print the table.
+    pub fn print(rows: &[T1Row]) {
+        println!("\nTable I: Workload characteristics (measured under Ideal vs paper)");
+        hr(86);
+        println!(
+            "{:<7} {:<6} {:<12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "Class", "Abbr", "Workload", "RMHB", "(paper)", "MPMS", "(paper)", "footprint"
+        );
+        hr(86);
+        for r in rows {
+            println!(
+                "{:<7} {:<6} {:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9.0} MB",
+                r.class,
+                r.abbr,
+                r.workload,
+                r.rmhb_gbps,
+                r.paper_rmhb,
+                r.llc_mpms,
+                r.paper_mpms,
+                r.footprint_mb
+            );
+        }
+        hr(86);
+    }
+}
+
+/// Table II — system configuration self-check (config dump).
+pub mod table2 {
+    use super::*;
+    use nomad_sim::SystemConfig;
+
+    /// Print the active configuration in Table II style.
+    pub fn print(cfg: &SystemConfig) {
+        println!("\nTable II: System and DRAM configuration (scaled reproduction)");
+        hr(72);
+        println!(
+            "CPU           {} cores @ {:.1} GHz, {}-wide, ROB {}",
+            cfg.cores, cfg.clock_ghz, cfg.core.fetch_width, cfg.core.rob_size
+        );
+        println!(
+            "L1D           {} KiB {}-way, {} cycles, {} MSHRs",
+            cfg.l1.size_bytes / 1024,
+            cfg.l1.assoc,
+            cfg.l1.hit_latency,
+            cfg.l1.mshrs
+        );
+        println!(
+            "L2            {} KiB {}-way, {} cycles, {} MSHRs",
+            cfg.l2.size_bytes / 1024,
+            cfg.l2.assoc,
+            cfg.l2.hit_latency,
+            cfg.l2.mshrs
+        );
+        println!(
+            "L3 (shared)   {} KiB {}-way, {} cycles, {} MSHRs",
+            cfg.l3.size_bytes / 1024,
+            cfg.l3.assoc,
+            cfg.l3.hit_latency,
+            cfg.l3.mshrs
+        );
+        println!(
+            "TLBs          L1 {} / L2 {} entries, walk {} cycles",
+            cfg.tlb.l1_entries, cfg.tlb.l2_entries, cfg.tlb.walk_latency
+        );
+        println!(
+            "DRAM cache    {} MiB ({} frames of 4 KiB)",
+            cfg.dc_capacity / (1 << 20),
+            cfg.dc_frames()
+        );
+        println!(
+            "On-package    {}: {} ch x {} banks, {:.1} GB/s peak",
+            cfg.hbm.name,
+            cfg.hbm.channels,
+            cfg.hbm.banks_per_channel,
+            cfg.hbm.peak_gbps()
+        );
+        println!(
+            "Off-package   {}: {} ch x {} banks, {:.1} GB/s peak",
+            cfg.ddr.name,
+            cfg.ddr.channels,
+            cfg.ddr.banks_per_channel,
+            cfg.ddr.peak_gbps()
+        );
+        println!("Workload scale  {} pages per paper-GB", cfg.pages_per_gb);
+        hr(72);
+    }
+}
+
+/// Fig. 2 — IPC of TDC relative to TiD for the high-MPMS workloads.
+pub mod fig02 {
+    use super::*;
+
+    /// One Fig. 2 point.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct F2Row {
+        /// Workload.
+        pub workload: String,
+        /// TDC IPC / TiD IPC.
+        pub tdc_over_tid: f64,
+        /// Required miss-handling bandwidth (GB/s, measured).
+        pub rmhb_gbps: f64,
+    }
+
+    /// Run the six-workload comparison.
+    pub fn run(scale: &Scale) -> Vec<F2Row> {
+        WorkloadProfile::fig2_set()
+            .iter()
+            .map(|w| {
+                let tdc = super::run(scale, &SchemeSpec::Tdc, w);
+                let tid = super::run(scale, &SchemeSpec::Tid, w);
+                eprintln!("  [{}] tdc/tid {:.2}", w.name, tdc.ipc() / tid.ipc());
+                F2Row {
+                    workload: w.name.clone(),
+                    tdc_over_tid: tdc.ipc() / tid.ipc(),
+                    rmhb_gbps: tdc.rmhb_gbps(),
+                }
+            })
+            .collect()
+    }
+
+    /// Print the series.
+    pub fn print(rows: &[F2Row]) {
+        println!("\nFig. 2: IPC of the blocking OS-managed scheme (TDC) relative to");
+        println!("the HW-based scheme (TiD), with required miss-handling bandwidth");
+        hr(56);
+        println!("{:<8} {:>14} {:>18}", "wl", "TDC IPC / TiD", "RMHB (GB/s)");
+        hr(56);
+        for r in rows {
+            println!("{:<8} {:>14.2} {:>18.1}", r.workload, r.tdc_over_tid, r.rmhb_gbps);
+        }
+        hr(56);
+        println!("(paper: ratio < 1 for Excess-class cact/sssp/bwav — the HW");
+        println!(" scheme wins under miss-handling pressure; ratio > 1 for the");
+        println!(" low-RMHB mcf/bc/pr, where ideal DC access time wins)");
+    }
+}
+
+/// Fig. 9 — IPC relative to Baseline + average DC access time, all
+/// schemes × all workloads. Also prints the paper's headline averages.
+pub mod fig09 {
+    use super::*;
+
+    /// Run the full cross product.
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        sweep(scale, &SchemeSpec::fig9_set(), &WorkloadProfile::all())
+    }
+
+    /// Print the table plus headline summary.
+    pub fn print(rows: &[Row]) {
+        println!("\nFig. 9: IPC relative to Baseline (top row per workload) and");
+        println!("average DC access time in cycles (bottom row)");
+        hr(100);
+        println!(
+            "{:<7} {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "class", "wl", "Baseline", "TiD", "TDC", "NOMAD", "Ideal"
+        );
+        hr(100);
+        let workloads: Vec<String> = {
+            let mut seen = Vec::new();
+            for r in rows {
+                if !seen.contains(&r.workload) {
+                    seen.push(r.workload.clone());
+                }
+            }
+            seen
+        };
+        let find = |w: &str, s: &str| rows.iter().find(|r| r.workload == w && r.scheme == s);
+        for w in &workloads {
+            let base = find(w, "Baseline").map(|r| r.ipc).unwrap_or(1.0);
+            let class = find(w, "Baseline")
+                .map(|r| r.class.clone())
+                .unwrap_or_default();
+            print!("{:<7} {:<6}", class, w);
+            for s in ["Baseline", "TiD", "TDC", "NOMAD", "Ideal"] {
+                match find(w, s) {
+                    Some(r) => print!(" {:>10.2}", r.ipc / base),
+                    None => print!(" {:>10}", "-"),
+                }
+            }
+            println!();
+            print!("{:<7} {:<6}", "", "(acc)");
+            for s in ["Baseline", "TiD", "TDC", "NOMAD", "Ideal"] {
+                match find(w, s) {
+                    Some(r) => print!(" {:>10.0}", r.dc_access_time),
+                    None => print!(" {:>10}", "-"),
+                }
+            }
+            println!();
+        }
+        hr(100);
+        // Headline numbers (§IV-B.5).
+        let ratio_over = |a: &str, b: &str| -> f64 {
+            geomean(workloads.iter().filter_map(|w| {
+                let x = find(w, a)?.ipc;
+                let y = find(w, b)?.ipc;
+                (y > 0.0).then_some(x / y)
+            }))
+        };
+        println!(
+            "Headline: NOMAD IPC vs TDC {:+.1}% (paper +16.7%), vs TiD {:+.1}% (paper +25.5%)",
+            (ratio_over("NOMAD", "TDC") - 1.0) * 100.0,
+            (ratio_over("NOMAD", "TiD") - 1.0) * 100.0,
+        );
+        let mean_buffer_hit = {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.scheme == "NOMAD" && r.buffer_hit_rate > 0.0)
+                .map(|r| r.buffer_hit_rate)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        println!(
+            "NOMAD data misses hitting page copy buffers: {:.1}% (paper 91.6%)",
+            mean_buffer_hit * 100.0
+        );
+    }
+}
+
+/// Fig. 10 — on-package bandwidth-usage breakdown + row-buffer hit
+/// rates for TiD / TDC / NOMAD.
+pub mod fig10 {
+    use super::*;
+
+    /// Run the three DC schemes over all workloads.
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        sweep(
+            scale,
+            &[SchemeSpec::Tid, SchemeSpec::Tdc, SchemeSpec::Nomad],
+            &WorkloadProfile::all(),
+        )
+    }
+
+    /// Print the breakdown.
+    pub fn print(rows: &[Row]) {
+        println!("\nFig. 10: on-package DRAM bandwidth usage breakdown (GB/s) and");
+        println!("row-buffer hit rate");
+        hr(98);
+        println!(
+            "{:<6} {:<7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "wl", "scheme", "dem_rd", "dem_wr", "metadata", "fill", "writeback", "total", "rowhit"
+        );
+        hr(98);
+        for r in rows {
+            let total: f64 = r.hbm_gbps.iter().sum();
+            println!(
+                "{:<6} {:<7} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1}%",
+                r.workload,
+                r.scheme,
+                r.hbm_gbps[0],
+                r.hbm_gbps[1],
+                r.hbm_gbps[2],
+                r.hbm_gbps[3],
+                r.hbm_gbps[4],
+                total,
+                r.hbm_row_hit * 100.0
+            );
+        }
+        hr(98);
+        println!("(paper: TiD adds a large metadata share; fills dominate for");
+        println!(" Excess-class workloads; OS-managed schemes spend no metadata)");
+    }
+}
+
+/// Fig. 11 — application stall-cycle ratios + average tag-management
+/// latency for the OS-managed schemes.
+pub mod fig11 {
+    use super::*;
+
+    /// Run TDC and NOMAD over all workloads.
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        sweep(
+            scale,
+            &[SchemeSpec::Tdc, SchemeSpec::Nomad],
+            &WorkloadProfile::all(),
+        )
+    }
+
+    /// Print the comparison.
+    pub fn print(rows: &[Row]) {
+        println!("\nFig. 11: application stall-cycle ratio and average tag");
+        println!("management latency of the OS-managed schemes");
+        hr(92);
+        println!(
+            "{:<7} {:<6} {:>11} {:>11} {:>12} {:>12} {:>12}",
+            "class", "wl", "TDC stall", "NOMAD stall", "reduction", "TDC taglat", "NOMAD taglat"
+        );
+        hr(92);
+        let mut reductions = Vec::new();
+        let tdc_rows: Vec<&Row> = rows.iter().filter(|r| r.scheme == "TDC").collect();
+        for tdc in tdc_rows {
+            let Some(nomad) = rows
+                .iter()
+                .find(|r| r.workload == tdc.workload && r.scheme == "NOMAD")
+            else {
+                continue;
+            };
+            let red = if tdc.os_stall_ratio > 0.0 {
+                1.0 - nomad.os_stall_ratio / tdc.os_stall_ratio
+            } else {
+                0.0
+            };
+            reductions.push(red);
+            println!(
+                "{:<7} {:<6} {:>10.1}% {:>10.1}% {:>11.1}% {:>12.0} {:>12.0}",
+                tdc.class,
+                tdc.workload,
+                tdc.os_stall_ratio * 100.0,
+                nomad.os_stall_ratio * 100.0,
+                red * 100.0,
+                tdc.tag_mgmt_latency,
+                nomad.tag_mgmt_latency
+            );
+        }
+        hr(92);
+        let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+        println!("Average stall-cycle reduction: {:.1}% (paper: 76.1%)", avg * 100.0);
+        println!("(paper: TDC stalls ~43% Excess / 29% Tight / 15% Loose / 4% Few;");
+        println!(" NOMAD tag latency >= 400 cycles, growing with contention)");
+    }
+}
+
+/// Figs. 12–14 — PCSHR sensitivity sweeps.
+pub mod pcshr_sweeps {
+    use super::*;
+    use nomad_sim::spec::NomadSpec;
+
+    /// One sensitivity point.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SweepRow {
+        /// Workload (or class-average label).
+        pub workload: String,
+        /// PCSHR count.
+        pub pcshrs: usize,
+        /// Cores.
+        pub cores: usize,
+        /// IPC (per-core average).
+        pub ipc: f64,
+        /// Off-package bandwidth (GB/s).
+        pub ddr_gbps: f64,
+        /// OS stall ratio.
+        pub os_stall_ratio: f64,
+        /// Tag-management latency (cycles).
+        pub tag_mgmt_latency: f64,
+    }
+
+    fn nomad_with(pcshrs: usize) -> SchemeSpec {
+        SchemeSpec::NomadWith(NomadSpec {
+            pcshrs,
+            ..NomadSpec::default()
+        })
+    }
+
+    /// Fig. 12: per-class average IPC and off-package bandwidth vs
+    /// PCSHR count.
+    pub fn fig12(scale: &Scale, counts: &[usize]) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for class in WorkloadClass::ALL {
+            for &n in counts {
+                let mut ipcs = Vec::new();
+                let mut bw = Vec::new();
+                let mut stall = Vec::new();
+                let mut lat = Vec::new();
+                for w in WorkloadProfile::of_class(class) {
+                    let r = run(scale, &nomad_with(n), &w);
+                    ipcs.push(r.ipc());
+                    bw.push(r.ddr_total_gbps());
+                    stall.push(r.os_stall_ratio());
+                    lat.push(r.tag_mgmt_latency());
+                }
+                let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+                eprintln!("  [{class}/{n} PCSHRs] ipc {:.3}", avg(&ipcs));
+                rows.push(SweepRow {
+                    workload: class.label().to_string(),
+                    pcshrs: n,
+                    cores: scale.cores,
+                    ipc: avg(&ipcs),
+                    ddr_gbps: avg(&bw),
+                    os_stall_ratio: avg(&stall),
+                    tag_mgmt_latency: avg(&lat),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print Fig. 12.
+    pub fn print_fig12(rows: &[SweepRow], counts: &[usize]) {
+        println!("\nFig. 12: per-class average IPC (and off-package GB/s) vs PCSHRs");
+        hr(10 + counts.len() * 17);
+        print!("{:<8}", "class");
+        for n in counts {
+            print!(" {:>8} {:>7}", format!("{n}p"), "GB/s");
+        }
+        println!();
+        hr(10 + counts.len() * 17);
+        for class in WorkloadClass::ALL {
+            print!("{:<8}", class.label());
+            for &n in counts {
+                if let Some(r) = rows
+                    .iter()
+                    .find(|r| r.workload == class.label() && r.pcshrs == n)
+                {
+                    print!(" {:>8.3} {:>7.1}", r.ipc, r.ddr_gbps);
+                }
+            }
+            println!();
+        }
+        hr(10 + counts.len() * 17);
+        println!("(paper: performance saturates around 8 PCSHRs for Excess; 1-2");
+        println!(" suffice for Loose/Few; off-package bandwidth becomes the limit)");
+    }
+
+    /// Fig. 13: Excess-class average IPC vs PCSHRs for several core
+    /// counts, normalized to the 32-PCSHR setup.
+    pub fn fig13(scale: &Scale, counts: &[usize], cores: &[usize]) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for &c in cores {
+            let s = scale.with_cores(c);
+            for &n in counts {
+                let mut ipcs = Vec::new();
+                for w in WorkloadProfile::of_class(WorkloadClass::Excess) {
+                    let r = run(&s, &nomad_with(n), &w);
+                    ipcs.push(r.ipc());
+                }
+                let ipc = ipcs.iter().sum::<f64>() / ipcs.len().max(1) as f64;
+                eprintln!("  [{c} cores / {n} PCSHRs] ipc {ipc:.3}");
+                rows.push(SweepRow {
+                    workload: "Excess".into(),
+                    pcshrs: n,
+                    cores: c,
+                    ipc,
+                    ddr_gbps: 0.0,
+                    os_stall_ratio: 0.0,
+                    tag_mgmt_latency: 0.0,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print Fig. 13.
+    pub fn print_fig13(rows: &[SweepRow], counts: &[usize], cores: &[usize]) {
+        println!("\nFig. 13: Excess-class average IPC vs PCSHRs for increasing core");
+        println!("count (normalized to the largest PCSHR configuration of each)");
+        hr(8 + counts.len() * 9);
+        print!("{:<8}", "cores");
+        for n in counts {
+            print!(" {:>8}", format!("{n}p"));
+        }
+        println!();
+        hr(8 + counts.len() * 9);
+        for &c in cores {
+            let base = rows
+                .iter()
+                .find(|r| r.cores == c && r.pcshrs == *counts.last().expect("non-empty"))
+                .map(|r| r.ipc)
+                .unwrap_or(1.0);
+            print!("{:<8}", c);
+            for &n in counts {
+                if let Some(r) = rows.iter().find(|r| r.cores == c && r.pcshrs == n) {
+                    print!(" {:>8.3}", r.ipc / base);
+                }
+            }
+            println!();
+        }
+        hr(8 + counts.len() * 9);
+        println!("(paper: >=8 PCSHRs reach ~1.0 at every core count — the");
+        println!(" off-package memory, not the PCSHRs, bounds performance)");
+    }
+
+    /// Fig. 14: stall rate + tag latency for cact (highest RMHB) and
+    /// libq (bursty RMHB) vs PCSHRs.
+    pub fn fig14(scale: &Scale, counts: &[usize]) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for name in ["cact", "libq"] {
+            let w = WorkloadProfile::by_name(name).expect("known");
+            for &n in counts {
+                let r = run(scale, &nomad_with(n), &w);
+                eprintln!("  [{name}/{n}] stall {:.1}%", 100.0 * r.os_stall_ratio());
+                rows.push(SweepRow {
+                    workload: name.into(),
+                    pcshrs: n,
+                    cores: scale.cores,
+                    ipc: r.ipc(),
+                    ddr_gbps: r.ddr_total_gbps(),
+                    os_stall_ratio: r.os_stall_ratio(),
+                    tag_mgmt_latency: r.tag_mgmt_latency(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print Fig. 14.
+    pub fn print_fig14(rows: &[SweepRow], counts: &[usize]) {
+        println!("\nFig. 14: application stall rate and tag-management latency vs");
+        println!("PCSHRs — cact (highest RMHB) vs libq (bursty RMHB)");
+        hr(6 + counts.len() * 18);
+        print!("{:<6}", "wl");
+        for n in counts {
+            print!(" {:>8} {:>8}", format!("{n}p-stall"), "taglat");
+        }
+        println!();
+        hr(6 + counts.len() * 18);
+        for name in ["cact", "libq"] {
+            print!("{:<6}", name);
+            for &n in counts {
+                if let Some(r) = rows.iter().find(|r| r.workload == name && r.pcshrs == n) {
+                    print!(" {:>7.1}% {:>8.0}", r.os_stall_ratio * 100.0, r.tag_mgmt_latency);
+                }
+            }
+            println!();
+        }
+        hr(6 + counts.len() * 18);
+        println!("(paper: the bursty libq suffers more PCSHR contention than the");
+        println!(" steady cact; 16 -> 32 PCSHRs cuts its tag latency by ~48%)");
+    }
+}
+
+/// Fig. 15 — area-optimized (n PCSHRs, m page copy buffers) designs on
+/// the bursty workloads.
+pub mod fig15 {
+    use super::*;
+    use nomad_sim::spec::NomadSpec;
+
+    /// One (n, m) point.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct F15Row {
+        /// Workload.
+        pub workload: String,
+        /// PCSHRs.
+        pub pcshrs: usize,
+        /// Page copy buffers.
+        pub buffers: usize,
+        /// IPC.
+        pub ipc: f64,
+        /// Tag-management latency.
+        pub tag_mgmt_latency: f64,
+    }
+
+    /// Run the (n, m) grid on libq and gems.
+    pub fn run(scale: &Scale, grid: &[(usize, usize)]) -> Vec<F15Row> {
+        let mut rows = Vec::new();
+        for name in ["libq", "gems"] {
+            let w = WorkloadProfile::by_name(name).expect("known");
+            for &(n, m) in grid {
+                let spec = SchemeSpec::NomadWith(NomadSpec {
+                    pcshrs: n,
+                    buffers: Some(m),
+                    ..NomadSpec::default()
+                });
+                let r = super::run(scale, &spec, &w);
+                eprintln!("  [{name} ({n},{m})] ipc {:.3}", r.ipc());
+                rows.push(F15Row {
+                    workload: name.into(),
+                    pcshrs: n,
+                    buffers: m,
+                    ipc: r.ipc(),
+                    tag_mgmt_latency: r.tag_mgmt_latency(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print the grid.
+    pub fn print(rows: &[F15Row]) {
+        println!("\nFig. 15: area-optimized back-end — (n PCSHRs, m page copy");
+        println!("buffers) on the bursty-RMHB workloads");
+        hr(64);
+        println!("{:<6} {:>10} {:>10} {:>10} {:>14}", "wl", "(n,m)", "IPC", "norm", "taglat");
+        hr(64);
+        for name in ["libq", "gems"] {
+            let base = rows
+                .iter()
+                .filter(|r| r.workload == name)
+                .map(|r| r.ipc)
+                .next()
+                .unwrap_or(1.0);
+            for r in rows.iter().filter(|r| r.workload == name) {
+                println!(
+                    "{:<6} {:>10} {:>10.3} {:>10.3} {:>14.0}",
+                    r.workload,
+                    format!("({},{})", r.pcshrs, r.buffers),
+                    r.ipc,
+                    r.ipc / base,
+                    r.tag_mgmt_latency
+                );
+            }
+        }
+        hr(64);
+        println!("(paper: more PCSHRs help the bursty workloads even when the");
+        println!(" buffer count does not scale with them)");
+    }
+}
+
+/// Fig. 16 — centralized vs distributed back-ends.
+pub mod fig16 {
+    use super::*;
+    use nomad_sim::spec::NomadSpec;
+
+    /// One point.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct F16Row {
+        /// Back-end count (1 = centralized).
+        pub backends: usize,
+        /// Total PCSHRs across back-ends.
+        pub total_pcshrs: usize,
+        /// Average IPC over the workload set.
+        pub ipc: f64,
+        /// Average tag-management latency.
+        pub tag_mgmt_latency: f64,
+    }
+
+    /// Sweep total PCSHRs for centralized (1 back-end) and distributed
+    /// (4 back-ends) organizations over class-representative workloads.
+    pub fn run(scale: &Scale, totals: &[usize]) -> Vec<F16Row> {
+        let set = ["cact", "libq", "mcf", "pr"];
+        let mut rows = Vec::new();
+        for &backends in &[1usize, 4] {
+            for &total in totals {
+                let per = (total / backends).max(1);
+                let spec = SchemeSpec::NomadWith(NomadSpec {
+                    pcshrs: per,
+                    backends,
+                    ..NomadSpec::default()
+                });
+                let mut ipcs = Vec::new();
+                let mut lats = Vec::new();
+                for name in set {
+                    let w = WorkloadProfile::by_name(name).expect("known");
+                    let r = super::run(scale, &spec, &w);
+                    ipcs.push(r.ipc());
+                    lats.push(r.tag_mgmt_latency());
+                }
+                let ipc = ipcs.iter().sum::<f64>() / ipcs.len() as f64;
+                eprintln!("  [{backends} BE x {per} PCSHRs] ipc {ipc:.3}");
+                rows.push(F16Row {
+                    backends,
+                    total_pcshrs: per * backends,
+                    ipc,
+                    tag_mgmt_latency: lats.iter().sum::<f64>() / lats.len() as f64,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Print the comparison.
+    pub fn print(rows: &[F16Row]) {
+        println!("\nFig. 16: centralized (1 back-end) vs distributed (4 back-ends)");
+        println!("with equal total PCSHRs");
+        hr(64);
+        println!(
+            "{:<12} {:>12} {:>10} {:>14}",
+            "organization", "total PCSHRs", "IPC", "taglat"
+        );
+        hr(64);
+        for r in rows {
+            println!(
+                "{:<12} {:>12} {:>10.3} {:>14.0}",
+                if r.backends == 1 { "centralized" } else { "distributed" },
+                r.total_pcshrs,
+                r.ipc,
+                r.tag_mgmt_latency
+            );
+        }
+        hr(64);
+        println!("(paper: the two organizations perform similarly — FIFO frame");
+        println!(" allocation spreads page copies uniformly across back-ends)");
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared harness utilities for the table/figure reproductions.
+//!
+//! Every bench target (`cargo bench -p nomad-bench --bench figXX`)
+//! regenerates one table or figure from the paper's evaluation section:
+//! it runs the necessary (scheme × workload × parameter) grid on the
+//! scaled system configuration, prints the same rows/series the paper
+//! reports, and drops a machine-readable JSON artifact under
+//! `results/`.
+//!
+//! Scales are controlled by environment variables so the full sweep
+//! fits any time budget:
+//!
+//! * `NOMAD_INSTR` — measured instructions per core (default 150 000);
+//! * `NOMAD_WARMUP` — warm-up instructions per core (default 120 000);
+//! * `NOMAD_CORES` — CPU cores (default 8, the paper's count);
+//! * `NOMAD_SEED` — RNG seed (default 42).
+
+pub mod figs;
+
+use nomad_sim::{runner, RunReport, SchemeSpec, SystemConfig};
+use nomad_trace::WorkloadProfile;
+use serde::Serialize;
+use std::io::Write as _;
+
+/// Experiment scale knobs (see crate docs for the environment
+/// variables).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// CPU cores.
+    pub cores: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            instructions: 150_000,
+            warmup: 120_000,
+            cores: 8,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// Read the scale from the environment, falling back to defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        let d = Scale::default();
+        Scale {
+            instructions: get("NOMAD_INSTR", d.instructions),
+            warmup: get("NOMAD_WARMUP", d.warmup),
+            cores: get("NOMAD_CORES", d.cores as u64) as usize,
+            seed: get("NOMAD_SEED", d.seed),
+        }
+    }
+
+    /// The system configuration for this scale.
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig::scaled(self.cores)
+    }
+
+    /// A scale with a different core count (Fig. 13 sweeps cores).
+    pub fn with_cores(&self, cores: usize) -> Self {
+        Scale { cores, ..*self }
+    }
+}
+
+/// Run one (scheme × workload) cell at this scale.
+pub fn run(scale: &Scale, spec: &SchemeSpec, profile: &WorkloadProfile) -> RunReport {
+    run_with_cfg(&scale.config(), scale, spec, profile)
+}
+
+/// Run one cell with an explicit system configuration (for config
+/// sweeps).
+pub fn run_with_cfg(
+    cfg: &SystemConfig,
+    scale: &Scale,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+) -> RunReport {
+    runner::run_one(cfg, spec, profile, scale.instructions, scale.warmup, scale.seed)
+}
+
+/// Write a JSON artifact under `results/` (best effort: failures are
+/// reported but do not abort the harness).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    // Bench targets run with the package directory as cwd; anchor the
+    // artifacts at the workspace root instead.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let dir = root.join("results");
+    let dir = dir.as_path();
+    let path = if dir.exists() || std::fs::create_dir_all(dir).is_ok() {
+        dir.join(format!("{name}.json"))
+    } else {
+        std::path::PathBuf::from(format!("{name}.json"))
+    };
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let s = serde_json::to_string_pretty(value).expect("plain data");
+            if let Err(e) = f.write_all(s.as_bytes()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+/// Geometric mean of an iterator of positive values (the paper reports
+/// IPC improvements as averages across workloads).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Print a horizontal rule sized for the standard table width.
+pub fn hr(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        assert!((geomean([2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_env_round_trip() {
+        let d = Scale::default();
+        assert_eq!(d.cores, 8);
+        assert!(d.instructions > 0);
+        let cfg = d.config();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(d.with_cores(2).cores, 2);
+    }
+}

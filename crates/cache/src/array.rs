@@ -1,0 +1,327 @@
+//! Pure set-associative tag array with LRU replacement.
+//!
+//! Untimed: timing lives in [`crate::CacheLevel`]. Keys are opaque
+//! `u64` block keys so that the same array can index physical-space
+//! blocks, cache-space blocks (with an address-space discriminator bit
+//! folded into the key) or the DC tag store of a HW-based scheme.
+
+/// A victim line evicted by [`CacheArray::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Block key of the evicted line.
+    pub key: u64,
+    /// Whether the victim was dirty and needs a writeback.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Set-associative array of cache lines with true-LRU replacement.
+///
+/// `sets × ways` lines; a line is identified by an opaque block key
+/// whose low bits select the set.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    ways: Vec<Way>,
+    num_sets: usize,
+    assoc: usize,
+    stamp: u64,
+}
+
+impl CacheArray {
+    /// Create an array with `num_sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `assoc == 0`.
+    pub fn new(num_sets: usize, assoc: usize) -> Self {
+        assert!(num_sets.is_power_of_two(), "sets must be a power of two");
+        assert!(assoc > 0, "associativity must be non-zero");
+        CacheArray {
+            ways: vec![Way::default(); num_sets * assoc],
+            num_sets,
+            assoc,
+            stamp: 0,
+        }
+    }
+
+    /// Array sized for `size_bytes` of 64-byte lines at `assoc` ways.
+    pub fn with_geometry(size_bytes: u64, assoc: usize) -> Self {
+        let lines = (size_bytes / 64).max(1) as usize;
+        let sets = (lines / assoc).max(1).next_power_of_two();
+        CacheArray::new(sets, assoc)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.num_sets * self.assoc
+    }
+
+    #[inline]
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let set = (key as usize) & (self.num_sets - 1);
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    #[inline]
+    fn tag(&self, key: u64) -> u64 {
+        key / self.num_sets as u64
+    }
+
+    /// Look up `key`, updating LRU on hit. Returns whether the line is
+    /// present. Use [`CacheArray::probe`] for a side-effect-free check.
+    pub fn touch(&mut self, key: u64) -> bool {
+        let tag = self.tag(key);
+        let range = self.set_range(key);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.lru = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Look up `key` without disturbing LRU state.
+    pub fn probe(&self, key: u64) -> bool {
+        let tag = self.tag(key);
+        self.ways[self.set_range(key)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Mark `key` dirty (on a write hit). Returns `false` if absent.
+    pub fn mark_dirty(&mut self, key: u64) -> bool {
+        let tag = self.tag(key);
+        let range = self.set_range(key);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.dirty = true;
+                w.lru = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Insert `key` (e.g. on a fill), evicting the LRU way if the set is
+    /// full. Re-inserting a present key updates its dirty bit (OR-ing).
+    pub fn insert(&mut self, key: u64, dirty: bool) -> Option<Victim> {
+        let tag = self.tag(key);
+        let set_base = self.set_range(key).start;
+        let num_sets = self.num_sets as u64;
+        let set_idx = (key & (num_sets - 1)) as u64;
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        let set = &mut self.ways[set_base..set_base + self.assoc];
+        // Already present?
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.dirty |= dirty;
+            w.lru = stamp;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                tag,
+                valid: true,
+                dirty,
+                lru: stamp,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim_way = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("assoc > 0");
+        let victim = Victim {
+            key: victim_way.tag * num_sets + set_idx,
+            dirty: victim_way.dirty,
+        };
+        *victim_way = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: stamp,
+        };
+        Some(victim)
+    }
+
+    /// Remove `key`; returns its dirty bit if it was present.
+    pub fn invalidate(&mut self, key: u64) -> Option<bool> {
+        let tag = self.tag(key);
+        let range = self.set_range(key);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                return Some(w.dirty);
+            }
+        }
+        None
+    }
+
+    /// Remove every line whose key satisfies `pred`; returns the number
+    /// of removed lines and how many of them were dirty. Used to flush
+    /// SRAM lines of a DC frame being evicted (Algorithm 2, line 3).
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> (usize, usize) {
+        let num_sets = self.num_sets as u64;
+        let assoc = self.assoc;
+        let mut removed = 0;
+        let mut dirty = 0;
+        for (i, w) in self.ways.iter_mut().enumerate() {
+            if !w.valid {
+                continue;
+            }
+            let set_idx = (i / assoc) as u64;
+            let key = w.tag * num_sets + set_idx;
+            if pred(key) {
+                w.valid = false;
+                removed += 1;
+                if w.dirty {
+                    dirty += 1;
+                }
+            }
+        }
+        (removed, dirty)
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_then_probe() {
+        let mut a = CacheArray::new(4, 2);
+        assert!(a.insert(0x10, false).is_none());
+        assert!(a.probe(0x10));
+        assert!(!a.probe(0x11));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut a = CacheArray::new(1, 2);
+        a.insert(1, false);
+        a.insert(2, false);
+        a.touch(1); // 2 is now LRU
+        let v = a.insert(3, false).expect("eviction");
+        assert_eq!(v.key, 2);
+        assert!(a.probe(1) && a.probe(3) && !a.probe(2));
+    }
+
+    #[test]
+    fn victim_key_reconstruction() {
+        let mut a = CacheArray::new(8, 1);
+        let key = 8 * 5 + 3; // tag 5, set 3
+        a.insert(key, true);
+        let v = a.insert(8 * 9 + 3, false).expect("conflict eviction");
+        assert_eq!(v.key, key);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn dirty_propagates_through_reinsert() {
+        let mut a = CacheArray::new(4, 2);
+        a.insert(0x20, false);
+        a.insert(0x20, true);
+        let d = a.invalidate(0x20);
+        assert_eq!(d, Some(true));
+        assert_eq!(a.invalidate(0x20), None);
+    }
+
+    #[test]
+    fn mark_dirty_only_on_present_lines() {
+        let mut a = CacheArray::new(4, 2);
+        assert!(!a.mark_dirty(7));
+        a.insert(7, false);
+        assert!(a.mark_dirty(7));
+        assert_eq!(a.invalidate(7), Some(true));
+    }
+
+    #[test]
+    fn invalidate_matching_flushes_page() {
+        let mut a = CacheArray::with_geometry(16 * 1024, 4);
+        // Insert blocks of two different pages (64 blocks each).
+        for b in 0..64u64 {
+            a.insert(b, b % 2 == 0); // page 0
+            a.insert(64 + b, false); // page 1
+        }
+        let (removed, dirty) = a.invalidate_matching(|k| k < 64);
+        assert_eq!(removed, 64);
+        assert_eq!(dirty, 32);
+        assert_eq!(a.occupancy(), 64);
+    }
+
+    #[test]
+    fn geometry_helper() {
+        let a = CacheArray::with_geometry(32 * 1024, 8);
+        assert_eq!(a.capacity(), 512);
+        assert_eq!(a.num_sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheArray::new(3, 2);
+    }
+
+    proptest! {
+        /// The array never exceeds its capacity and eviction victims are
+        /// always lines that were previously inserted.
+        #[test]
+        fn prop_capacity_respected(keys in proptest::collection::vec(0u64..4096, 1..500)) {
+            let mut a = CacheArray::new(16, 4);
+            let mut inserted = std::collections::HashSet::new();
+            for &k in &keys {
+                if let Some(v) = a.insert(k, false) {
+                    prop_assert!(inserted.contains(&v.key), "victim {} never inserted", v.key);
+                    inserted.remove(&v.key);
+                }
+                inserted.insert(k);
+                prop_assert!(a.occupancy() <= a.capacity());
+            }
+            // Everything the array claims to hold must have been inserted.
+            for &k in &keys {
+                if a.probe(k) {
+                    prop_assert!(inserted.contains(&k));
+                }
+            }
+        }
+
+        /// A probe immediately after insert always hits.
+        #[test]
+        fn prop_insert_then_hit(key in 0u64..1_000_000) {
+            let mut a = CacheArray::new(64, 8);
+            a.insert(key, false);
+            prop_assert!(a.probe(key));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! SRAM cache-hierarchy substrate for the NOMAD simulator.
+//!
+//! Provides the building blocks between the CPU cores and the DRAM
+//! devices:
+//!
+//! * [`CacheArray`] — a pure (untimed) set-associative tag array with
+//!   LRU replacement, reused by SRAM cache levels and by the HW-based
+//!   DRAM-cache scheme's tag store.
+//! * [`MshrFile`] — miss status/information holding registers with
+//!   secondary-miss merging; the mechanism that makes the SRAM caches
+//!   (and, by architectural analogy, the NOMAD back-end's PCSHRs)
+//!   non-blocking.
+//! * [`CacheLevel`] — a timed, non-blocking, write-back/write-allocate
+//!   cache component with hit-latency pipelining and backpressure.
+//! * [`Tlb`] / [`TlbHierarchy`] — two-level TLBs with eviction
+//!   notifications, needed for the OS-managed schemes' TLB-directory
+//!   shootdown avoidance.
+//! * [`PageTable`] — PTEs extended with the paper's `cached` (C) and
+//!   `non-cacheable` (NC) bits, plus first-touch physical-frame
+//!   allocation.
+
+mod array;
+mod level;
+mod mshr;
+mod page_table;
+mod tlb;
+
+pub use array::{CacheArray, Victim};
+pub use level::{CacheLevel, CacheLevelConfig, CacheLevelStats};
+pub use mshr::{MshrAlloc, MshrFile, MshrReject, MshrToken};
+pub use page_table::{FrameKind, PageTable, Pte};
+pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbHierarchy, TlbLookup};

@@ -1,0 +1,243 @@
+//! Miss status/information holding registers (MSHRs).
+//!
+//! MSHRs are what make a cache *non-blocking* (Kroft '81): each primary
+//! miss allocates an entry that traces the outstanding line fetch, and
+//! subsequent (secondary) misses to the same line merge into the entry
+//! instead of stalling the cache. The NOMAD paper's PCSHRs apply the
+//! same principle at page granularity; this SRAM-level implementation
+//! is the baseline the back-end is architected after.
+
+use nomad_types::{MemReq, ReqId};
+
+/// Index of an allocated MSHR entry; used as the `token` of the
+/// downstream fetch so the response can be routed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MshrToken(pub usize);
+
+impl From<MshrToken> for ReqId {
+    fn from(t: MshrToken) -> ReqId {
+        ReqId(t.0 as u64)
+    }
+}
+
+/// Why an allocation or merge attempt was refused; the cache must stall
+/// the offending request and retry later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrReject {
+    /// All entries are in use (primary-miss structural hazard).
+    Full,
+    /// The matching entry exists but its target list is full
+    /// (secondary-miss structural hazard).
+    TargetsFull,
+}
+
+impl core::fmt::Display for MshrReject {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MshrReject::Full => f.write_str("all MSHRs in use"),
+            MshrReject::TargetsFull => f.write_str("MSHR target list full"),
+        }
+    }
+}
+
+impl std::error::Error for MshrReject {}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Block key the fetch is for.
+    key: u64,
+    /// Merged requests waiting for the fill.
+    targets: Vec<MemReq>,
+    /// Whether any merged target is a write (line fills dirty).
+    fills_dirty: bool,
+}
+
+/// A bounded file of MSHR entries keyed by block key.
+#[derive(Debug)]
+pub struct MshrFile {
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    max_targets: usize,
+    in_use: usize,
+}
+
+/// Outcome of [`MshrFile::allocate_or_merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// A new entry was allocated — the caller must issue the line fetch
+    /// downstream using this token.
+    Primary(MshrToken),
+    /// Merged into an existing in-flight entry — no fetch needed.
+    Secondary(MshrToken),
+}
+
+impl MshrFile {
+    /// A file of `entries` MSHRs, each merging at most `max_targets`
+    /// requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(entries: usize, max_targets: usize) -> Self {
+        assert!(entries > 0 && max_targets > 0);
+        MshrFile {
+            slots: vec![None; entries],
+            free: (0..entries).rev().collect(),
+            max_targets,
+            in_use: 0,
+        }
+    }
+
+    /// Number of entries currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Find the entry tracking `key`, if any.
+    pub fn find(&self, key: u64) -> Option<MshrToken> {
+        self.slots.iter().position(|s| {
+            s.as_ref().map(|e| e.key == key).unwrap_or(false)
+        }).map(MshrToken)
+    }
+
+    /// Allocate an entry for `req`'s block (primary miss) or merge it
+    /// into an existing one (secondary miss).
+    ///
+    /// # Errors
+    ///
+    /// [`MshrReject::Full`] when no entry is free for a primary miss,
+    /// [`MshrReject::TargetsFull`] when a secondary miss cannot merge.
+    pub fn allocate_or_merge(&mut self, key: u64, req: MemReq) -> Result<MshrAlloc, MshrReject> {
+        if let Some(tok) = self.find(key) {
+            let entry = self.slots[tok.0].as_mut().expect("found entry");
+            if entry.targets.len() >= self.max_targets {
+                return Err(MshrReject::TargetsFull);
+            }
+            entry.fills_dirty |= req.kind.is_write();
+            entry.targets.push(req);
+            return Ok(MshrAlloc::Secondary(tok));
+        }
+        let idx = self.free.pop().ok_or(MshrReject::Full)?;
+        self.in_use += 1;
+        let fills_dirty = req.kind.is_write();
+        self.slots[idx] = Some(Entry {
+            key,
+            targets: vec![req],
+            fills_dirty,
+        });
+        Ok(MshrAlloc::Primary(MshrToken(idx)))
+    }
+
+    /// Complete the fetch for `token`: frees the entry and returns the
+    /// merged target requests plus whether the filled line is dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` does not name an allocated entry (a protocol
+    /// bug in the caller).
+    pub fn complete(&mut self, token: MshrToken) -> (u64, Vec<MemReq>, bool) {
+        let entry = self.slots[token.0].take().expect("MSHR token must be live");
+        self.free.push(token.0);
+        self.in_use -= 1;
+        (entry.key, entry.targets, entry.fills_dirty)
+    }
+
+    /// Key being fetched by `token`, if live.
+    pub fn key_of(&self, token: MshrToken) -> Option<u64> {
+        self.slots.get(token.0).and_then(|s| s.as_ref()).map(|e| e.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_types::{AccessKind, BlockAddr, MemTarget};
+
+    fn req(token: u64, kind: AccessKind) -> MemReq {
+        MemReq {
+            token: ReqId(token),
+            addr: BlockAddr(token),
+            target: MemTarget::OffPackage,
+            kind,
+            class: nomad_types::TrafficClass::DemandRead,
+            core: 0,
+            wants_response: true,
+        }
+    }
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m = MshrFile::new(2, 4);
+        let a = m.allocate_or_merge(10, req(1, AccessKind::Read)).unwrap();
+        assert!(matches!(a, MshrAlloc::Primary(_)));
+        let b = m.allocate_or_merge(10, req(2, AccessKind::Read)).unwrap();
+        assert!(matches!(b, MshrAlloc::Secondary(_)));
+        assert_eq!(m.in_use(), 1);
+        let tok = match a {
+            MshrAlloc::Primary(t) => t,
+            _ => unreachable!(),
+        };
+        let (key, targets, dirty) = m.complete(tok);
+        assert_eq!(key, 10);
+        assert_eq!(targets.len(), 2);
+        assert!(!dirty);
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn write_target_fills_dirty() {
+        let mut m = MshrFile::new(1, 4);
+        let a = m.allocate_or_merge(5, req(1, AccessKind::Read)).unwrap();
+        m.allocate_or_merge(5, req(2, AccessKind::Write)).unwrap();
+        let tok = match a {
+            MshrAlloc::Primary(t) => t,
+            _ => unreachable!(),
+        };
+        let (_, _, dirty) = m.complete(tok);
+        assert!(dirty);
+    }
+
+    #[test]
+    fn full_file_rejects() {
+        let mut m = MshrFile::new(1, 4);
+        m.allocate_or_merge(1, req(1, AccessKind::Read)).unwrap();
+        assert_eq!(
+            m.allocate_or_merge(2, req(2, AccessKind::Read)),
+            Err(MshrReject::Full)
+        );
+    }
+
+    #[test]
+    fn full_targets_reject() {
+        let mut m = MshrFile::new(2, 1);
+        m.allocate_or_merge(1, req(1, AccessKind::Read)).unwrap();
+        assert_eq!(
+            m.allocate_or_merge(1, req(2, AccessKind::Read)),
+            Err(MshrReject::TargetsFull)
+        );
+    }
+
+    #[test]
+    fn tokens_are_reusable_after_complete() {
+        let mut m = MshrFile::new(1, 2);
+        let a = m.allocate_or_merge(1, req(1, AccessKind::Read)).unwrap();
+        let tok = match a {
+            MshrAlloc::Primary(t) => t,
+            _ => unreachable!(),
+        };
+        m.complete(tok);
+        assert!(m.allocate_or_merge(2, req(2, AccessKind::Read)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "live")]
+    fn completing_dead_token_panics() {
+        let mut m = MshrFile::new(2, 2);
+        m.complete(MshrToken(0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Page copy status/information holding registers (paper Fig. 6).
+
+use nomad_types::{Cfn, Cycle, Pfn, SubBlockIdx, SUB_BLOCKS_PER_PAGE};
+
+/// Bit mask with all 64 sub-block bits set.
+pub(crate) const FULL: u64 = u64::MAX;
+
+const _: () = assert!(SUB_BLOCKS_PER_PAGE == 64, "R/B/W vectors are u64");
+
+/// Command type executed by a PCSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyKind {
+    /// Cache fill: read the page from off-package memory, write it into
+    /// the DRAM cache.
+    Fill,
+    /// Writeback: read the page from the DRAM cache, write it to
+    /// off-package memory.
+    Writeback,
+}
+
+/// A page-copy command sent through the back-end interface register
+/// (type, PFN, CFN, offset — 76 bits in hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyCommand {
+    /// Fill or writeback.
+    pub kind: CopyKind,
+    /// Off-package frame.
+    pub pfn: Pfn,
+    /// Cache frame.
+    pub cfn: Cfn,
+    /// Prioritized sub-block (critical-data-first); `None` for
+    /// writebacks.
+    pub priority: Option<SubBlockIdx>,
+}
+
+/// A demand access parked in a PCSHR sub-entry until its sub-block
+/// arrives in the page copy buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SubEntry<T> {
+    /// Sub-block index (SI).
+    pub sub: SubBlockIdx,
+    /// Arrival cycle, for DC-access-time stats.
+    pub arrival: Cycle,
+    /// Caller payload (the parked request).
+    pub payload: T,
+}
+
+/// One PCSHR: command info plus the three per-sub-block bit vectors
+/// and a bounded set of sub-entries.
+#[derive(Debug, Clone)]
+pub(crate) struct Pcshr<T> {
+    pub cmd: CopyCommand,
+    /// R: source reads issued.
+    pub read_issued: u64,
+    /// B: sub-block present in the page copy buffer.
+    pub in_buffer: u64,
+    /// Destination writes issued (the W vector's "transfer started"
+    /// half).
+    pub write_issued: u64,
+    /// W: destination writes completed.
+    pub written: u64,
+    /// Parked demand accesses.
+    pub sub_entries: Vec<SubEntry<T>>,
+    /// Page copy buffer assigned (None in the area-optimized design
+    /// until one frees up).
+    pub buffer: Option<usize>,
+    /// Allocation order, for FIFO buffer assignment.
+    pub seq: u64,
+}
+
+impl<T> Pcshr<T> {
+    pub fn new(cmd: CopyCommand, buffer: Option<usize>, seq: u64) -> Self {
+        Pcshr {
+            cmd,
+            read_issued: 0,
+            in_buffer: 0,
+            write_issued: 0,
+            written: 0,
+            sub_entries: Vec::new(),
+            buffer,
+            seq,
+        }
+    }
+
+    /// Next source sub-block to read: critical-data-first with early
+    /// restart — start at the prioritized sub-block and continue
+    /// sequentially, wrapping around the page, so a thread streaming
+    /// from its faulting address finds each block already in the
+    /// buffer. Skips sub-blocks already issued or already in the
+    /// buffer (e.g. freshly written by a demand store).
+    pub fn next_read(&self) -> Option<SubBlockIdx> {
+        let blocked = self.read_issued | self.in_buffer;
+        if blocked == FULL {
+            return None;
+        }
+        let start = self.cmd.priority.map(|p| p.index()).unwrap_or(0);
+        // Rotate so `start` is bit 0, find the first free bit, rotate
+        // back.
+        let rotated = blocked.rotate_right(start as u32);
+        let offset = rotated.trailing_ones() as usize;
+        Some(SubBlockIdx(((start + offset) % 64) as u8))
+    }
+
+    /// Next destination sub-block to write: in buffer but write not yet
+    /// issued.
+    pub fn next_write(&self) -> Option<SubBlockIdx> {
+        let ready = self.in_buffer & !self.write_issued;
+        if ready == 0 {
+            None
+        } else {
+            Some(SubBlockIdx(ready.trailing_zeros() as u8))
+        }
+    }
+
+    /// Whether the whole page has been transferred.
+    pub fn complete(&self) -> bool {
+        self.written == FULL
+    }
+
+    /// Absorb a demand store into the page copy buffer: the sub-block
+    /// becomes buffer-resident with fresh data, and any
+    /// previously-issued destination write is invalidated so the new
+    /// data is transferred again.
+    pub fn absorb_write(&mut self, sub: SubBlockIdx) {
+        self.in_buffer |= sub.bit();
+        self.write_issued &= !sub.bit();
+        self.written &= !sub.bit();
+    }
+
+    /// Mark a source read completed (sub-block now in the buffer);
+    /// drains sub-entries waiting for it into `serviced`.
+    pub fn read_done(&mut self, sub: SubBlockIdx, serviced: &mut Vec<SubEntry<T>>) {
+        if self.in_buffer & sub.bit() != 0 {
+            // A demand store beat the read: buffer data is newer.
+            return;
+        }
+        self.in_buffer |= sub.bit();
+        self.take_sub_entries(sub, serviced);
+    }
+
+    /// Remove every sub-entry waiting on `sub` into `out` (the
+    /// sub-block just became buffer-resident, by a source read or by a
+    /// demand store).
+    pub fn take_sub_entries(&mut self, sub: SubBlockIdx, out: &mut Vec<SubEntry<T>>) {
+        let mut i = 0;
+        while i < self.sub_entries.len() {
+            if self.sub_entries[i].sub == sub {
+                out.push(self.sub_entries.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Mark a destination write issued.
+    pub fn write_sent(&mut self, sub: SubBlockIdx) {
+        self.write_issued |= sub.bit();
+    }
+
+    /// Mark a destination write completed.
+    pub fn write_done(&mut self, sub: SubBlockIdx) {
+        // Stale completion after a demand store re-dirtied the block:
+        // write_issued was cleared, so ignore it.
+        if self.write_issued & sub.bit() != 0 {
+            self.written |= sub.bit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(priority: Option<u8>) -> CopyCommand {
+        CopyCommand {
+            kind: CopyKind::Fill,
+            pfn: Pfn(3),
+            cfn: Cfn(7),
+            priority: priority.map(SubBlockIdx),
+        }
+    }
+
+    #[test]
+    fn critical_data_first_wraps_from_priority() {
+        let p: Pcshr<()> = Pcshr::new(cmd(Some(17)), Some(0), 0);
+        assert_eq!(p.next_read(), Some(SubBlockIdx(17)));
+        let mut p = p;
+        p.read_issued |= SubBlockIdx(17).bit();
+        assert_eq!(p.next_read(), Some(SubBlockIdx(18)), "early restart");
+        for i in 18..64u8 {
+            p.read_issued |= SubBlockIdx(i).bit();
+        }
+        assert_eq!(p.next_read(), Some(SubBlockIdx(0)), "wraps to page start");
+    }
+
+    #[test]
+    fn read_order_without_priority_is_sequential() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        for i in 0..64u8 {
+            let n = p.next_read().expect("blocks remain");
+            assert_eq!(n, SubBlockIdx(i));
+            p.read_issued |= n.bit();
+        }
+        assert_eq!(p.next_read(), None);
+    }
+
+    #[test]
+    fn write_follows_buffer_arrival() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        assert_eq!(p.next_write(), None);
+        let mut s = Vec::new();
+        p.read_done(SubBlockIdx(5), &mut s);
+        assert_eq!(p.next_write(), Some(SubBlockIdx(5)));
+        p.write_sent(SubBlockIdx(5));
+        assert_eq!(p.next_write(), None);
+        p.write_done(SubBlockIdx(5));
+        assert!(p.written & SubBlockIdx(5).bit() != 0);
+    }
+
+    #[test]
+    fn completion_requires_all_64_writes() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut s = Vec::new();
+        for i in 0..64u8 {
+            assert!(!p.complete());
+            p.read_done(SubBlockIdx(i), &mut s);
+            p.write_sent(SubBlockIdx(i));
+            p.write_done(SubBlockIdx(i));
+        }
+        assert!(p.complete());
+    }
+
+    #[test]
+    fn sub_entries_drain_on_matching_read() {
+        let mut p: Pcshr<u32> = Pcshr::new(cmd(None), Some(0), 0);
+        p.sub_entries.push(SubEntry { sub: SubBlockIdx(3), arrival: 10, payload: 1 });
+        p.sub_entries.push(SubEntry { sub: SubBlockIdx(9), arrival: 11, payload: 2 });
+        p.sub_entries.push(SubEntry { sub: SubBlockIdx(3), arrival: 12, payload: 3 });
+        let mut s = Vec::new();
+        p.read_done(SubBlockIdx(3), &mut s);
+        let mut got: Vec<u32> = s.iter().map(|e| e.payload).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3]);
+        assert_eq!(p.sub_entries.len(), 1);
+    }
+
+    #[test]
+    fn absorbed_store_skips_source_read_and_redoes_write() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        // Write already transferred, then a demand store lands.
+        let mut s = Vec::new();
+        p.read_done(SubBlockIdx(0), &mut s);
+        p.write_sent(SubBlockIdx(0));
+        p.write_done(SubBlockIdx(0));
+        p.absorb_write(SubBlockIdx(0));
+        assert_eq!(p.written & 1, 0, "write must be redone");
+        assert_eq!(p.next_write(), Some(SubBlockIdx(0)));
+        // And the source read for an absorbed block is skipped.
+        let mut q: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        q.absorb_write(SubBlockIdx(0));
+        assert_eq!(q.next_read(), Some(SubBlockIdx(1)));
+    }
+
+    #[test]
+    fn stale_read_completion_after_store_is_ignored() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        p.read_issued |= SubBlockIdx(2).bit();
+        p.absorb_write(SubBlockIdx(2));
+        let mut s = Vec::new();
+        p.read_done(SubBlockIdx(2), &mut s); // stale memory data
+        assert!(s.is_empty());
+        assert!(p.in_buffer & SubBlockIdx(2).bit() != 0);
+    }
+
+    #[test]
+    fn stale_write_completion_after_store_is_ignored() {
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut s = Vec::new();
+        p.read_done(SubBlockIdx(1), &mut s);
+        p.write_sent(SubBlockIdx(1));
+        p.absorb_write(SubBlockIdx(1)); // clears write_issued
+        p.write_done(SubBlockIdx(1)); // stale completion
+        assert_eq!(p.written & SubBlockIdx(1).bit(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! NOMAD/TDC scheme configuration.
+
+use crate::backend::BackendConfig;
+use nomad_types::{Cycle, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Selective caching policy (paper §V: NOMAD, being OS-managed, "can
+/// flexibly utilize various selective caching mechanisms" — unlike
+/// HW-based designs whose admission logic is baked into silicon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CachingPolicy {
+    /// Cache every cacheable page on first touch (the paper's
+    /// evaluation configuration).
+    #[default]
+    Always,
+    /// Admit a page only on its *second* tag miss: single-touch
+    /// streaming pages bypass the cache and are served off-package,
+    /// saving fill bandwidth for pages with reuse.
+    SecondTouch,
+}
+
+/// Configuration of the [`crate::NomadScheme`] (both the NOMAD and TDC
+/// variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NomadConfig {
+    /// On-package DRAM-cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// PCSHRs per back-end (the paper sweeps 1–32, Figs. 12–14).
+    pub pcshrs: usize,
+    /// Page copy buffers per back-end; `None` couples one buffer to
+    /// every PCSHR, `Some(m)` models the area-optimized design of
+    /// §IV-B.7 (Fig. 15).
+    pub buffers: Option<usize>,
+    /// Sub-entries per PCSHR.
+    pub sub_entries: usize,
+    /// Number of back-ends: 1 = centralized, >1 = distributed by CFN
+    /// (§III-F, Fig. 16).
+    pub backends: usize,
+    /// Minimum DC tag-management latency in CPU cycles; the paper
+    /// conservatively uses 400 (two serialized on-package CPD reads
+    /// plus synchronization, §IV-A).
+    pub tag_mgmt_cycles: Cycle,
+    /// Extra handler cycles per occupied frame the free-queue head had
+    /// to skip (a CPD read each).
+    pub probe_cost: Cycle,
+    /// **Coupled** miss handling: the faulting core stays stalled until
+    /// the page fill completes. `true` reproduces TDC; `false` is
+    /// NOMAD's decoupled management.
+    pub blocking: bool,
+    /// Whether tag-miss handling is a global critical section (one CPU
+    /// at a time — NOMAD's `cache_frame_management_mutex`). TDC locks
+    /// only the critical PTEs, so its handlers run in parallel.
+    pub serialized_handler: bool,
+    /// Free-frame threshold that arms the background eviction daemon.
+    pub eviction_threshold: usize,
+    /// Frames reclaimed per daemon run (`n` in Algorithm 2; a power of
+    /// two for flush alignment).
+    pub eviction_batch: usize,
+    /// Daemon cost per evicted page (PTE restore via reverse mapping,
+    /// CPD update).
+    pub evict_page_cost: Cycle,
+    /// Daemon base cost per batch (`flush_cache_range`, flag handling).
+    pub evict_batch_cost: Cycle,
+    /// Latency of servicing a read from a page copy buffer.
+    pub buffer_latency: Cycle,
+    /// Enable critical-data-first scheduling (PI priority); disabling
+    /// it is an ablation, not a paper configuration.
+    pub critical_data_first: bool,
+    /// Page-admission policy.
+    pub policy: CachingPolicy,
+}
+
+impl NomadConfig {
+    /// The paper's NOMAD configuration over a DRAM cache of
+    /// `capacity_bytes`.
+    pub fn nomad(capacity_bytes: u64) -> Self {
+        let frames = (capacity_bytes / PAGE_SIZE).max(64) as usize;
+        NomadConfig {
+            capacity_bytes,
+            pcshrs: 16,
+            buffers: None,
+            sub_entries: 4,
+            backends: 1,
+            tag_mgmt_cycles: 400,
+            probe_cost: 2,
+            blocking: false,
+            serialized_handler: true,
+            eviction_threshold: (frames / 16).max(32),
+            eviction_batch: 256,
+            evict_page_cost: 20,
+            evict_batch_cost: 200,
+            buffer_latency: 10,
+            critical_data_first: true,
+            policy: CachingPolicy::Always,
+        }
+    }
+
+    /// The paper's TDC model: the NOMAD front-end with *coupled*
+    /// (blocking) miss handling, per-PTE locking (parallel handlers,
+    /// no extra critical-section penalty) and one copy engine per
+    /// potential concurrent copy.
+    pub fn tdc(capacity_bytes: u64, cores: usize) -> Self {
+        NomadConfig {
+            blocking: true,
+            serialized_handler: false,
+            // One in-flight blocking copy per core suffices; headroom
+            // for the eviction daemon's writebacks.
+            pcshrs: (2 * cores).max(8),
+            ..Self::nomad(capacity_bytes)
+        }
+    }
+
+    /// Number of 4 KiB cache frames.
+    pub fn frames(&self) -> usize {
+        (self.capacity_bytes / PAGE_SIZE).max(64) as usize
+    }
+
+    /// Per-back-end configuration.
+    pub fn backend_config(&self) -> BackendConfig {
+        BackendConfig {
+            pcshrs: self.pcshrs,
+            buffers: self.buffers.unwrap_or(self.pcshrs),
+            sub_entries: self.sub_entries,
+            buffer_latency: self.buffer_latency,
+            reads_per_tick: 2,
+            writes_per_tick: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nomad_defaults_match_paper() {
+        let c = NomadConfig::nomad(64 << 20);
+        assert_eq!(c.tag_mgmt_cycles, 400);
+        assert!(!c.blocking);
+        assert!(c.serialized_handler);
+        assert_eq!(c.backend_config().buffers, c.pcshrs, "coupled buffers");
+        assert_eq!(c.frames(), 16384);
+    }
+
+    #[test]
+    fn tdc_is_blocking_and_parallel() {
+        let c = NomadConfig::tdc(64 << 20, 8);
+        assert!(c.blocking);
+        assert!(!c.serialized_handler);
+        assert!(c.pcshrs >= 8);
+    }
+
+    #[test]
+    fn area_optimized_decouples_buffers() {
+        let mut c = NomadConfig::nomad(64 << 20);
+        c.pcshrs = 32;
+        c.buffers = Some(8);
+        let b = c.backend_config();
+        assert_eq!(b.pcshrs, 32);
+        assert_eq!(b.buffers, 8);
+    }
+}

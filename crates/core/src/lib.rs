@@ -1,0 +1,44 @@
+//! **NOMAD** — Non-blocking OS-managed DRAM cache via tag-data
+//! decoupling (HPCA 2023). This crate is the paper's primary
+//! contribution.
+//!
+//! Conventional caches couple tag and data management: a tag hit
+//! guarantees the data is present, which forces OS-managed DRAM caches
+//! to *block* the faulting thread until a 4 KiB page copy completes.
+//! NOMAD decouples the two:
+//!
+//! * The **front-end** ([`Frontend`]) — OS routines — manages DC tags
+//!   in PTEs/TLBs: a DC tag-miss handler allocates a cache frame from a
+//!   circular FIFO free queue (Algorithm 1), offloads a cache-fill
+//!   command to the back-end, updates the PTE, and *immediately*
+//!   resumes the thread; a background eviction daemon reclaims frames
+//!   from the queue's tail (Algorithm 2), skipping TLB-resident frames
+//!   to avoid shootdowns.
+//! * The **back-end** ([`backend::Backend`]) — hardware — executes page
+//!   copies with *page copy status/information holding registers*
+//!   (PCSHRs): per-sub-block read-issued/in-buffer/partial-write bit
+//!   vectors, page copy buffers, critical-data-first scheduling, and
+//!   sub-entries that park demand accesses whose data is still in
+//!   flight. Because a tag hit no longer implies a data hit, **every**
+//!   DC access is checked against the PCSHRs — with no OS involvement,
+//!   which is what makes the cache non-blocking.
+//!
+//! The same front-end with *coupled* (blocking) miss handling and
+//! parallel per-PTE-locked copies yields **TDC**, the state-of-the-art
+//! blocking OS-managed scheme the paper compares against
+//! ([`NomadScheme::tdc`]); the paper built its TDC model the same way
+//! (§IV-A).
+//!
+//! Both centralized and distributed back-end organizations (§III-F,
+//! Fig. 16) and the area-optimized decoupled page-copy-buffer design
+//! (§IV-B.7, Fig. 15) are supported through [`NomadConfig`].
+
+pub mod backend;
+mod config;
+mod frontend;
+mod scheme;
+
+pub use backend::{AccessCheck, Backend, BackendConfig, CompletedCopy, CopyCommand, CopyKind};
+pub use config::{CachingPolicy, NomadConfig};
+pub use frontend::{BackendCtl, Frontend, FrontendConfig, FrontendEvents, HandledTagMiss};
+pub use scheme::NomadScheme;

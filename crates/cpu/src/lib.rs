@@ -1,0 +1,549 @@
+//! Trace-driven out-of-order core timing model.
+//!
+//! The paper's evaluation runs out-of-order cores whose performance is
+//! dominated by the memory system; what the DRAM-cache schemes interact
+//! with is the *order, concurrency and blocking behaviour* of the
+//! memory requests a core emits, plus precise accounting of why the
+//! core is stalled. [`Core`] models exactly that:
+//!
+//! * a reorder buffer of `rob_size` instructions, filled at
+//!   `fetch_width` and drained in order at `commit_width`;
+//! * non-blocking loads: memory operations dispatch as soon as they
+//!   enter the ROB (subject to an LSQ limit), so multiple misses
+//!   overlap — the memory-level parallelism MSHRs/PCSHRs exploit;
+//! * posted stores (a store commits once issued);
+//! * **OS stalls**: a blocking miss handler (TDC) or a tag-miss
+//!   critical section (NOMAD) suspends the whole core; the paper's
+//!   "CPUs executing OS routines are stalled" protocol;
+//! * a stall-cycle breakdown (memory / OS-tag-management /
+//!   OS-blocking-fill) — the raw data for Fig. 11.
+//!
+//! The core is plumbing-free: the system assembly pulls dispatched
+//! memory operations from [`Core::pop_dispatch`] when the TLB/L1 can
+//! take them and reports completions back with [`Core::mem_done`].
+
+use nomad_trace::TraceSource;
+use nomad_types::stats::Counter;
+use nomad_types::{AccessKind, CoreId, Cycle, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Core microarchitectural parameters (Table II-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: usize,
+    /// Instructions fetched/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Maximum memory operations awaiting issue or completion (LSQ).
+    pub max_outstanding_mem: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            rob_size: 192,
+            fetch_width: 4,
+            commit_width: 4,
+            max_outstanding_mem: 32,
+        }
+    }
+}
+
+/// Why the OS suspended this core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OsStallReason {
+    /// DC tag-miss handling (NOMAD front-end critical section, or the
+    /// tag-management part of any OS-managed scheme).
+    TagMiss,
+    /// Blocking cache-fill wait (TDC's coupled miss handling).
+    BlockingFill,
+}
+
+/// A memory operation the core wants to send into the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingMemOp {
+    /// ROB slot identifier; echo it in [`Core::mem_done`].
+    pub slot: u64,
+    /// Core issuing the operation.
+    pub core: CoreId,
+    /// Virtual address.
+    pub vaddr: VirtAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Per-core performance counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated (excluding warm-up after a reset).
+    pub cycles: Counter,
+    /// Instructions committed.
+    pub instructions: Counter,
+    /// Memory operations committed.
+    pub mem_ops: Counter,
+    /// Cycles with zero commits while the ROB head waited on memory.
+    pub stall_mem: Counter,
+    /// Cycles suspended in OS tag-management routines.
+    pub stall_os_tag: Counter,
+    /// Cycles suspended waiting for a blocking cache fill.
+    pub stall_os_fill: Counter,
+    /// Cycles with at least one commit.
+    pub busy: Counter,
+    /// Cycles with zero commits for front-end (dispatch) reasons.
+    pub stall_frontend: Counter,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        nomad_types::stats::ratio(self.instructions.get(), self.cycles.get())
+    }
+
+    /// Total stalled cycles of any kind.
+    pub fn total_stall(&self) -> u64 {
+        self.stall_mem.get()
+            + self.stall_os_tag.get()
+            + self.stall_os_fill.get()
+            + self.stall_frontend.get()
+    }
+
+    /// Fraction of cycles the application was stalled in OS routines
+    /// (the paper's "application stall cycle ratio" for OS-managed
+    /// schemes).
+    pub fn os_stall_ratio(&self) -> f64 {
+        nomad_types::stats::ratio(
+            self.stall_os_tag.get() + self.stall_os_fill.get(),
+            self.cycles.get(),
+        )
+    }
+
+    /// Reset all counters (end of warm-up).
+    pub fn reset(&mut self) {
+        *self = CoreStats::default();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RobEntry {
+    /// `n` plain ALU instructions.
+    Ops(u32),
+    /// One memory instruction; `slot` indexes `mem_status`.
+    Mem { slot: u64 },
+}
+
+/// One trace-driven core.
+pub struct Core {
+    cfg: CoreConfig,
+    id: CoreId,
+    trace: Box<dyn TraceSource>,
+    rob: VecDeque<RobEntry>,
+    /// Instructions currently occupying the ROB.
+    rob_occupancy: usize,
+    /// Memory ops not yet completed: slot → done.
+    mem_status: HashMap<u64, bool>,
+    /// Dispatched-but-not-pulled memory operations.
+    dispatch_q: VecDeque<PendingMemOp>,
+    next_slot: u64,
+    /// Remaining gap instructions of the current trace record.
+    gap_left: u32,
+    /// Memory op of the current record still to be fetched.
+    mem_pending: Option<(AccessKind, VirtAddr)>,
+    /// OS suspension deadline and reason.
+    os_stall: Option<(Cycle, OsStallReason)>,
+    stats: CoreStats,
+}
+
+impl core::fmt::Debug for Core {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("rob_occupancy", &self.rob_occupancy)
+            .field("outstanding_mem", &self.mem_status.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Build a core running `trace`.
+    pub fn new(id: CoreId, cfg: CoreConfig, trace: Box<dyn TraceSource>) -> Self {
+        Core {
+            cfg,
+            id,
+            trace,
+            rob: VecDeque::new(),
+            rob_occupancy: 0,
+            mem_status: HashMap::new(),
+            dispatch_q: VecDeque::new(),
+            next_slot: 0,
+            gap_left: 0,
+            mem_pending: None,
+            os_stall: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Configuration.
+    pub fn cfg(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The trace feeding this core (for checkpoint warming).
+    pub fn trace(&self) -> &dyn TraceSource {
+        self.trace.as_ref()
+    }
+
+    /// Suspend the core in an OS routine until `until` (exclusive).
+    /// Longer of two overlapping stalls wins.
+    pub fn stall_os(&mut self, until: Cycle, reason: OsStallReason) {
+        match self.os_stall {
+            Some((cur, _)) if cur >= until => {}
+            _ => self.os_stall = Some((until, reason)),
+        }
+    }
+
+    /// Whether the core is currently OS-suspended at `now`.
+    pub fn is_os_stalled(&self, now: Cycle) -> bool {
+        matches!(self.os_stall, Some((until, _)) if now < until)
+    }
+
+    /// End an OS suspension early (the scheme woke the core — e.g. a
+    /// NOMAD tag-miss handler or a TDC blocking fill completed).
+    /// No-op when the core is not suspended.
+    pub fn wake_os(&mut self) {
+        self.os_stall = None;
+    }
+
+    /// Next memory operation awaiting injection into the memory system,
+    /// if any. The caller takes it only when downstream can accept it;
+    /// use [`Core::push_back_dispatch`] to return it on failure.
+    pub fn pop_dispatch(&mut self) -> Option<PendingMemOp> {
+        self.dispatch_q.pop_front()
+    }
+
+    /// Return an op taken by [`Core::pop_dispatch`] that could not be
+    /// injected this cycle (retried in order).
+    pub fn push_back_dispatch(&mut self, op: PendingMemOp) {
+        self.dispatch_q.push_front(op);
+    }
+
+    /// Report completion of the load in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not an outstanding memory operation.
+    pub fn mem_done(&mut self, slot: u64) {
+        let done = self
+            .mem_status
+            .get_mut(&slot)
+            .expect("mem_done for unknown slot");
+        *done = true;
+    }
+
+    /// Number of in-flight memory operations (dispatched or queued).
+    pub fn outstanding_mem(&self) -> usize {
+        self.mem_status.values().filter(|d| !**d).count()
+    }
+
+    /// Advance one cycle: commit, then fetch/dispatch.
+    pub fn tick(&mut self, now: Cycle) {
+        self.stats.cycles.inc();
+
+        // OS suspension freezes the whole core.
+        if let Some((until, reason)) = self.os_stall {
+            if now < until {
+                match reason {
+                    OsStallReason::TagMiss => self.stats.stall_os_tag.inc(),
+                    OsStallReason::BlockingFill => self.stats.stall_os_fill.inc(),
+                }
+                return;
+            }
+            self.os_stall = None;
+        }
+
+        let committed = self.commit();
+        self.fetch();
+
+        if committed > 0 {
+            self.stats.busy.inc();
+        } else if self.head_waits_on_mem() {
+            self.stats.stall_mem.inc();
+        } else {
+            self.stats.stall_frontend.inc();
+        }
+    }
+
+    fn head_waits_on_mem(&self) -> bool {
+        match self.rob.front() {
+            Some(RobEntry::Mem { slot }) => !self.mem_status.get(slot).copied().unwrap_or(true),
+            _ => false,
+        }
+    }
+
+    fn commit(&mut self) -> usize {
+        let mut budget = self.cfg.commit_width;
+        let mut committed = 0;
+        while budget > 0 {
+            match self.rob.front_mut() {
+                None => break,
+                Some(RobEntry::Ops(n)) => {
+                    let take = (*n as usize).min(budget);
+                    *n -= take as u32;
+                    budget -= take;
+                    committed += take;
+                    self.rob_occupancy -= take;
+                    if *n == 0 {
+                        self.rob.pop_front();
+                    }
+                }
+                Some(RobEntry::Mem { slot }) => {
+                    let slot = *slot;
+                    if self.mem_status.get(&slot).copied().unwrap_or(false) {
+                        self.mem_status.remove(&slot);
+                        self.rob.pop_front();
+                        self.rob_occupancy -= 1;
+                        budget -= 1;
+                        committed += 1;
+                        self.stats.mem_ops.inc();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.instructions.add(committed as u64);
+        committed
+    }
+
+    fn fetch(&mut self) {
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0 && self.rob_occupancy < self.cfg.rob_size {
+            // Refill the record cursor.
+            if self.gap_left == 0 && self.mem_pending.is_none() {
+                let rec = self.trace.next_record();
+                self.gap_left = rec.gap;
+                self.mem_pending = Some((rec.kind, rec.vaddr));
+            }
+            if self.gap_left > 0 {
+                let room = self.cfg.rob_size - self.rob_occupancy;
+                let take = (self.gap_left as usize).min(budget).min(room);
+                if take == 0 {
+                    break;
+                }
+                if let Some(RobEntry::Ops(n)) = self.rob.back_mut() {
+                    *n += take as u32;
+                } else {
+                    self.rob.push_back(RobEntry::Ops(take as u32));
+                }
+                self.gap_left -= take as u32;
+                self.rob_occupancy += take;
+                budget -= take;
+                continue;
+            }
+            // Memory instruction: respect the LSQ limit.
+            if self.mem_status.len() >= self.cfg.max_outstanding_mem {
+                break;
+            }
+            let (kind, vaddr) = self.mem_pending.take().expect("record cursor");
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            // Stores are posted: done at dispatch. Loads wait.
+            self.mem_status.insert(slot, kind.is_write());
+            self.rob.push_back(RobEntry::Mem { slot });
+            self.rob_occupancy += 1;
+            self.dispatch_q.push_back(PendingMemOp {
+                slot,
+                core: self.id,
+                vaddr,
+                kind,
+            });
+            budget -= 1;
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Reset counters (end of warm-up); pipeline state is preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_trace::TraceRecord;
+
+    /// A trace of fixed records cycling forever.
+    struct Cycling(Vec<TraceRecord>, usize);
+
+    impl TraceSource for Cycling {
+        fn next_record(&mut self) -> TraceRecord {
+            let r = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            r
+        }
+        fn name(&self) -> &str {
+            "cycling"
+        }
+    }
+
+    fn core_with(records: Vec<TraceRecord>) -> Core {
+        Core::new(0, CoreConfig::default(), Box::new(Cycling(records, 0)))
+    }
+
+    fn rec(gap: u32, kind: AccessKind, addr: u64) -> TraceRecord {
+        TraceRecord {
+            gap,
+            kind,
+            vaddr: VirtAddr(addr),
+        }
+    }
+
+    /// Environment completing loads after a fixed latency.
+    fn run(core: &mut Core, cycles: Cycle, latency: Cycle) {
+        let mut inflight: VecDeque<(Cycle, u64)> = VecDeque::new();
+        for now in 0..cycles {
+            core.tick(now);
+            while let Some(op) = core.pop_dispatch() {
+                if op.kind == AccessKind::Read {
+                    inflight.push_back((now + latency, op.slot));
+                }
+            }
+            while let Some(&(at, slot)) = inflight.front() {
+                if at <= now {
+                    core.mem_done(slot);
+                    inflight.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_only_ipc_is_commit_width_bound() {
+        // One mem op per 1000 instructions, instant memory.
+        let mut c = core_with(vec![rec(999, AccessKind::Read, 0x1000)]);
+        run(&mut c, 10_000, 1);
+        let ipc = c.stats().ipc();
+        assert!(ipc > 3.5, "ipc {ipc}");
+    }
+
+    #[test]
+    fn memory_bound_ipc_reflects_latency() {
+        // Pure dependent-looking loads: gap 0, one load per record, ROB
+        // allows overlap, so IPC ≈ min(MLP-limited, latency-limited).
+        let mut fast = core_with(vec![rec(0, AccessKind::Read, 0x1000)]);
+        run(&mut fast, 20_000, 10);
+        let mut slow = core_with(vec![rec(0, AccessKind::Read, 0x1000)]);
+        run(&mut slow, 20_000, 200);
+        assert!(
+            fast.stats().ipc() > 2.0 * slow.stats().ipc(),
+            "fast {} slow {}",
+            fast.stats().ipc(),
+            slow.stats().ipc()
+        );
+        assert!(slow.stats().stall_mem.get() > 0);
+    }
+
+    #[test]
+    fn loads_overlap_up_to_lsq_limit() {
+        // With latency L and max_outstanding M, throughput approaches
+        // M loads per L cycles rather than 1 per L.
+        let cfg = CoreConfig {
+            max_outstanding_mem: 8,
+            ..CoreConfig::default()
+        };
+        let mut c = Core::new(
+            0,
+            cfg,
+            Box::new(Cycling(vec![rec(0, AccessKind::Read, 0)], 0)),
+        );
+        run(&mut c, 10_000, 100);
+        let loads = c.stats().mem_ops.get();
+        // Serial execution would give ~100 loads; 8-way overlap gives ~800.
+        assert!(loads > 400, "loads {loads}");
+    }
+
+    #[test]
+    fn stores_commit_without_waiting() {
+        let mut c = core_with(vec![rec(0, AccessKind::Write, 0x40)]);
+        // Never complete anything: stores must still retire.
+        for now in 0..1000 {
+            c.tick(now);
+            while c.pop_dispatch().is_some() {}
+        }
+        assert!(c.stats().instructions.get() > 500);
+    }
+
+    #[test]
+    fn os_stall_freezes_core_and_is_accounted() {
+        let mut c = core_with(vec![rec(10, AccessKind::Read, 0x40)]);
+        c.stall_os(500, OsStallReason::TagMiss);
+        run(&mut c, 1000, 5);
+        assert_eq!(c.stats().stall_os_tag.get(), 500);
+        assert!(c.stats().instructions.get() > 0, "resumes after stall");
+        // A longer blocking-fill stall overrides.
+        c.stall_os(2000, OsStallReason::BlockingFill);
+        run(&mut c, 1000, 5);
+        assert!(c.stats().stall_os_fill.get() > 0);
+    }
+
+    #[test]
+    fn wake_os_ends_open_ended_stall() {
+        let mut c = core_with(vec![rec(1, AccessKind::Read, 0)]);
+        c.stall_os(Cycle::MAX, OsStallReason::TagMiss);
+        assert!(c.is_os_stalled(1_000_000));
+        c.wake_os();
+        assert!(!c.is_os_stalled(1_000_000));
+        run(&mut c, 100, 5);
+        assert!(c.stats().instructions.get() > 0);
+    }
+
+    #[test]
+    fn shorter_overlapping_stall_does_not_shrink() {
+        let mut c = core_with(vec![rec(1, AccessKind::Read, 0)]);
+        c.stall_os(1000, OsStallReason::TagMiss);
+        c.stall_os(10, OsStallReason::BlockingFill);
+        assert!(c.is_os_stalled(999));
+    }
+
+    #[test]
+    fn dispatch_backpressure_round_trip() {
+        let mut c = core_with(vec![rec(0, AccessKind::Read, 0x80)]);
+        c.tick(0);
+        let op = c.pop_dispatch().expect("op dispatched");
+        c.push_back_dispatch(op);
+        let again = c.pop_dispatch().expect("same op back");
+        assert_eq!(op, again);
+    }
+
+    #[test]
+    fn ipc_counts_exclude_warmup_after_reset() {
+        let mut c = core_with(vec![rec(3, AccessKind::Read, 0)]);
+        run(&mut c, 1000, 5);
+        assert!(c.stats().cycles.get() == 1000);
+        c.reset_stats();
+        assert_eq!(c.stats().cycles.get(), 0);
+        run(&mut c, 100, 5);
+        assert_eq!(c.stats().cycles.get(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown slot")]
+    fn mem_done_unknown_slot_panics() {
+        let mut c = core_with(vec![rec(0, AccessKind::Read, 0)]);
+        c.mem_done(42);
+    }
+}

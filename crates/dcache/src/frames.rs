@@ -1,0 +1,323 @@
+//! Cache page descriptors and the circular free queue (paper Figs. 4–5).
+//!
+//! OS-managed schemes treat the on-package DRAM as an array of 4 KiB
+//! *cache frames* managed FIFO: a DC tag-miss handler allocates frames
+//! from the `head` of a circular queue, and a background eviction
+//! daemon reclaims them from the `tail`. Each frame has a cache page
+//! descriptor ([`Cpd`]) holding its validity, dirty-in-cache bit, the
+//! original PFN (for PTE restoration) and a TLB directory used to skip
+//! frames whose translations are TLB-resident — avoiding TLB
+//! shootdowns entirely.
+
+use nomad_types::{Cfn, Pfn};
+use serde::{Deserialize, Serialize};
+
+/// Cache page descriptor (paper Fig. 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cpd {
+    /// V: frame holds a valid mapping.
+    pub valid: bool,
+    /// DC: dirty-in-cache — a writeback is required on eviction.
+    pub dirty: bool,
+    /// PFN of the physical frame mapped here (for reclamation).
+    pub pfn: Pfn,
+    /// TLB directory: bitmask of cores whose TLBs hold this frame's
+    /// translation.
+    pub tlb_dir: u64,
+}
+
+/// A frame reclaimed by the eviction daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictCandidate {
+    /// Reclaimed cache frame.
+    pub cfn: Cfn,
+    /// Its descriptor at eviction time (PFN and dirty bit drive the
+    /// PTE restoration and writeback).
+    pub cpd: Cpd,
+}
+
+/// The CPD array plus circular free-queue head/tail (paper Fig. 5).
+#[derive(Debug, Clone)]
+pub struct CacheFrames {
+    cpds: Vec<Cpd>,
+    head: usize,
+    tail: usize,
+    num_free: usize,
+}
+
+impl CacheFrames {
+    /// A DRAM cache of `frames` 4 KiB frames, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "cache must have at least one frame");
+        CacheFrames {
+            cpds: vec![Cpd::default(); frames],
+            head: 0,
+            tail: 0,
+            num_free: frames,
+        }
+    }
+
+    /// Total frames.
+    pub fn capacity(&self) -> usize {
+        self.cpds.len()
+    }
+
+    /// Currently free frames.
+    pub fn num_free(&self) -> usize {
+        self.num_free
+    }
+
+    /// The descriptor of `cfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfn` is out of range.
+    pub fn cpd(&self, cfn: Cfn) -> &Cpd {
+        &self.cpds[cfn.raw() as usize]
+    }
+
+    /// Allocate a frame for `pfn` from the head of the free queue
+    /// (Algorithm 1, lines 2–10). Returns the frame and the number of
+    /// occupied frames the head had to skip (each probe costs a CPD
+    /// read on the handler's critical path). `None` when no frame is
+    /// free.
+    pub fn allocate(&mut self, pfn: Pfn) -> Option<(Cfn, usize)> {
+        if self.num_free == 0 {
+            return None;
+        }
+        let n = self.cpds.len();
+        let mut probes = 0;
+        // Bounded by construction: num_free > 0 guarantees an invalid
+        // frame exists.
+        while self.cpds[self.head].valid {
+            self.head = (self.head + 1) % n;
+            probes += 1;
+        }
+        let cfn = Cfn(self.head as u64);
+        self.cpds[self.head] = Cpd {
+            valid: true,
+            dirty: false,
+            pfn,
+            tlb_dir: 0,
+        };
+        self.head = (self.head + 1) % n;
+        self.num_free -= 1;
+        Some((cfn, probes))
+    }
+
+    /// Reclaim up to `n` frames from the tail (Algorithm 2): frames
+    /// whose translations are TLB-resident are *skipped* (they stay
+    /// valid and the tail passes over them, avoiding shootdowns);
+    /// already-free frames are passed over without consuming an
+    /// iteration.
+    pub fn evict_batch(&mut self, n: usize) -> Vec<EvictCandidate> {
+        self.evict_batch_filtered(n, |_| false)
+    }
+
+    /// Like [`evict_batch`](CacheFrames::evict_batch), additionally
+    /// skipping frames for which `busy` returns `true` (e.g. frames
+    /// with an in-flight page copy traced by a PCSHR).
+    pub fn evict_batch_filtered(
+        &mut self,
+        n: usize,
+        busy: impl FnMut(Cfn) -> bool,
+    ) -> Vec<EvictCandidate> {
+        self.evict_batch_inner(n, busy, false)
+    }
+
+    /// Forced reclamation: evicts TLB-resident frames too (the caller
+    /// must issue TLB shootdowns for them — check `cpd.tlb_dir` of the
+    /// returned candidates). Frames with in-flight copies are still
+    /// skipped. Last-resort path for when the DRAM cache is smaller
+    /// than the combined TLB reach and shootdown avoidance would
+    /// deadlock allocation.
+    pub fn evict_batch_force(
+        &mut self,
+        n: usize,
+        busy: impl FnMut(Cfn) -> bool,
+    ) -> Vec<EvictCandidate> {
+        self.evict_batch_inner(n, busy, true)
+    }
+
+    fn evict_batch_inner(
+        &mut self,
+        n: usize,
+        mut busy: impl FnMut(Cfn) -> bool,
+        force_tlb: bool,
+    ) -> Vec<EvictCandidate> {
+        let len = self.cpds.len();
+        let mut out = Vec::new();
+        let mut iterations = 0;
+        let mut scanned = 0;
+        while iterations < n && scanned < len {
+            let idx = self.tail;
+            scanned += 1;
+            let cpd = self.cpds[idx];
+            if !cpd.valid {
+                self.tail = (self.tail + 1) % len;
+                continue;
+            }
+            iterations += 1;
+            if (cpd.tlb_dir != 0 && !force_tlb) || busy(Cfn(idx as u64)) {
+                // Translation still in some TLB (Algorithm 2 lines
+                // 6–8), or a page copy is in flight: skip.
+                self.tail = (self.tail + 1) % len;
+                continue;
+            }
+            self.cpds[idx].valid = false;
+            self.cpds[idx].tlb_dir = 0;
+            self.num_free += 1;
+            self.tail = (self.tail + 1) % len;
+            out.push(EvictCandidate {
+                cfn: Cfn(idx as u64),
+                cpd,
+            });
+        }
+        out
+    }
+
+    /// Set the dirty-in-cache bit of `cfn` (on a write access).
+    pub fn set_dirty(&mut self, cfn: Cfn) {
+        self.cpds[cfn.raw() as usize].dirty = true;
+    }
+
+    /// Mark `core`'s TLBs as holding `cfn`'s translation.
+    pub fn tlb_set(&mut self, cfn: Cfn, core: usize) {
+        self.cpds[cfn.raw() as usize].tlb_dir |= 1u64 << (core % 64);
+    }
+
+    /// Clear `core`'s TLB-directory bit for `cfn`.
+    pub fn tlb_clear(&mut self, cfn: Cfn, core: usize) {
+        self.cpds[cfn.raw() as usize].tlb_dir &= !(1u64 << (core % 64));
+    }
+
+    /// Whether any core's TLB holds `cfn`'s translation.
+    pub fn tlb_resident(&self, cfn: Cfn) -> bool {
+        self.cpds[cfn.raw() as usize].tlb_dir != 0
+    }
+
+    /// Occupied frames.
+    pub fn occupancy(&self) -> usize {
+        self.cpds.len() - self.num_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_allocation_order() {
+        let mut f = CacheFrames::new(4);
+        let (a, p0) = f.allocate(Pfn(10)).unwrap();
+        let (b, _) = f.allocate(Pfn(11)).unwrap();
+        assert_eq!(a, Cfn(0));
+        assert_eq!(b, Cfn(1));
+        assert_eq!(p0, 0);
+        assert_eq!(f.num_free(), 2);
+        assert_eq!(f.cpd(a).pfn, Pfn(10));
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut f = CacheFrames::new(4);
+        for i in 0..4 {
+            f.allocate(Pfn(i)).unwrap();
+        }
+        assert!(f.allocate(Pfn(99)).is_none(), "cache full");
+        let evicted = f.evict_batch(2);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].cfn, Cfn(0));
+        assert_eq!(evicted[0].cpd.pfn, Pfn(0));
+        assert_eq!(evicted[1].cfn, Cfn(1));
+        assert_eq!(f.num_free(), 2);
+        // Next allocation reuses the reclaimed frames in order.
+        let (c, _) = f.allocate(Pfn(99)).unwrap();
+        assert_eq!(c, Cfn(0));
+    }
+
+    #[test]
+    fn tlb_resident_frames_are_skipped() {
+        let mut f = CacheFrames::new(4);
+        for i in 0..4 {
+            f.allocate(Pfn(i)).unwrap();
+        }
+        f.tlb_set(Cfn(0), 2);
+        let evicted = f.evict_batch(2);
+        // Frame 0 skipped (consumes an iteration), frame 1 evicted.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].cfn, Cfn(1));
+        assert!(f.cpd(Cfn(0)).valid, "skipped frame stays valid");
+        // Clearing the directory makes it reclaimable on a later pass.
+        f.tlb_clear(Cfn(0), 2);
+        let evicted = f.evict_batch(4);
+        assert!(evicted.iter().any(|e| e.cfn == Cfn(0)));
+    }
+
+    #[test]
+    fn allocation_skips_survivor_frames() {
+        let mut f = CacheFrames::new(4);
+        for i in 0..4 {
+            f.allocate(Pfn(i)).unwrap();
+        }
+        f.tlb_set(Cfn(0), 0);
+        f.evict_batch(4); // evicts 1,2,3; skips 0
+        assert_eq!(f.num_free(), 3);
+        // Head is at 0 (wrapped): allocation must skip the valid frame 0.
+        let (c, probes) = f.allocate(Pfn(50)).unwrap();
+        assert_eq!(c, Cfn(1));
+        assert_eq!(probes, 1, "one occupied frame probed");
+    }
+
+    #[test]
+    fn dirty_bit_round_trip() {
+        let mut f = CacheFrames::new(2);
+        let (a, _) = f.allocate(Pfn(1)).unwrap();
+        assert!(!f.cpd(a).dirty);
+        f.set_dirty(a);
+        assert!(f.cpd(a).dirty);
+        let e = f.evict_batch(1);
+        assert!(e[0].cpd.dirty);
+    }
+
+    #[test]
+    fn evict_on_empty_cache_returns_nothing() {
+        let mut f = CacheFrames::new(4);
+        assert!(f.evict_batch(4).is_empty());
+    }
+
+    proptest! {
+        /// num_free + occupancy is invariant, allocations never return
+        /// a valid-marked frame, and eviction counts balance.
+        #[test]
+        fn prop_free_accounting(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut f = CacheFrames::new(16);
+            let mut allocated = 0usize;
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some((cfn, _)) = f.allocate(Pfn(allocated as u64)) {
+                            allocated += 1;
+                            prop_assert!(f.cpd(cfn).valid);
+                        }
+                    }
+                    1 => {
+                        let evicted = f.evict_batch(3);
+                        allocated -= evicted.len();
+                    }
+                    _ => {
+                        let evicted = f.evict_batch(1);
+                        allocated -= evicted.len();
+                    }
+                }
+                prop_assert_eq!(f.occupancy(), allocated);
+                prop_assert_eq!(f.num_free() + allocated, 16);
+            }
+        }
+    }
+}

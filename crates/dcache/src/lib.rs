@@ -1,0 +1,39 @@
+//! DRAM-cache scheme abstraction and the paper's comparison schemes.
+//!
+//! Everything below the shared LLC is a [`DcScheme`]: it owns the page
+//! table (OS-managed schemes keep DC tags in PTEs), handles page-table
+//! walks including DC tag misses, routes demand traffic to the
+//! on-package HBM or the off-package DDR4, and drives both DRAM devices.
+//!
+//! This crate provides the scheme *substrates* the paper compares
+//! NOMAD against:
+//!
+//! * [`Baseline`] — off-package memory only (lower bound);
+//! * [`Ideal`] — an OS-managed DC with zero miss-handling cost (upper
+//!   bound), also used to measure Table I's RMHB/MPMS characteristics;
+//! * [`Tid`] — the HW-based *tags-in-DRAM* design modeled after Unison
+//!   Cache: 1 KiB lines, 4-way sets with an ideal way predictor,
+//!   tag/metadata traffic in on-package DRAM, MSHRs with
+//!   critical-block-first fills.
+//!
+//! The NOMAD scheme itself (and TDC, which shares its front-end) lives
+//! in the `nomad-core` crate; shared machinery — the circular
+//! cache-frame free queue with cache page descriptors ([`CacheFrames`])
+//! and the demand-routing helper ([`DemandPath`]) — lives here so both
+//! crates can use it.
+
+mod baseline;
+mod demand;
+mod frames;
+mod ideal;
+mod scheme;
+mod stats;
+mod tid;
+
+pub use baseline::Baseline;
+pub use demand::DemandPath;
+pub use frames::{CacheFrames, Cpd, EvictCandidate};
+pub use ideal::Ideal;
+pub use scheme::{CacheFlush, DcAccessReq, DcScheme, NoFlush, SchemeEvents, WalkOutcome};
+pub use stats::SchemeStats;
+pub use tid::{Tid, TidConfig};

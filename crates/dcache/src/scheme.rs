@@ -1,0 +1,156 @@
+//! The [`DcScheme`] trait: the contract between the system assembly and
+//! a DRAM-cache design.
+
+use crate::stats::SchemeStats;
+use nomad_cache::TlbEntry;
+use nomad_cpu::OsStallReason;
+use nomad_dram::Dram;
+use nomad_types::{AccessKind, BlockAddr, CoreId, Cycle, MemResp, MemTarget, ReqId, SubBlockIdx, Vpn};
+
+/// A demand access arriving at the DRAM-cache controller from the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcAccessReq {
+    /// LLC-scoped token echoed in the response.
+    pub token: ReqId,
+    /// Post-translation block address.
+    pub addr: BlockAddr,
+    /// Address space of `addr` (cache frame vs physical frame).
+    pub target: MemTarget,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating core.
+    pub core: CoreId,
+    /// Whether a response is expected (LLC writebacks are posted).
+    pub wants_response: bool,
+}
+
+/// Outcome of a page-table walk performed by the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// Translation available: install `entry` in the TLB and proceed.
+    Ready {
+        /// Entry to install.
+        entry: TlbEntry,
+    },
+    /// An OS routine took over (DC tag-miss handler or blocking fill):
+    /// the core must suspend until the scheme wakes it, then retry the
+    /// walk.
+    Blocked {
+        /// Stall-accounting category.
+        reason: OsStallReason,
+    },
+}
+
+/// Events produced by one scheme tick for the system to apply.
+#[derive(Debug, Default)]
+pub struct SchemeEvents {
+    /// Demand responses for the LLC.
+    pub responses: Vec<MemResp>,
+    /// Cores whose OS suspension ended this cycle.
+    pub wakes: Vec<CoreId>,
+    /// VPNs to shoot down from every core's TLBs (forced reclamation
+    /// of TLB-resident frames).
+    pub shootdowns: Vec<Vpn>,
+}
+
+impl SchemeEvents {
+    /// Clear all event lists (reuse between ticks).
+    pub fn clear(&mut self) {
+        self.responses.clear();
+        self.wakes.clear();
+        self.shootdowns.clear();
+    }
+}
+
+/// Hierarchy-wide SRAM flush callback, implemented by the system
+/// assembly: Algorithm 2's `flush_cache_range` invalidates SRAM lines
+/// of a DC frame before it is evicted.
+pub trait CacheFlush {
+    /// Invalidate all SRAM-cached lines of DC page `page` (a cache
+    /// frame number); returns `(lines_removed, dirty_lines)` across all
+    /// levels.
+    fn flush_dc_page(&mut self, page: u64) -> (usize, usize);
+}
+
+/// A no-op flusher for tests and standalone scheme benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFlush;
+
+impl CacheFlush for NoFlush {
+    fn flush_dc_page(&mut self, _page: u64) -> (usize, usize) {
+        (0, 0)
+    }
+}
+
+/// A DRAM-cache scheme: owns the page table and all memory-side
+/// behaviour below the LLC.
+pub trait DcScheme {
+    /// Scheme name for reports ("Baseline", "TiD", "TDC", "NOMAD", …).
+    fn name(&self) -> &'static str;
+
+    /// Perform the page-table walk for `vpn` on behalf of `core`
+    /// (called at walk completion time; the architectural walk latency
+    /// has already elapsed). `kind` is the access kind that triggered
+    /// the walk and `sub` its sub-block offset within the page —
+    /// Algorithm 1 forwards `offset(va)` to the back-end so the
+    /// critical sub-block is fetched first.
+    fn walk(
+        &mut self,
+        core: CoreId,
+        vpn: Vpn,
+        sub: SubBlockIdx,
+        kind: AccessKind,
+        now: Cycle,
+    ) -> WalkOutcome;
+
+    /// Install `vpn` as already-resident before the region of interest
+    /// starts (zero-cost checkpoint warming, mirroring the paper's
+    /// atomic-CPU fast-forward), optionally with its dirty state.
+    /// Implementations allocate OS/tag state without generating
+    /// traffic, latency or statistics. The default does nothing.
+    fn prewarm(&mut self, core: CoreId, vpn: Vpn, dirty: bool) {
+        let _ = (core, vpn, dirty);
+    }
+
+    /// Frames still free for checkpoint warming, if the scheme manages
+    /// page frames (`None` for frame-less schemes like the baseline).
+    fn free_frames(&self) -> Option<u64> {
+        None
+    }
+
+    /// Whether the controller can take one more demand access.
+    fn can_accept(&self) -> bool;
+
+    /// Accept a demand access from the LLC.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called while
+    /// [`can_accept`](DcScheme::can_accept) is `false`.
+    fn access(&mut self, req: DcAccessReq, now: Cycle);
+
+    /// Advance one CPU cycle: drive both DRAM devices, progress
+    /// fills/writebacks/OS routines, emit responses and core wakes.
+    fn tick(
+        &mut self,
+        now: Cycle,
+        hbm: &mut Dram,
+        ddr: &mut Dram,
+        flush: &mut dyn CacheFlush,
+        events: &mut SchemeEvents,
+    );
+
+    /// TLB-residency notification: `vpn`'s translation entered `core`'s
+    /// TLB hierarchy (TLB-directory set).
+    fn tlb_inserted(&mut self, core: CoreId, vpn: Vpn);
+
+    /// TLB-residency notification: `vpn`'s translation fully left
+    /// `core`'s TLB hierarchy (TLB-directory clear).
+    fn tlb_departed(&mut self, core: CoreId, vpn: Vpn);
+
+    /// Scheme statistics.
+    fn stats(&self) -> &SchemeStats;
+
+    /// Reset statistics (end of warm-up).
+    fn reset_stats(&mut self);
+}

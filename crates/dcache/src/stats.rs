@@ -1,0 +1,118 @@
+//! Per-scheme statistics: everything Figs. 9–16 need from the
+//! DRAM-cache controller's point of view.
+
+use nomad_types::stats::{gbps, Counter, RunningMean};
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by every [`crate::DcScheme`]; fields that do not
+/// apply to a scheme stay zero.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemeStats {
+    /// Demand reads serviced by the controller.
+    pub demand_reads: Counter,
+    /// Demand writes serviced by the controller.
+    pub demand_writes: Counter,
+    /// Demand-read service time in CPU cycles, measured at the DC
+    /// controller (the paper's "average DC access time", Fig. 9).
+    pub dc_access_time: RunningMean,
+    /// DC tag misses (page-granular for OS-managed schemes,
+    /// line-granular for TiD).
+    pub tag_misses: Counter,
+    /// Completed cache fills.
+    pub fills: Counter,
+    /// Bytes fetched from off-package memory for fills (RMHB numerator).
+    pub fill_bytes: Counter,
+    /// Dirty evictions written back to off-package memory.
+    pub writebacks: Counter,
+    /// Bytes written back.
+    pub writeback_bytes: Counter,
+    /// Tag-management latency per handled tag miss (OS-managed
+    /// schemes; Fig. 11/14/15/16).
+    pub tag_mgmt_latency: RunningMean,
+    /// Accesses whose tag hit but whose data was still in transfer
+    /// (NOMAD data misses).
+    pub data_misses: Counter,
+    /// Data misses serviced directly from a page copy buffer.
+    pub buffer_hits: Counter,
+    /// Demand accesses that went straight to the DRAM cache (data
+    /// hits).
+    pub dc_data_hits: Counter,
+    /// Demand accesses routed to off-package memory (uncached or
+    /// non-cacheable pages; everything, for Baseline).
+    pub offpkg_demand: Counter,
+    /// Cache frames (or lines) evicted.
+    pub evictions: Counter,
+    /// Cycles a tag-miss handler spent waiting for the back-end
+    /// interface to become idle (PCSHR contention).
+    pub interface_wait_cycles: Counter,
+    /// Page-copy commands rejected because no PCSHR was free (sampled
+    /// per attempt).
+    pub pcshr_full_events: Counter,
+    /// Tag misses that a selective-caching policy chose not to admit.
+    pub policy_bypasses: Counter,
+}
+
+impl SchemeStats {
+    /// Required miss-handling bandwidth in GB/s over `cycles` CPU
+    /// cycles at `clock_ghz`: the page-fetch bytes an (ideal) OS-managed
+    /// DC must move, measured exactly like Table I.
+    pub fn rmhb_gbps(&self, cycles: u64, clock_ghz: f64) -> f64 {
+        gbps(
+            self.tag_misses.get() * nomad_types::PAGE_SIZE,
+            cycles,
+            clock_ghz,
+        )
+    }
+
+    /// LLC misses (demand reads + writes reaching the controller) per
+    /// microsecond — Table I's MPMS.
+    pub fn mpms(&self, cycles: u64, clock_ghz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let us = cycles as f64 / (clock_ghz * 1000.0);
+        (self.demand_reads.get() + self.demand_writes.get()) as f64 / us
+    }
+
+    /// Fraction of data misses that hit in a page copy buffer (the
+    /// paper reports 91.6% for NOMAD).
+    pub fn buffer_hit_rate(&self) -> f64 {
+        nomad_types::stats::ratio(self.buffer_hits.get(), self.data_misses.get())
+    }
+
+    /// Reset every counter.
+    pub fn reset(&mut self) {
+        *self = SchemeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmhb_math() {
+        let mut s = SchemeStats::default();
+        s.tag_misses.add(1000); // 1000 pages = 4 MiB
+        // 3200 cycles at 3.2 GHz = 1 µs → 4.096 MB/µs = 4.096 GB/ms… = 4096 GB/s? No:
+        // 4 MiB in 1 µs = 4.194 GB / 1e-6 s / 1e9 = 4194 GB/s — scale sanely:
+        // use 3.2e6 cycles = 1 ms → 4.194e-3 GB / 1e-3 s = 4.19 GB/s.
+        let v = s.rmhb_gbps(3_200_000, 3.2);
+        assert!((v - 4.096).abs() < 0.01, "{v}");
+    }
+
+    #[test]
+    fn mpms_math() {
+        let mut s = SchemeStats::default();
+        s.demand_reads.add(450);
+        s.demand_writes.add(50);
+        // 3200 cycles at 3.2 GHz = 1 µs → 500 MPMS.
+        assert!((s.mpms(3200, 3.2) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_hit_rate_zero_when_no_data_misses() {
+        let s = SchemeStats::default();
+        assert_eq!(s.buffer_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Bank state machine: open-row tracking and per-bank command timing.
+
+use crate::config::TimingParams;
+
+/// State of one DRAM bank, tracking the open row and the earliest device
+/// cycles at which the next ACT/CAS/PRE commands may be issued.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue.
+    act_at: u64,
+    /// Earliest cycle a CAS (read/write) may issue.
+    cas_at: u64,
+    /// Earliest cycle a PRE may issue.
+    pre_at: u64,
+}
+
+impl Bank {
+    /// Currently open row.
+    #[inline]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Whether a CAS to `row` can issue at `now` without ACT/PRE.
+    #[inline]
+    pub fn can_cas(&self, row: u64, now: u64) -> bool {
+        self.open_row == Some(row) && now >= self.cas_at
+    }
+
+    /// Whether an ACT can issue at `now` (bank-local constraints only;
+    /// tRRD/tFAW are channel-level).
+    #[inline]
+    pub fn can_act(&self, now: u64) -> bool {
+        self.open_row.is_none() && now >= self.act_at
+    }
+
+    /// Whether a PRE can issue at `now`.
+    #[inline]
+    pub fn can_pre(&self, now: u64) -> bool {
+        self.open_row.is_some() && now >= self.pre_at
+    }
+
+    /// Issue an ACT for `row` at `now`.
+    pub fn act(&mut self, row: u64, now: u64, t: &TimingParams) {
+        debug_assert!(self.can_act(now));
+        self.open_row = Some(row);
+        self.cas_at = now + t.t_rcd;
+        self.pre_at = now + t.t_ras;
+    }
+
+    /// Issue a read CAS at `now`.
+    pub fn read(&mut self, now: u64, t: &TimingParams) {
+        debug_assert!(now >= self.cas_at && self.open_row.is_some());
+        self.cas_at = now + t.t_ccd;
+        self.pre_at = self.pre_at.max(now + t.t_rtp);
+    }
+
+    /// Issue a write CAS at `now`.
+    pub fn write(&mut self, now: u64, t: &TimingParams) {
+        debug_assert!(now >= self.cas_at && self.open_row.is_some());
+        self.cas_at = now + t.t_ccd;
+        // Write recovery starts at the end of the write data burst.
+        self.pre_at = self.pre_at.max(now + t.t_cwl + t.t_burst + t.t_wr);
+    }
+
+    /// Issue a PRE at `now`.
+    pub fn pre(&mut self, now: u64, t: &TimingParams) {
+        debug_assert!(self.can_pre(now));
+        self.open_row = None;
+        self.act_at = now + t.t_rp;
+    }
+
+    /// Force-close the row for refresh: row closed, next ACT no earlier
+    /// than `ready_at`.
+    pub fn refresh_close(&mut self, ready_at: u64) {
+        self.open_row = None;
+        self.act_at = self.act_at.max(ready_at);
+        self.cas_at = self.cas_at.max(ready_at);
+    }
+
+    /// Whether the bank has any outstanding timing obligation past `now`
+    /// that must drain before a refresh can start.
+    pub fn busy_until(&self) -> u64 {
+        if self.open_row.is_some() {
+            self.pre_at
+        } else {
+            self.act_at
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingParams {
+        crate::DramConfig::hbm().timing
+    }
+
+    #[test]
+    fn act_then_cas_after_trcd() {
+        let t = timing();
+        let mut b = Bank::default();
+        assert!(b.can_act(0));
+        b.act(5, 0, &t);
+        assert!(!b.can_cas(5, t.t_rcd - 1));
+        assert!(b.can_cas(5, t.t_rcd));
+        assert!(!b.can_cas(6, t.t_rcd), "different row must not CAS");
+    }
+
+    #[test]
+    fn pre_respects_tras() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.act(1, 0, &t);
+        assert!(!b.can_pre(t.t_ras - 1));
+        assert!(b.can_pre(t.t_ras));
+        b.pre(t.t_ras, &t);
+        assert!(b.open_row().is_none());
+        assert!(!b.can_act(t.t_ras + t.t_rp - 1));
+        assert!(b.can_act(t.t_ras + t.t_rp));
+    }
+
+    #[test]
+    fn write_extends_precharge_window() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.act(1, 0, &t);
+        let now = t.t_rcd;
+        b.write(now, &t);
+        let write_done = now + t.t_cwl + t.t_burst + t.t_wr;
+        assert!(!b.can_pre(write_done - 1));
+        assert!(b.can_pre(write_done.max(t.t_ras)));
+    }
+
+    #[test]
+    fn back_to_back_cas_respects_tccd() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.act(1, 0, &t);
+        b.read(t.t_rcd, &t);
+        assert!(!b.can_cas(1, t.t_rcd + t.t_ccd - 1));
+        assert!(b.can_cas(1, t.t_rcd + t.t_ccd));
+    }
+
+    #[test]
+    fn refresh_close_blocks_act() {
+        let t = timing();
+        let mut b = Bank::default();
+        b.act(3, 0, &t);
+        b.refresh_close(1000);
+        assert!(b.open_row().is_none());
+        assert!(!b.can_act(999));
+        assert!(b.can_act(1000));
+    }
+}

@@ -1,0 +1,425 @@
+//! One DRAM channel: command queue, FR-FCFS scheduler, data bus and
+//! refresh.
+
+use crate::bank::Bank;
+use crate::config::{DramConfig, TimingParams};
+use crate::stats::DramStats;
+use nomad_types::{AccessKind, ReqId, TrafficClass};
+use std::collections::VecDeque;
+
+/// Error returned by [`Channel::try_push`] when the command queue is
+/// full; the caller must retry later (backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePushError;
+
+impl core::fmt::Display for QueuePushError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("channel command queue is full")
+    }
+}
+
+impl std::error::Error for QueuePushError {}
+
+#[derive(Debug, Clone)]
+struct QueuedCmd {
+    token: ReqId,
+    bank: usize,
+    row: u64,
+    kind: AccessKind,
+    class: TrafficClass,
+    wants_completion: bool,
+    /// CPU cycle at which the request was pushed (for latency stats).
+    push_cpu: u64,
+    /// Whether this request had to activate its row (row miss) — set
+    /// when the scheduler ACTs on its behalf.
+    needed_act: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChannelCompletion {
+    pub token: ReqId,
+    pub kind: AccessKind,
+    pub class: TrafficClass,
+    /// Device cycle at which the data transfer finishes.
+    pub done_at: u64,
+    pub wants_completion: bool,
+    /// CPU cycle at which the request was pushed.
+    pub push_cpu: u64,
+    /// Whether the access hit an open row.
+    pub row_hit: bool,
+}
+
+/// One independently scheduled DRAM channel.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    banks: Vec<Bank>,
+    queue: VecDeque<QueuedCmd>,
+    queue_depth: usize,
+    /// Device cycle after which the data bus is free.
+    bus_free_at: u64,
+    /// Earliest device cycle the next ACT may issue (tRRD).
+    next_act_ok: u64,
+    /// Earliest device cycles implied by the four-activate window: the
+    /// oldest entry is when a new ACT stops violating tFAW.
+    act_window: [u64; 4],
+    /// Next scheduled refresh start.
+    next_refresh: u64,
+    /// If refreshing, the device cycle the refresh completes.
+    refresh_until: Option<u64>,
+    timing: TimingParams,
+}
+
+impl Channel {
+    pub fn new(cfg: &DramConfig) -> Self {
+        Channel {
+            banks: (0..cfg.banks_per_channel).map(|_| Bank::default()).collect(),
+            queue: VecDeque::with_capacity(cfg.queue_depth),
+            queue_depth: cfg.queue_depth,
+            bus_free_at: 0,
+            next_act_ok: 0,
+            act_window: [0; 4],
+            next_refresh: cfg.timing.t_refi,
+            refresh_until: None,
+            timing: cfg.timing,
+        }
+    }
+
+    /// Whether there is room for one more command.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.queue_depth
+    }
+
+    /// Current queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueue a decoded command.
+    pub fn try_push(
+        &mut self,
+        token: ReqId,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        class: TrafficClass,
+        wants_completion: bool,
+        push_cpu: u64,
+    ) -> Result<(), QueuePushError> {
+        if !self.can_accept() {
+            return Err(QueuePushError);
+        }
+        self.queue.push_back(QueuedCmd {
+            token,
+            bank,
+            row,
+            kind,
+            class,
+            wants_completion,
+            push_cpu,
+            needed_act: false,
+        });
+        Ok(())
+    }
+
+    fn act_allowed(&self, now: u64) -> bool {
+        now >= self.next_act_ok && now >= self.act_window[0]
+    }
+
+    fn note_act(&mut self, now: u64) {
+        self.next_act_ok = now + self.timing.t_rrd;
+        self.act_window.rotate_left(1);
+        self.act_window[3] = now + self.timing.t_faw;
+    }
+
+    /// Advance one device cycle: maybe start/finish a refresh, then try
+    /// to issue at most one command (FR-FCFS: first ready row-hit CAS,
+    /// else prepare the oldest request).
+    pub fn tick_device(
+        &mut self,
+        now: u64,
+        stats: &mut DramStats,
+        out: &mut Vec<ChannelCompletion>,
+    ) {
+        // Refresh handling.
+        if let Some(until) = self.refresh_until {
+            if now < until {
+                return;
+            }
+            self.refresh_until = None;
+        }
+        if now >= self.next_refresh {
+            // Wait for all banks to become precharge-able, then refresh.
+            let drain = self.banks.iter().map(Bank::busy_until).max().unwrap_or(0);
+            if now >= drain && now >= self.bus_free_at {
+                let until = now + self.timing.t_rfc;
+                for b in &mut self.banks {
+                    b.refresh_close(until);
+                }
+                self.refresh_until = Some(until);
+                self.next_refresh += self.timing.t_refi;
+                stats.refreshes.inc();
+                return;
+            }
+        }
+
+        // FR-FCFS pass 1: oldest CAS-ready row hit whose bus slot is free.
+        let t = self.timing;
+        let mut cas_idx = None;
+        for (i, cmd) in self.queue.iter().enumerate() {
+            let bank = &self.banks[cmd.bank];
+            if bank.can_cas(cmd.row, now) {
+                let data_start = match cmd.kind {
+                    AccessKind::Read => now + t.t_cl,
+                    AccessKind::Write => now + t.t_cwl,
+                };
+                if data_start >= self.bus_free_at {
+                    cas_idx = Some(i);
+                    break;
+                }
+            }
+        }
+        if let Some(i) = cas_idx {
+            let cmd = self.queue.remove(i).expect("index valid");
+            let bank = &mut self.banks[cmd.bank];
+            let data_start = match cmd.kind {
+                AccessKind::Read => {
+                    bank.read(now, &t);
+                    now + t.t_cl
+                }
+                AccessKind::Write => {
+                    bank.write(now, &t);
+                    now + t.t_cwl
+                }
+            };
+            self.bus_free_at = data_start + t.t_burst;
+            out.push(ChannelCompletion {
+                token: cmd.token,
+                kind: cmd.kind,
+                class: cmd.class,
+                done_at: data_start + t.t_burst,
+                wants_completion: cmd.wants_completion,
+                push_cpu: cmd.push_cpu,
+                row_hit: !cmd.needed_act,
+            });
+            return;
+        }
+
+        // FR-FCFS pass 2: prepare a bank for the oldest request that
+        // can make progress. Scanning past blocked requests (instead of
+        // stopping at the oldest) is what exposes bank-level
+        // parallelism; banks whose open row an older request still
+        // needs are protected from precharge (no row stealing).
+        let act_ok = self.act_allowed(now);
+        let mut protected: u64 = 0; // open rows older requests rely on
+        let mut attempted: u64 = 0; // banks already considered
+        for i in 0..self.queue.len() {
+            let (bank_idx, row) = {
+                let cmd = &self.queue[i];
+                (cmd.bank, cmd.row)
+            };
+            let bit = 1u64 << (bank_idx & 63);
+            let bank = &mut self.banks[bank_idx];
+            match bank.open_row() {
+                Some(open) if open == row => {
+                    // Row already open; waiting on tCCD or the bus.
+                    protected |= bit;
+                }
+                Some(_) => {
+                    if attempted & bit == 0
+                        && protected & bit == 0
+                        && bank.can_pre(now)
+                    {
+                        bank.pre(now, &t);
+                        return;
+                    }
+                    attempted |= bit;
+                }
+                None => {
+                    if attempted & bit == 0 && bank.can_act(now) && act_ok {
+                        bank.act(row, now, &t);
+                        self.queue[i].needed_act = true;
+                        self.note_act(now);
+                        return;
+                    }
+                    attempted |= bit;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> (Channel, DramConfig) {
+        let cfg = DramConfig::hbm();
+        (Channel::new(&cfg), cfg)
+    }
+
+    fn drain_until(
+        ch: &mut Channel,
+        stats: &mut DramStats,
+        max_cycles: u64,
+    ) -> Vec<ChannelCompletion> {
+        let mut out = Vec::new();
+        for now in 0..max_cycles {
+            ch.tick_device(now, stats, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_idle_latency() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
+            .unwrap();
+        let done = drain_until(&mut ch, &mut stats, 200);
+        assert_eq!(done.len(), 1);
+        let t = cfg.timing;
+        // ACT at 0, CAS at tRCD, data done at tRCD + tCL + tBURST.
+        assert_eq!(done[0].done_at, t.t_rcd + t.t_cl + t.t_burst);
+        assert!(!done[0].row_hit);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_row_hit() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        for i in 0..2 {
+            ch.try_push(
+                ReqId(i),
+                0,
+                5,
+                AccessKind::Read,
+                TrafficClass::DemandRead,
+                true,
+                0,
+            )
+            .unwrap();
+        }
+        let done = drain_until(&mut ch, &mut stats, 300);
+        assert_eq!(done.len(), 2);
+        assert!(!done[0].row_hit);
+        assert!(done[1].row_hit);
+        assert!(done[1].done_at > done[0].done_at);
+    }
+
+    #[test]
+    fn row_conflict_requires_pre_act() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
+            .unwrap();
+        ch.try_push(ReqId(2), 0, 9, AccessKind::Read, TrafficClass::DemandRead, true, 0)
+            .unwrap();
+        let done = drain_until(&mut ch, &mut stats, 500);
+        assert_eq!(done.len(), 2);
+        let t = cfg.timing;
+        // Second access must wait ≥ tRAS + tRP + tRCD + tCL after the first ACT.
+        assert!(done[1].done_at >= t.t_ras + t.t_rp + t.t_rcd + t.t_cl);
+        assert!(!done[1].row_hit);
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let (mut ch, cfg) = channel();
+        for i in 0..cfg.queue_depth as u64 {
+            ch.try_push(
+                ReqId(i),
+                0,
+                0,
+                AccessKind::Read,
+                TrafficClass::DemandRead,
+                true,
+                0,
+            )
+            .unwrap();
+        }
+        assert!(!ch.can_accept());
+        assert_eq!(
+            ch.try_push(ReqId(99), 0, 0, AccessKind::Read, TrafficClass::DemandRead, true, 0),
+            Err(QueuePushError)
+        );
+    }
+
+    #[test]
+    fn bus_serializes_row_hit_bursts() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        // 8 row hits to the same row: completions must be spaced ≥ tBURST.
+        for i in 0..8 {
+            ch.try_push(
+                ReqId(i),
+                0,
+                0,
+                AccessKind::Read,
+                TrafficClass::DemandRead,
+                true,
+                0,
+            )
+            .unwrap();
+        }
+        let done = drain_until(&mut ch, &mut stats, 400);
+        assert_eq!(done.len(), 8);
+        for pair in done.windows(2) {
+            assert!(pair[1].done_at >= pair[0].done_at + cfg.timing.t_burst);
+        }
+    }
+
+    #[test]
+    fn four_activate_window_throttles_acts() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        // Five row misses to five different banks: the fifth ACT must
+        // wait for the four-activate window to slide.
+        for i in 0..5 {
+            ch.try_push(
+                ReqId(i),
+                i as usize,
+                7,
+                AccessKind::Read,
+                TrafficClass::DemandRead,
+                true,
+                0,
+            )
+            .unwrap();
+        }
+        let done = drain_until(&mut ch, &mut stats, 500);
+        assert_eq!(done.len(), 5);
+        let t = cfg.timing;
+        // ACTs at 0, tRRD, 2·tRRD, 3·tRRD; the fifth no earlier than
+        // tFAW. Its data can finish no earlier than tFAW + tRCD + tCL.
+        let min_fifth = t.t_faw + t.t_rcd + t.t_cl + t.t_burst;
+        let last = done.iter().map(|c| c.done_at).max().expect("non-empty");
+        assert!(last >= min_fifth, "fifth access at {last}, needs >= {min_fifth}");
+    }
+
+    #[test]
+    fn refresh_eventually_happens() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        let mut out = Vec::new();
+        for now in 0..(cfg.timing.t_refi * 3) {
+            ch.tick_device(now, &mut stats, &mut out);
+        }
+        assert!(stats.refreshes.get() >= 2);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let (mut ch, cfg) = channel();
+        let mut stats = DramStats::new(&cfg);
+        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
+            .unwrap();
+        ch.try_push(ReqId(2), 1, 7, AccessKind::Read, TrafficClass::DemandRead, true, 0)
+            .unwrap();
+        let done = drain_until(&mut ch, &mut stats, 300);
+        assert_eq!(done.len(), 2);
+        let t = cfg.timing;
+        // Bank-level parallelism: the second read should not pay a full
+        // serialized PRE+ACT+CAS chain — only the tRRD ACT offset + burst.
+        assert!(done[1].done_at <= t.t_rrd + t.t_rcd + t.t_cl + 2 * t.t_burst);
+    }
+}

@@ -1,0 +1,293 @@
+//! DRAM device configuration: timing parameters, geometry and address
+//! mapping, with presets for on-package HBM and off-package DDR4.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM command timing parameters, all in **device clock cycles**.
+///
+/// The subset modeled is the one that matters for bandwidth and
+/// row-buffer behaviour at 64-byte burst granularity; per-DIMM details
+/// (ODT, rank-to-rank turnaround, …) are out of scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// ACT → CAS delay.
+    pub t_rcd: u64,
+    /// CAS read latency.
+    pub t_cl: u64,
+    /// CAS write latency.
+    pub t_cwl: u64,
+    /// PRE → ACT delay.
+    pub t_rp: u64,
+    /// ACT → PRE minimum row-open time.
+    pub t_ras: u64,
+    /// Data-bus occupancy of one 64-byte burst.
+    pub t_burst: u64,
+    /// CAS → CAS same-bank delay.
+    pub t_ccd: u64,
+    /// Read → PRE delay.
+    pub t_rtp: u64,
+    /// Write recovery (end of write burst → PRE).
+    pub t_wr: u64,
+    /// ACT → ACT different-bank delay.
+    pub t_rrd: u64,
+    /// Four-activate window.
+    pub t_faw: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+    /// Refresh cycle time (channel blocked).
+    pub t_rfc: u64,
+}
+
+/// Physical location of a block within a DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrLoc {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+/// Block-interleaved address mapping.
+///
+/// Consecutive 64-byte blocks rotate across channels first (so a 4 KiB
+/// page copy spreads over every channel), then fill a row's worth of
+/// columns in one bank before moving to the next bank, then the next
+/// row. This keeps sequential page traffic row-friendly — the property
+/// the paper's fill traffic relies on — while random block traffic
+/// spreads over banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrMap {
+    channels: usize,
+    banks: usize,
+    blocks_per_row: u64,
+}
+
+impl AddrMap {
+    /// Build a mapping for `channels`×`banks` geometry with
+    /// `row_bytes`-sized row buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `row_bytes < 64`.
+    pub fn new(channels: usize, banks: usize, row_bytes: u64) -> Self {
+        assert!(channels > 0 && banks > 0, "geometry must be non-zero");
+        assert!(row_bytes >= 64, "row must hold at least one block");
+        AddrMap {
+            channels,
+            banks,
+            blocks_per_row: row_bytes / 64,
+        }
+    }
+
+    /// Decode a byte address into channel/bank/row.
+    #[inline]
+    pub fn decode(&self, addr: u64) -> AddrLoc {
+        let block = addr >> 6;
+        let channel = (block % self.channels as u64) as usize;
+        let in_channel = block / self.channels as u64;
+        let row_major = in_channel / self.blocks_per_row;
+        let bank = (row_major % self.banks as u64) as usize;
+        let row = row_major / self.banks as u64;
+        AddrLoc { channel, bank, row }
+    }
+}
+
+/// Full configuration of one DRAM device (one HBM stack or one DDR4
+/// memory system).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Per-channel command-queue depth.
+    pub queue_depth: usize,
+    /// Command timing in device cycles.
+    pub timing: TimingParams,
+    /// CPU cycles per device cycle, as a rational `num/den`
+    /// (e.g. 16/5 = 3.2 CPU cycles per device cycle for a 1 GHz device
+    /// under a 3.2 GHz CPU).
+    pub cpu_per_dev_num: u64,
+    /// Denominator of the clock ratio.
+    pub cpu_per_dev_den: u64,
+    /// Device clock in GHz (for bandwidth reporting only).
+    pub device_clock_ghz: f64,
+}
+
+impl DramConfig {
+    /// On-package HBM preset: 4 channels × 16 banks, 2 KiB rows,
+    /// 1 GHz device clock, 64 B per 2-cycle burst → 128 GB/s peak.
+    ///
+    /// This stands in for the paper's JEDEC HBM on-package DRAM: ~5× the
+    /// off-package bandwidth, matching the on/off-package ratio the
+    /// paper's classification (Table I) presumes.
+    pub fn hbm() -> Self {
+        DramConfig {
+            name: "HBM".to_string(),
+            channels: 4,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            queue_depth: 64,
+            timing: TimingParams {
+                t_rcd: 14,
+                t_cl: 14,
+                t_cwl: 7,
+                t_rp: 14,
+                t_ras: 34,
+                t_burst: 2,
+                t_ccd: 2,
+                t_rtp: 5,
+                t_wr: 16,
+                t_rrd: 4,
+                t_faw: 16,
+                t_refi: 3900,
+                t_rfc: 260,
+            },
+            // 3.2 GHz CPU / 1.0 GHz device = 16/5 CPU cycles per device cycle.
+            cpu_per_dev_num: 16,
+            cpu_per_dev_den: 5,
+            device_clock_ghz: 1.0,
+        }
+    }
+
+    /// Off-package DDR4 preset: one channel of DDR4-3200 × 16 banks,
+    /// 8 KiB rows, 64 B per 4-cycle burst → 25.6 GB/s peak.
+    ///
+    /// 25.6 GB/s is the "available off-package bandwidth" implied by the
+    /// paper's RMHB classes: *Tight* workloads (23–27 GB/s) consume
+    /// nearly all of it, *Excess* workloads exceed it. A single channel
+    /// (vs. the HBM's four) concentrates queueing the way a commodity
+    /// off-package memory system does.
+    pub fn ddr4_2ch() -> Self {
+        DramConfig {
+            name: "DDR4".to_string(),
+            channels: 1,
+            banks_per_channel: 16,
+            row_bytes: 8192,
+            queue_depth: 64,
+            timing: TimingParams {
+                t_rcd: 22,
+                t_cl: 22,
+                t_cwl: 16,
+                t_rp: 22,
+                t_ras: 52,
+                t_burst: 4,
+                t_ccd: 6,
+                t_rtp: 12,
+                t_wr: 24,
+                t_rrd: 8,
+                t_faw: 34,
+                t_refi: 12480,
+                t_rfc: 560,
+            },
+            // 3.2 GHz CPU / 1.6 GHz device = 2 CPU cycles per device cycle.
+            cpu_per_dev_num: 2,
+            cpu_per_dev_den: 1,
+            device_clock_ghz: 1.6,
+        }
+    }
+
+    /// Address mapping derived from the geometry.
+    pub fn addr_map(&self) -> AddrMap {
+        AddrMap::new(self.channels, self.banks_per_channel, self.row_bytes)
+    }
+
+    /// Theoretical peak data bandwidth in GB/s: one 64-byte burst per
+    /// `t_burst` device cycles per channel.
+    pub fn peak_gbps(&self) -> f64 {
+        self.channels as f64 * 64.0 * self.device_clock_ghz / self.timing.t_burst as f64
+    }
+
+    /// Idle (unloaded) read latency in device cycles: ACT + CAS + burst.
+    pub fn idle_read_latency_dev(&self) -> u64 {
+        self.timing.t_rcd + self.timing.t_cl + self.timing.t_burst
+    }
+
+    /// Convert device cycles to CPU cycles (rounded up).
+    pub fn dev_to_cpu(&self, dev_cycles: u64) -> u64 {
+        (dev_cycles * self.cpu_per_dev_num).div_ceil(self.cpu_per_dev_den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hbm_peak_bandwidth() {
+        let c = DramConfig::hbm();
+        assert!((c.peak_gbps() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddr4_peak_bandwidth() {
+        let c = DramConfig::ddr4_2ch();
+        assert!((c.peak_gbps() - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_to_off_package_ratio_is_five() {
+        let ratio = DramConfig::hbm().peak_gbps() / DramConfig::ddr4_2ch().peak_gbps();
+        assert!((ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addr_map_interleaves_blocks_across_channels() {
+        let m = AddrMap::new(4, 16, 2048);
+        for blk in 0..8u64 {
+            assert_eq!(m.decode(blk * 64).channel, (blk % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn addr_map_page_fills_one_row_per_channel() {
+        // A 4 KiB page = 64 blocks over 4 channels = 16 blocks per
+        // channel; with 2 KiB rows (32 blocks) they all land in one row.
+        let m = AddrMap::new(4, 16, 2048);
+        for ch in 0..4 {
+            let rows: std::collections::HashSet<_> = (0..64u64)
+                .map(|b| m.decode(b * 64))
+                .filter(|l| l.channel == ch)
+                .map(|l| (l.bank, l.row))
+                .collect();
+            assert_eq!(rows.len(), 1, "page should stay in one row per channel");
+        }
+    }
+
+    #[test]
+    fn dev_to_cpu_rounds_up() {
+        let c = DramConfig::hbm(); // 16/5
+        assert_eq!(c.dev_to_cpu(5), 16);
+        assert_eq!(c.dev_to_cpu(1), 4); // ceil(16/5) = 4
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn zero_channels_rejected() {
+        let _ = AddrMap::new(0, 16, 2048);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_within_bounds(addr in 0u64..(1 << 40)) {
+            let m = AddrMap::new(4, 16, 2048);
+            let loc = m.decode(addr);
+            prop_assert!(loc.channel < 4);
+            prop_assert!(loc.bank < 16);
+        }
+
+        #[test]
+        fn prop_same_block_same_loc(addr in 0u64..(1 << 40), off in 0u64..64) {
+            let m = AddrMap::new(2, 16, 8192);
+            let base = addr & !63;
+            prop_assert_eq!(m.decode(base), m.decode(base + off));
+        }
+    }
+}

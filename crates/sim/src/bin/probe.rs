@@ -1,0 +1,29 @@
+//! Scratch calibration probe (not part of the published experiments).
+use nomad_sim::{runner, SchemeSpec, SystemConfig};
+use nomad_trace::WorkloadProfile;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let instr: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let cores: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cfg = SystemConfig::scaled(cores);
+    let workloads: Vec<String> = args.get(3).map(|s| s.split(',').map(String::from).collect())
+        .unwrap_or_else(|| vec!["cact".into(), "libq".into(), "mcf".into(), "pr".into()]);
+    println!("{:<6} {:>9} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>7}",
+        "wl", "scheme", "ipc", "dcacc", "taglat", "osstall", "rmhb", "mpms", "hbmGBs", "ddrGBs", "hbmlat", "ddrlat", "l3miss", "secs");
+    for w in &workloads {
+        let p = WorkloadProfile::by_name(w).unwrap();
+        for spec in SchemeSpec::fig9_set() {
+            let t0 = Instant::now();
+            let r = runner::run_one(&cfg, &spec, &p, instr, instr / 5, 42);
+            println!("{:<6} {:>9} {:>7.3} {:>8.1} {:>8.0} {:>7.1}% {:>8.2} {:>8.1} {:>8.1} {:>7.1} {:>8.1} {:>8.1} {:>6.1}% {:>7.2}",
+                w, r.scheme, r.ipc(), r.dc_access_time(), r.tag_mgmt_latency(),
+                100.0*r.os_stall_ratio(), r.rmhb_gbps(), r.llc_mpms(),
+                r.hbm.total_gbps(), r.ddr.total_gbps(),
+                r.hbm.read_latency.mean(), r.ddr.read_latency.mean(),
+                100.0 * r.l3_misses as f64 / r.l3_accesses.max(1) as f64,
+                t0.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! System-level configuration (the simulator's Table II).
+
+use nomad_cache::{CacheLevelConfig, TlbConfig};
+use nomad_cpu::CoreConfig;
+use nomad_dram::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a whole simulated chip-multiprocessor system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of CPU cores (the paper uses 8, sweeping 2–8 in Fig. 13).
+    pub cores: usize,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Private L1D per core.
+    pub l1: CacheLevelConfig,
+    /// Private L2 per core.
+    pub l2: CacheLevelConfig,
+    /// Shared L3.
+    pub l3: CacheLevelConfig,
+    /// Two-level TLBs + walker latency per core.
+    pub tlb: TlbConfig,
+    /// On-package DRAM device.
+    pub hbm: DramConfig,
+    /// Off-package DRAM device.
+    pub ddr: DramConfig,
+    /// DRAM-cache capacity in bytes.
+    pub dc_capacity: u64,
+    /// CPU clock in GHz.
+    pub clock_ghz: f64,
+    /// Workload-footprint scaling: pages generated per paper-reported
+    /// GB of footprint (4096 = 16 MiB per GB).
+    pub pages_per_gb: u64,
+    /// Concurrent page-table walks per core.
+    pub max_walks_per_core: usize,
+}
+
+impl SystemConfig {
+    /// The default experiment configuration: the paper's organization
+    /// scaled so a (scheme × workload) run completes in seconds.
+    ///
+    /// Scaling preserves the ratios the evaluation depends on: the
+    /// footprint-to-DC-capacity ratio (multi-GB footprints vs a 1 GB
+    /// cache become tens-to-hundreds of MB vs a 64 MiB cache), the
+    /// DC-to-LLC ratio, and the 5× on-/off-package bandwidth ratio.
+    pub fn scaled(cores: usize) -> Self {
+        SystemConfig {
+            cores,
+            core: CoreConfig::default(),
+            l1: CacheLevelConfig::l1d(),
+            l2: CacheLevelConfig::l2(),
+            l3: CacheLevelConfig::l3(1024 * 1024),
+            tlb: TlbConfig::default(),
+            hbm: DramConfig::hbm(),
+            ddr: DramConfig::ddr4_2ch(),
+            dc_capacity: 48 * 1024 * 1024,
+            clock_ghz: 3.2,
+            pages_per_gb: 4096,
+            max_walks_per_core: 8,
+        }
+    }
+
+    /// The paper's full-scale organization (Table II): 8 MiB L3, 1 GiB
+    /// DRAM cache, unscaled multi-GB footprints. Runs are long; use for
+    /// spot validation rather than the full sweep.
+    pub fn paper(cores: usize) -> Self {
+        SystemConfig {
+            l3: CacheLevelConfig::l3(8 * 1024 * 1024),
+            dc_capacity: 1024 * 1024 * 1024,
+            pages_per_gb: 262_144, // true 4 KiB pages per GB
+            ..Self::scaled(cores)
+        }
+    }
+
+    /// LLC reach in 4 KiB pages (sizes the workloads' revisit window).
+    pub fn l3_reach_pages(&self) -> u64 {
+        self.l3.size_bytes / nomad_types::PAGE_SIZE
+    }
+
+    /// DRAM-cache capacity in 4 KiB frames.
+    pub fn dc_frames(&self) -> u64 {
+        self.dc_capacity / nomad_types::PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_config_preserves_key_ratios() {
+        let c = SystemConfig::scaled(8);
+        assert_eq!(c.cores, 8);
+        // DC is 32× the LLC (paper: 1 GiB vs 8 MiB = 128×; both ≫ 1).
+        assert!(c.dc_capacity / c.l3.size_bytes >= 16);
+        // On/off-package bandwidth ratio 5×.
+        let ratio = c.hbm.peak_gbps() / c.ddr.peak_gbps();
+        assert!((ratio - 5.0).abs() < 0.01);
+        // A scaled cact footprint exceeds the DC capacity, preserving
+        // the streaming-pressure property.
+        let cact_pages = (11.9 * c.pages_per_gb as f64) as u64;
+        assert!(cact_pages > c.dc_frames());
+    }
+
+    #[test]
+    fn paper_config_uses_true_page_scaling() {
+        let c = SystemConfig::paper(8);
+        assert_eq!(c.pages_per_gb, 262_144);
+        assert_eq!(c.dc_capacity, 1 << 30);
+    }
+}

@@ -1,0 +1,208 @@
+//! [`RunReport`]: every metric the paper's evaluation section reports,
+//! snapshotted from one simulation run.
+
+use nomad_cache::CacheLevel;
+use nomad_cpu::{Core, CoreStats};
+use nomad_dcache::SchemeStats;
+use nomad_dram::DramStats;
+use nomad_types::stats::ratio;
+use nomad_types::TrafficClass;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one (scheme × workload) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload name (Table I abbreviation).
+    pub workload: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// CPU clock in GHz.
+    pub clock_ghz: f64,
+    /// Measured cycles (after warm-up).
+    pub cycles: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// LLC accesses in the measured window.
+    pub l3_accesses: u64,
+    /// LLC misses (primary + secondary) in the measured window.
+    pub l3_misses: u64,
+    /// DRAM-cache scheme counters.
+    pub scheme_stats: SchemeStats,
+    /// On-package DRAM statistics.
+    pub hbm: DramStats,
+    /// Off-package DRAM statistics.
+    pub ddr: DramStats,
+}
+
+impl RunReport {
+    /// Collect a report from live components.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collect(
+        workload: &str,
+        scheme: &str,
+        clock_ghz: f64,
+        cycles: u64,
+        cores: &[Core],
+        l3: &CacheLevel,
+        scheme_stats: &SchemeStats,
+        hbm: &DramStats,
+        ddr: &DramStats,
+    ) -> Self {
+        RunReport {
+            workload: workload.to_string(),
+            scheme: scheme.to_string(),
+            clock_ghz,
+            cycles,
+            cores: cores.iter().map(|c| c.stats().clone()).collect(),
+            l3_accesses: l3.stats().accesses.get(),
+            l3_misses: l3.stats().primary_misses.get() + l3.stats().secondary_misses.get(),
+            scheme_stats: scheme_stats.clone(),
+            hbm: hbm.clone(),
+            ddr: ddr.clone(),
+        }
+    }
+
+    /// Total committed instructions.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions.get()).sum()
+    }
+
+    /// Aggregate IPC: total instructions over cycles, normalized per
+    /// core (matches the paper's per-core IPC averaging under
+    /// rate-mode workloads).
+    pub fn ipc(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        let per_core: f64 = self.cores.iter().map(CoreStats::ipc).sum();
+        per_core / self.cores.len() as f64
+    }
+
+    /// Mean DC access time at the controller in CPU cycles (Fig. 9's
+    /// secondary axis).
+    pub fn dc_access_time(&self) -> f64 {
+        self.scheme_stats.dc_access_time.mean()
+    }
+
+    /// Mean tag-management latency in cycles (Fig. 11/14/15/16).
+    pub fn tag_mgmt_latency(&self) -> f64 {
+        self.scheme_stats.tag_mgmt_latency.mean()
+    }
+
+    /// Fraction of cycles stalled in OS routines, averaged over cores
+    /// (Fig. 11/14's "application stall cycle ratio").
+    pub fn os_stall_ratio(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(CoreStats::os_stall_ratio).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Fraction of cycles stalled on memory (non-OS), averaged over
+    /// cores.
+    pub fn mem_stall_ratio(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores
+            .iter()
+            .map(|c| ratio(c.stall_mem.get(), c.cycles.get()))
+            .sum::<f64>()
+            / self.cores.len() as f64
+    }
+
+    /// LLC misses per microsecond (Table I's MPMS).
+    pub fn llc_mpms(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let us = self.cycles as f64 / (self.clock_ghz * 1000.0);
+        self.l3_misses as f64 / us
+    }
+
+    /// Required miss-handling bandwidth in GB/s (Table I's RMHB):
+    /// page-fetch bytes implied by DC tag misses over the measured
+    /// window.
+    pub fn rmhb_gbps(&self) -> f64 {
+        self.scheme_stats.rmhb_gbps(self.cycles, self.clock_ghz)
+    }
+
+    /// On-package bandwidth attributed to `class`, in GB/s (Fig. 10).
+    pub fn hbm_class_gbps(&self, class: TrafficClass) -> f64 {
+        self.hbm.class_gbps(class)
+    }
+
+    /// Total off-package bandwidth in GB/s (Fig. 12's secondary axis).
+    pub fn ddr_total_gbps(&self) -> f64 {
+        self.ddr.total_gbps()
+    }
+
+    /// On-package row-buffer hit rate (Fig. 10's markers).
+    pub fn hbm_row_hit_rate(&self) -> f64 {
+        self.hbm.row_hit_rate()
+    }
+
+    /// Fraction of data misses served from page copy buffers (the
+    /// paper reports 91.6% for NOMAD).
+    pub fn buffer_hit_rate(&self) -> f64 {
+        self.scheme_stats.buffer_hit_rate()
+    }
+
+    /// Serialize to a JSON string (for EXPERIMENTS.md artifacts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (all fields are plain data, so it
+    /// cannot).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report() -> RunReport {
+        let mut core = CoreStats::default();
+        core.cycles.add(1000);
+        core.instructions.add(800);
+        core.stall_os_tag.add(100);
+        core.stall_mem.add(50);
+        let mut scheme_stats = SchemeStats::default();
+        scheme_stats.tag_misses.add(10);
+        RunReport {
+            workload: "test".into(),
+            scheme: "NOMAD".into(),
+            clock_ghz: 3.2,
+            cycles: 1000,
+            cores: vec![core.clone(), core],
+            l3_accesses: 500,
+            l3_misses: 320,
+            scheme_stats,
+            hbm: DramStats::new(&nomad_dram::DramConfig::hbm()),
+            ddr: DramStats::new(&nomad_dram::DramConfig::ddr4_2ch()),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = synthetic_report();
+        assert!((r.ipc() - 0.8).abs() < 1e-12);
+        assert!((r.os_stall_ratio() - 0.1).abs() < 1e-12);
+        assert!((r.mem_stall_ratio() - 0.05).abs() < 1e-12);
+        assert_eq!(r.instructions(), 1600);
+        // 1000 cycles at 3.2 GHz = 0.3125 µs → 320 misses = 1024 MPMS.
+        assert!((r.llc_mpms() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = synthetic_report();
+        let s = r.to_json();
+        let back: RunReport = serde_json::from_str(&s).expect("round trip");
+        assert_eq!(back.workload, "test");
+        assert_eq!(back.cycles, 1000);
+        assert_eq!(back.cores.len(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment runner: build, warm up, measure, report — with parallel
+//! sweeps for the figure/table harnesses.
+
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+use crate::spec::SchemeSpec;
+use crate::system::System;
+use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+
+/// Run one (scheme × workload) experiment: warm up for
+/// `warmup_instructions` per core, then measure
+/// `instructions_per_core`.
+pub fn run_one(
+    cfg: &SystemConfig,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+) -> RunReport {
+    let scheme = spec.build(cfg);
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| {
+            Box::new(SyntheticTrace::with_scale(
+                profile,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                cfg.pages_per_gb,
+                cfg.l3_reach_pages(),
+            )) as Box<dyn TraceSource>
+        })
+        .collect();
+    let mut sys = System::new(cfg.clone(), scheme, traces);
+    sys.prewarm();
+    if warmup_instructions > 0 {
+        sys.warm_up(warmup_instructions);
+    }
+    sys.run(instructions_per_core);
+    sys.report(&profile.name)
+}
+
+/// Run one experiment with an explicitly constructed scheme (for
+/// ablations that need configuration knobs [`crate::SchemeSpec`] does
+/// not expose).
+pub fn run_custom(
+    cfg: &SystemConfig,
+    scheme: Box<dyn nomad_dcache::DcScheme>,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+) -> RunReport {
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| {
+            Box::new(SyntheticTrace::with_scale(
+                profile,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                cfg.pages_per_gb,
+                cfg.l3_reach_pages(),
+            )) as Box<dyn TraceSource>
+        })
+        .collect();
+    let mut sys = System::new(cfg.clone(), scheme, traces);
+    sys.prewarm();
+    if warmup_instructions > 0 {
+        sys.warm_up(warmup_instructions);
+    }
+    sys.run(instructions_per_core);
+    sys.report(&profile.name)
+}
+
+/// One experiment cell for [`run_grid`].
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Scheme to run.
+    pub spec: SchemeSpec,
+    /// Workload to run.
+    pub profile: WorkloadProfile,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Run a grid of experiment cells across OS threads, preserving input
+/// order in the output.
+pub fn run_grid(cells: Vec<Cell>) -> Vec<RunReport> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+    let cells: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(cells);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                let Some((idx, cell)) = item else { break };
+                let report = run_one(
+                    &cell.cfg,
+                    &cell.spec,
+                    &cell.profile,
+                    cell.instructions,
+                    cell.warmup,
+                    cell.seed,
+                );
+                results.lock().expect("results lock").push((idx, report));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("threads joined");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal smoke configuration: small caches, tiny run.
+    fn smoke_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::scaled(1);
+        cfg.dc_capacity = 4 * 1024 * 1024;
+        cfg
+    }
+
+    #[test]
+    fn baseline_smoke_run_commits_instructions() {
+        let r = run_one(
+            &smoke_cfg(),
+            &SchemeSpec::Baseline,
+            &WorkloadProfile::tc(),
+            20_000,
+            2_000,
+            1,
+        );
+        assert!(r.instructions() >= 20_000);
+        assert!(r.ipc() > 0.0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn grid_preserves_order() {
+        let cfg = smoke_cfg();
+        let cells: Vec<Cell> = [SchemeSpec::Baseline, SchemeSpec::Ideal]
+            .into_iter()
+            .map(|spec| Cell {
+                cfg: cfg.clone(),
+                spec,
+                profile: WorkloadProfile::tc(),
+                instructions: 5_000,
+                warmup: 500,
+                seed: 3,
+            })
+            .collect();
+        let reports = run_grid(cells);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].scheme, "Baseline");
+        assert_eq!(reports[1].scheme, "Ideal");
+    }
+}

@@ -1,0 +1,155 @@
+//! Scheme selection for experiments.
+
+use crate::config::SystemConfig;
+use nomad_core::{CachingPolicy, NomadConfig, NomadScheme};
+use nomad_dcache::{Baseline, DcScheme, Ideal, Tid, TidConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which DRAM-cache scheme a run uses — the five bars of Fig. 9 plus
+/// parameterized variants for the sensitivity studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeSpec {
+    /// Off-package memory only (lower bound).
+    Baseline,
+    /// HW-based tags-in-DRAM (Unison-style).
+    Tid,
+    /// TiD with an explicit configuration.
+    TidWith(TidSpec),
+    /// Blocking OS-managed scheme (state of the art before NOMAD).
+    Tdc,
+    /// The paper's contribution, default configuration.
+    Nomad,
+    /// NOMAD with explicit PCSHR/buffer/back-end parameters.
+    NomadWith(NomadSpec),
+    /// Zero-cost OS-managed cache (upper bound; Table I measurement).
+    Ideal,
+}
+
+/// Parameterization of a NOMAD/TDC variant (capacity comes from the
+/// [`SystemConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NomadSpec {
+    /// PCSHRs per back-end.
+    pub pcshrs: usize,
+    /// Page copy buffers per back-end (`None` = coupled).
+    pub buffers: Option<usize>,
+    /// Back-end count (1 = centralized).
+    pub backends: usize,
+    /// Critical-data-first enabled.
+    pub critical_data_first: bool,
+    /// Admit pages only on their second touch (selective caching).
+    pub second_touch_policy: bool,
+}
+
+impl Default for NomadSpec {
+    fn default() -> Self {
+        NomadSpec {
+            pcshrs: 16,
+            buffers: None,
+            backends: 1,
+            critical_data_first: true,
+            second_touch_policy: false,
+        }
+    }
+}
+
+/// Parameterization of a TiD variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TidSpec {
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// MSHR count.
+    pub mshrs: usize,
+}
+
+impl Default for TidSpec {
+    fn default() -> Self {
+        TidSpec {
+            line_bytes: 1024,
+            assoc: 4,
+            mshrs: 16,
+        }
+    }
+}
+
+impl SchemeSpec {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeSpec::Baseline => "Baseline",
+            SchemeSpec::Tid | SchemeSpec::TidWith(_) => "TiD",
+            SchemeSpec::Tdc => "TDC",
+            SchemeSpec::Nomad | SchemeSpec::NomadWith(_) => "NOMAD",
+            SchemeSpec::Ideal => "Ideal",
+        }
+    }
+
+    /// Instantiate the scheme for `cfg`.
+    pub fn build(&self, cfg: &SystemConfig) -> Box<dyn DcScheme> {
+        match self {
+            SchemeSpec::Baseline => Box::new(Baseline::new()),
+            SchemeSpec::Ideal => Box::new(Ideal::new(cfg.dc_capacity)),
+            SchemeSpec::Tid => Box::new(Tid::new(TidConfig::paper(cfg.dc_capacity))),
+            SchemeSpec::TidWith(t) => Box::new(Tid::new(TidConfig {
+                line_bytes: t.line_bytes,
+                assoc: t.assoc,
+                mshrs: t.mshrs,
+                ..TidConfig::paper(cfg.dc_capacity)
+            })),
+            SchemeSpec::Tdc => Box::new(NomadScheme::tdc(cfg.dc_capacity, cfg.cores)),
+            SchemeSpec::Nomad => Box::new(NomadScheme::nomad(cfg.dc_capacity)),
+            SchemeSpec::NomadWith(n) => {
+                let mut c = NomadConfig::nomad(cfg.dc_capacity);
+                c.pcshrs = n.pcshrs;
+                c.buffers = n.buffers;
+                c.backends = n.backends;
+                c.critical_data_first = n.critical_data_first;
+                if n.second_touch_policy {
+                    c.policy = CachingPolicy::SecondTouch;
+                }
+                Box::new(NomadScheme::new(c))
+            }
+        }
+    }
+
+    /// The five Fig. 9 schemes, in plot order.
+    pub fn fig9_set() -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec::Baseline,
+            SchemeSpec::Tid,
+            SchemeSpec::Tdc,
+            SchemeSpec::Nomad,
+            SchemeSpec::Ideal,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_builds() {
+        let cfg = SystemConfig::scaled(2);
+        for spec in SchemeSpec::fig9_set() {
+            let scheme = spec.build(&cfg);
+            assert_eq!(scheme.name(), spec.label());
+        }
+    }
+
+    #[test]
+    fn parameterized_nomad_builds() {
+        let cfg = SystemConfig::scaled(2);
+        let spec = SchemeSpec::NomadWith(NomadSpec {
+            pcshrs: 4,
+            buffers: Some(2),
+            backends: 4,
+            critical_data_first: false,
+            ..NomadSpec::default()
+        });
+        assert_eq!(spec.build(&cfg).name(), "NOMAD");
+        assert_eq!(spec.label(), "NOMAD");
+    }
+}

@@ -1,0 +1,531 @@
+//! The [`System`]: cores, TLBs, SRAM caches, DRAM-cache scheme and
+//! DRAM devices wired into one cycle-level simulation.
+
+use crate::config::SystemConfig;
+use crate::report::RunReport;
+use nomad_cache::{CacheLevel, TlbHierarchy, TlbLookup};
+use nomad_cpu::{Core, PendingMemOp};
+use nomad_dcache::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents};
+use nomad_dram::Dram;
+use nomad_trace::TraceSource;
+use nomad_types::{
+    AccessKind, BlockAddr, CoreId, Cycle, MemReq, MemTarget, ReqId, TrafficClass, VirtAddr,
+};
+
+/// Per-core address-space namespacing: each core runs its own copy of
+/// the benchmark in a disjoint virtual range (the paper's rate-mode
+/// setup).
+fn namespaced(vaddr: VirtAddr, core: CoreId) -> VirtAddr {
+    VirtAddr(vaddr.raw() | ((core as u64) << 44))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Walk {
+    op: PendingMemOp,
+    ready_at: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IssueEntry {
+    at: Cycle,
+    op: PendingMemOp,
+    addr: BlockAddr,
+    target: MemTarget,
+}
+
+/// Hierarchy-wide flush view handed to the scheme (Algorithm 2's
+/// `flush_cache_range`).
+struct HierFlush<'a> {
+    l1s: &'a mut [CacheLevel],
+    l2s: &'a mut [CacheLevel],
+    l3: &'a mut CacheLevel,
+}
+
+impl CacheFlush for HierFlush<'_> {
+    fn flush_dc_page(&mut self, page: u64) -> (usize, usize) {
+        let mut lines = 0;
+        let mut dirty = 0;
+        for c in self.l1s.iter_mut().chain(self.l2s.iter_mut()) {
+            let (l, d) = c.invalidate_dc_page(page);
+            lines += l;
+            dirty += d;
+        }
+        let (l, d) = self.l3.invalidate_dc_page(page);
+        (lines + l, dirty + d)
+    }
+}
+
+/// A complete simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    tlbs: Vec<TlbHierarchy>,
+    l1s: Vec<CacheLevel>,
+    l2s: Vec<CacheLevel>,
+    l3: CacheLevel,
+    scheme: Box<dyn DcScheme>,
+    hbm: Dram,
+    ddr: Dram,
+    cycle: Cycle,
+    /// Page-table walks in flight, per core.
+    walking: Vec<Vec<Walk>>,
+    /// Memory ops whose walk blocked on an OS routine, per core.
+    blocked: Vec<Vec<PendingMemOp>>,
+    /// Translated ops awaiting L1 injection, per core.
+    issue_q: Vec<Vec<IssueEntry>>,
+    ev: SchemeEvents,
+    /// Cycles measured since the last stats reset.
+    measured_cycles: Cycle,
+}
+
+impl core::fmt::Debug for System {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("System")
+            .field("scheme", &self.scheme.name())
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Assemble a system running `scheme` with one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != cfg.cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        scheme: Box<dyn DcScheme>,
+        traces: Vec<Box<dyn TraceSource>>,
+    ) -> Self {
+        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        let cores: Vec<Core> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(i, cfg.core, t))
+            .collect();
+        System {
+            tlbs: (0..cfg.cores).map(|_| TlbHierarchy::new(cfg.tlb)).collect(),
+            l1s: (0..cfg.cores).map(|_| CacheLevel::new(cfg.l1.clone())).collect(),
+            l2s: (0..cfg.cores).map(|_| CacheLevel::new(cfg.l2.clone())).collect(),
+            l3: CacheLevel::new(cfg.l3.clone()),
+            scheme,
+            hbm: Dram::new(cfg.hbm.clone()),
+            ddr: Dram::new(cfg.ddr.clone()),
+            cycle: 0,
+            walking: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            blocked: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            issue_q: (0..cfg.cores).map(|_| Vec::new()).collect(),
+            ev: SchemeEvents::default(),
+            measured_cycles: 0,
+            cores,
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Cycles since the last stats reset.
+    pub fn measured_cycles(&self) -> Cycle {
+        self.measured_cycles
+    }
+
+    /// The system configuration.
+    pub fn cfg(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The active scheme (for stats).
+    pub fn scheme(&self) -> &dyn DcScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Total instructions committed across all cores.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions.get()).sum()
+    }
+
+    /// Minimum per-core committed instructions (run-completion metric).
+    pub fn min_core_instructions(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.stats().instructions.get())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Checkpoint warming: start the DRAM cache the way a long-running
+    /// system would have left it. First, *aged* pages (old streamed
+    /// history, partially dirty) fill the frames the live sets will
+    /// not use — they sit at the FIFO tail and are reclaimed first, so
+    /// eviction and writeback behaviour is in steady state from the
+    /// first measured cycle. Then every trace's resident set installs
+    /// on top, round-robin across cores. Mirrors the paper's
+    /// atomic-CPU fast-forward. Call once, before [`System::run`].
+    pub fn prewarm(&mut self) {
+        let per_core: Vec<Vec<nomad_types::Vpn>> = self
+            .cores
+            .iter()
+            .map(|c| c.trace().resident_pages())
+            .collect();
+        let resident_total: usize = per_core.iter().map(Vec::len).sum();
+        if let Some(free) = self.scheme.free_frames() {
+            // A steady-state system's eviction daemon keeps a
+            // threshold's worth of frames free; leave that slack.
+            let slack = (free as usize) / 16;
+            let spare = (free as usize)
+                .saturating_sub(resident_total)
+                .saturating_sub(slack);
+            if spare > 0 && !self.cores.is_empty() {
+                let per = spare.div_ceil(self.cores.len());
+                let aged: Vec<Vec<(nomad_types::Vpn, bool)>> = self
+                    .cores
+                    .iter()
+                    .map(|c| c.trace().aged_pages(per))
+                    .collect();
+                let longest = aged.iter().map(Vec::len).max().unwrap_or(0);
+                let mut budget = spare;
+                'outer: for i in 0..longest {
+                    for (c, pages) in aged.iter().enumerate() {
+                        if let Some(&(vpn, dirty)) = pages.get(i) {
+                            if budget == 0 {
+                                break 'outer;
+                            }
+                            budget -= 1;
+                            let va = namespaced(vpn.base(), c);
+                            self.scheme.prewarm(c, va.frame(), dirty);
+                        }
+                    }
+                }
+            }
+        }
+        let longest = per_core.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for (c, pages) in per_core.iter().enumerate() {
+                if let Some(vpn) = pages.get(i) {
+                    let va = namespaced(vpn.base(), c);
+                    self.scheme.prewarm(c, va.frame(), false);
+                }
+            }
+        }
+    }
+
+    /// Advance the whole system by one CPU cycle.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+
+        // 1. Cores: commit + fetch/dispatch.
+        for core in &mut self.cores {
+            core.tick(now);
+        }
+
+        // 2. Translation: finish ready walks, start new ones.
+        self.process_walks(now);
+        self.drain_dispatch(now);
+
+        // 3. Inject translated ops into L1s.
+        self.inject_issues(now);
+
+        // 4. SRAM hierarchy.
+        self.tick_caches(now);
+
+        // 5. Scheme + DRAM devices.
+        self.ev.clear();
+        {
+            let mut flush = HierFlush {
+                l1s: &mut self.l1s,
+                l2s: &mut self.l2s,
+                l3: &mut self.l3,
+            };
+            self.scheme
+                .tick(now, &mut self.hbm, &mut self.ddr, &mut flush, &mut self.ev);
+        }
+        for resp in self.ev.responses.drain(..) {
+            self.l3.push_resp(resp);
+        }
+        // Forced TLB shootdowns (tiny-cache fallback path).
+        let shootdowns: Vec<_> = self.ev.shootdowns.drain(..).collect();
+        for vpn in shootdowns {
+            for c in 0..self.cores.len() {
+                if self.tlbs[c].invalidate(vpn) {
+                    for d in self.tlbs[c].take_departures() {
+                        self.scheme.tlb_departed(c, d.vpn);
+                    }
+                }
+            }
+        }
+        let mut rewalk: Vec<CoreId> = Vec::new();
+        for core_id in self.ev.wakes.drain(..) {
+            self.cores[core_id].wake_os();
+            rewalk.push(core_id);
+        }
+        for core_id in rewalk {
+            // Blocked translations retry the walk next cycle.
+            let ops = std::mem::take(&mut self.blocked[core_id]);
+            for op in ops {
+                self.walking[core_id].push(Walk {
+                    op,
+                    ready_at: now + 1,
+                });
+            }
+        }
+
+        self.cycle += 1;
+        self.measured_cycles += 1;
+    }
+
+    fn process_walks(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            let mut i = 0;
+            while i < self.walking[c].len() {
+                if self.walking[c][i].ready_at > now {
+                    i += 1;
+                    continue;
+                }
+                let walk = self.walking[c].swap_remove(i);
+                let vaddr = namespaced(walk.op.vaddr, c);
+                let vpn = vaddr.frame();
+                match self
+                    .scheme
+                    .walk(c, vpn, vaddr.sub_block(), walk.op.kind, now)
+                {
+                    nomad_dcache::WalkOutcome::Ready { entry } => {
+                        self.tlbs[c].insert(entry);
+                        self.scheme.tlb_inserted(c, vpn);
+                        for d in self.tlbs[c].take_departures() {
+                            self.scheme.tlb_departed(c, d.vpn);
+                        }
+                        let (addr, target) = resolve(entry.frame, vaddr);
+                        self.issue_q[c].push(IssueEntry {
+                            at: now,
+                            op: walk.op,
+                            addr,
+                            target,
+                        });
+                    }
+                    nomad_dcache::WalkOutcome::Blocked { reason } => {
+                        self.cores[c].stall_os(Cycle::MAX, reason);
+                        self.blocked[c].push(walk.op);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_dispatch(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            loop {
+                let in_flight =
+                    self.walking[c].len() + self.blocked[c].len() + self.issue_q[c].len();
+                if in_flight >= self.cfg.max_walks_per_core + 8 {
+                    break;
+                }
+                let Some(op) = self.cores[c].pop_dispatch() else {
+                    break;
+                };
+                let vaddr = namespaced(op.vaddr, c);
+                let vpn = vaddr.frame();
+                match self.tlbs[c].lookup(vpn) {
+                    TlbLookup::Hit { entry, latency } => {
+                        let (addr, target) = resolve(entry.frame, vaddr);
+                        self.issue_q[c].push(IssueEntry {
+                            at: now + latency.saturating_sub(1),
+                            op,
+                            addr,
+                            target,
+                        });
+                    }
+                    TlbLookup::Miss { latency } => {
+                        if self.walking[c].len() >= self.cfg.max_walks_per_core {
+                            self.cores[c].push_back_dispatch(op);
+                            break;
+                        }
+                        self.walking[c].push(Walk {
+                            op,
+                            ready_at: now + latency + self.tlbs[c].walk_latency(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_issues(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            let mut i = 0;
+            while i < self.issue_q[c].len() {
+                let e = self.issue_q[c][i];
+                if e.at > now || !self.l1s[c].can_accept() {
+                    i += 1;
+                    continue;
+                }
+                self.issue_q[c].swap_remove(i);
+                let is_read = e.op.kind == AccessKind::Read;
+                self.l1s[c].push_req(
+                    MemReq {
+                        token: ReqId(e.op.slot),
+                        addr: e.addr,
+                        target: e.target,
+                        kind: e.op.kind,
+                        class: if is_read {
+                            TrafficClass::DemandRead
+                        } else {
+                            TrafficClass::DemandWrite
+                        },
+                        core: c,
+                        wants_response: is_read,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    fn tick_caches(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            self.l1s[c].tick(now);
+            // L1 → L2.
+            while self.l2s[c].can_accept() {
+                match self.l1s[c].pop_to_lower() {
+                    Some(req) => self.l2s[c].push_req(req, now),
+                    None => break,
+                }
+            }
+            self.l2s[c].tick(now);
+            // L2 → L3.
+            while self.l3.can_accept() {
+                if self.l2s[c].peek_to_lower().is_none() {
+                    break;
+                }
+                let req = self.l2s[c].pop_to_lower().expect("peeked");
+                self.l3.push_req(req, now);
+            }
+        }
+        self.l3.tick(now);
+        // L3 → scheme.
+        while self.scheme.can_accept() {
+            let Some(req) = self.l3.pop_to_lower() else { break };
+            self.scheme.access(
+                DcAccessReq {
+                    token: req.token,
+                    addr: req.addr,
+                    target: req.target,
+                    kind: req.kind,
+                    core: req.core,
+                    wants_response: req.wants_response,
+                },
+                now,
+            );
+        }
+        // Responses upward: L3 → L2 (by core) → L1 → core.
+        while let Some(resp) = self.l3.pop_to_upper(now) {
+            self.l2s[resp.core].push_resp(resp);
+        }
+        for c in 0..self.cores.len() {
+            while let Some(resp) = self.l2s[c].pop_to_upper(now) {
+                self.l1s[c].push_resp(resp);
+            }
+            while let Some(resp) = self.l1s[c].pop_to_upper(now) {
+                if resp.kind == AccessKind::Read {
+                    self.cores[c].mem_done(resp.token.0);
+                }
+            }
+        }
+    }
+
+    /// Run until every core has committed `instructions_per_core` more
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no core commits anything for 3 million cycles (a
+    /// deadlock in the modeled system).
+    pub fn run(&mut self, instructions_per_core: u64) {
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.stats().instructions.get() + instructions_per_core)
+            .collect();
+        let mut last_progress = self.cycle;
+        let mut last_total = self.total_instructions();
+        loop {
+            let done = self
+                .cores
+                .iter()
+                .zip(&targets)
+                .all(|(c, t)| c.stats().instructions.get() >= *t);
+            if done {
+                break;
+            }
+            self.tick();
+            let total = self.total_instructions();
+            if total != last_total {
+                last_total = total;
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > 3_000_000 {
+                panic!(
+                    "system deadlock: no commit for 3M cycles (scheme {}, cycle {})",
+                    self.scheme.name(),
+                    self.cycle
+                );
+            }
+        }
+    }
+
+    /// Run a warm-up phase then reset all statistics, mirroring the
+    /// paper's fast-forward-to-ROI protocol.
+    pub fn warm_up(&mut self, instructions_per_core: u64) {
+        self.run(instructions_per_core);
+        self.reset_stats();
+    }
+
+    /// Reset every statistic in the system (cores, caches, devices,
+    /// scheme); simulation state is preserved.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        for c in self.l1s.iter_mut().chain(self.l2s.iter_mut()) {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+        self.hbm.reset_stats();
+        self.ddr.reset_stats();
+        self.scheme.reset_stats();
+        self.measured_cycles = 0;
+    }
+
+    /// Snapshot a report of the measured window.
+    pub fn report(&self, workload: &str) -> RunReport {
+        RunReport::collect(
+            workload,
+            self.scheme.name(),
+            self.cfg.clock_ghz,
+            self.measured_cycles,
+            &self.cores,
+            &self.l3,
+            self.scheme.stats(),
+            self.hbm.stats(),
+            self.ddr.stats(),
+        )
+    }
+}
+
+/// Resolve a TLB frame mapping plus page offset into a device block
+/// address.
+fn resolve(frame: nomad_cache::FrameKind, vaddr: VirtAddr) -> (BlockAddr, MemTarget) {
+    match frame {
+        nomad_cache::FrameKind::Phys(pfn) => (
+            BlockAddr::containing(pfn.with_offset(vaddr.page_offset()).raw()),
+            MemTarget::OffPackage,
+        ),
+        nomad_cache::FrameKind::Cache(cfn) => (
+            BlockAddr::containing(cfn.with_offset(vaddr.page_offset()).raw()),
+            MemTarget::DramCache,
+        ),
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline trace analysis used by tests and the Table I harness.
+
+use crate::record::TraceSource;
+use nomad_types::PAGE_SHIFT;
+use std::collections::HashSet;
+
+/// Aggregate statistics over a finite trace prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Records consumed.
+    pub records: u64,
+    /// Total instructions (gaps + memory ops).
+    pub instructions: u64,
+    /// Sum of gaps.
+    pub total_gap: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Distinct pages touched.
+    pub unique_pages: u64,
+    /// Distinct 64-byte blocks touched.
+    pub unique_blocks: u64,
+}
+
+impl TraceSummary {
+    /// Consume `records` records from `source` and summarize them.
+    pub fn measure(source: &mut dyn TraceSource, records: u64) -> Self {
+        let mut pages = HashSet::new();
+        let mut blocks = HashSet::new();
+        let mut total_gap = 0u64;
+        let mut writes = 0u64;
+        for _ in 0..records {
+            let r = source.next_record();
+            total_gap += r.gap as u64;
+            if r.kind.is_write() {
+                writes += 1;
+            }
+            pages.insert(r.vaddr.raw() >> PAGE_SHIFT);
+            blocks.insert(r.vaddr.raw() >> 6);
+        }
+        TraceSummary {
+            records,
+            instructions: total_gap + records,
+            total_gap,
+            writes,
+            unique_pages: pages.len() as u64,
+            unique_blocks: blocks.len() as u64,
+        }
+    }
+
+    /// Footprint in bytes implied by the touched pages.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_pages * nomad_types::PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+    use nomad_types::{AccessKind, VirtAddr};
+
+    struct FixedTrace(Vec<TraceRecord>, usize);
+
+    impl TraceSource for FixedTrace {
+        fn next_record(&mut self) -> TraceRecord {
+            let r = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            r
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let recs = vec![
+            TraceRecord { gap: 2, kind: AccessKind::Read, vaddr: VirtAddr(0x1000) },
+            TraceRecord { gap: 3, kind: AccessKind::Write, vaddr: VirtAddr(0x1040) },
+            TraceRecord { gap: 0, kind: AccessKind::Read, vaddr: VirtAddr(0x2000) },
+        ];
+        let mut t = FixedTrace(recs, 0);
+        let s = TraceSummary::measure(&mut t, 3);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.instructions, 8);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.unique_pages, 2);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.footprint_bytes(), 8192);
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace capture and replay.
+//!
+//! The paper's methodology records benchmark regions of interest and
+//! replays them deterministically; this module gives the library the
+//! same capability. Traces serialize to a compact little-endian binary
+//! format (13 bytes per record plus a 16-byte header), so captured
+//! workloads can be stored, shared and replayed bit-identically.
+//!
+//! ```
+//! use nomad_trace::{FileTrace, SyntheticTrace, TraceSource, WorkloadProfile};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let dir = std::env::temp_dir().join("nomad_trace_doc");
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("mcf.trace");
+//!
+//! // Capture 10k records of a synthetic workload...
+//! let mut gen = SyntheticTrace::new(&WorkloadProfile::mcf(), 1);
+//! nomad_trace::capture(&path, "mcf", &mut gen, 10_000)?;
+//!
+//! // ...and replay them (looping at end-of-file).
+//! let mut replay = FileTrace::open(&path)?;
+//! let first = replay.next_record();
+//! assert_eq!(replay.name(), "mcf");
+//! # let _ = first;
+//! # std::fs::remove_file(&path)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::record::{TraceRecord, TraceSource};
+use nomad_types::{AccessKind, VirtAddr};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"NOMADTR1";
+const RECORD_BYTES: usize = 13;
+
+/// Capture `count` records from `source` into the file at `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn capture(
+    path: &Path,
+    name: &str,
+    source: &mut dyn TraceSource,
+    count: u64,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&count.to_le_bytes())?;
+    let name_bytes = name.as_bytes();
+    w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+    w.write_all(name_bytes)?;
+    for _ in 0..count {
+        let r = source.next_record();
+        w.write_all(&r.gap.to_le_bytes())?;
+        w.write_all(&[r.kind.is_write() as u8])?;
+        w.write_all(&r.vaddr.raw().to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// A trace replayed from a file, looping at end-of-data (sources are
+/// infinite).
+#[derive(Debug)]
+pub struct FileTrace {
+    name: String,
+    records: Vec<TraceRecord>,
+    cursor: usize,
+}
+
+impl FileTrace {
+    /// Open and fully load a captured trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for filesystem failures, or
+    /// `InvalidData` for a malformed or truncated file.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a NOMAD trace file"));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let count = u64::from_le_bytes(buf8);
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)?;
+        let name_len = u32::from_le_bytes(buf4) as usize;
+        if name_len > 4096 {
+            return Err(bad("unreasonable workload-name length"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| bad("name not UTF-8"))?;
+
+        let mut records = Vec::with_capacity(count as usize);
+        let mut rec = [0u8; RECORD_BYTES];
+        for _ in 0..count {
+            r.read_exact(&mut rec)?;
+            let gap = u32::from_le_bytes(rec[0..4].try_into().expect("slice sized"));
+            let kind = if rec[4] != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let vaddr = VirtAddr(u64::from_le_bytes(rec[5..13].try_into().expect("slice sized")));
+            records.push(TraceRecord { gap, kind, vaddr });
+        }
+        if records.is_empty() {
+            return Err(bad("trace holds no records"));
+        }
+        Ok(FileTrace {
+            name,
+            records,
+            cursor: 0,
+        })
+    }
+
+    /// Number of distinct records before the trace loops.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always `false`: empty traces fail to open.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn next_record(&mut self) -> TraceRecord {
+        let r = self.records[self.cursor];
+        self.cursor = (self.cursor + 1) % self.records.len();
+        r
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn resident_pages(&self) -> Vec<nomad_types::Vpn> {
+        // A replayed trace's "resident set" is every page it touches:
+        // the capture is assumed to come from a post-warm-up region of
+        // interest.
+        let mut pages: Vec<u64> = self
+            .records
+            .iter()
+            .map(|r| r.vaddr.raw() >> nomad_types::PAGE_SHIFT)
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.into_iter().map(nomad_types::Vpn).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SyntheticTrace, WorkloadProfile};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nomad_trace_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn capture_replay_round_trip() {
+        let path = tmp("roundtrip.trace");
+        let profile = WorkloadProfile::mcf();
+        let mut original = SyntheticTrace::new(&profile, 7);
+        let expected: Vec<TraceRecord> = (0..5000).map(|_| original.next_record()).collect();
+
+        let mut regen = SyntheticTrace::new(&profile, 7);
+        capture(&path, "mcf", &mut regen, 5000).expect("capture");
+
+        let mut replay = FileTrace::open(&path).expect("open");
+        assert_eq!(replay.name(), "mcf");
+        assert_eq!(replay.len(), 5000);
+        let got: Vec<TraceRecord> = (0..5000).map(|_| replay.next_record()).collect();
+        assert_eq!(got, expected, "bit-identical replay");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_loops_at_end() {
+        let path = tmp("loops.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::tc(), 3);
+        capture(&path, "tc", &mut gen, 10).expect("capture");
+        let mut replay = FileTrace::open(&path).expect("open");
+        let first: Vec<TraceRecord> = (0..10).map(|_| replay.next_record()).collect();
+        let second: Vec<TraceRecord> = (0..10).map(|_| replay.next_record()).collect();
+        assert_eq!(first, second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resident_pages_cover_all_touched_pages() {
+        let path = tmp("resident.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::bc(), 5);
+        capture(&path, "bc", &mut gen, 2000).expect("capture");
+        let replay = FileTrace::open(&path).expect("open");
+        let pages = replay.resident_pages();
+        assert!(!pages.is_empty());
+        // Sorted and deduplicated.
+        for w in pages.windows(2) {
+            assert!(w[0].raw() < w[1].raw());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = tmp("garbage.trace");
+        std::fs::write(&path, b"definitely not a trace").expect("write");
+        let err = FileTrace::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        let path = tmp("truncated.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::tc(), 3);
+        capture(&path, "tc", &mut gen, 100).expect("capture");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
+        assert!(FileTrace::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic workloads reproducing the paper's Table I benchmark
+//! characteristics.
+//!
+//! The paper evaluates 9 SPEC2006 and 6 GAPBS benchmarks, characterised
+//! entirely by four axes (Table I):
+//!
+//! * **RMHB** — required miss-handling bandwidth of the off-package
+//!   memory (GB/s of 4 KiB page fetches an ideal OS-managed DC would
+//!   perform), which defines the *Excess / Tight / Loose / Few* classes;
+//! * **LLC MPMS** — last-level-cache misses per microsecond (the demand
+//!   pressure on the DRAM cache, and hence on a HW-based scheme's
+//!   metadata bandwidth);
+//! * **memory footprint**;
+//! * qualitative **spatial locality** and **burstiness** (discussed per
+//!   benchmark in §IV-B).
+//!
+//! Since the actual SPEC/GAPBS binaries and their gem5 checkpoints are
+//! not reproducible here, each benchmark is replaced by a
+//! [`WorkloadProfile`] that regenerates exactly those axes: a streaming
+//! front of *new* pages (RMHB), revisits to a DC-resident-but-not-SRAM
+//! -resident window (the remainder of MPMS), a per-visit contiguous
+//! *run* of 64-byte blocks (spatial locality), an instruction gap
+//! between memory operations, and optional bursty phasing. See
+//! `DESIGN.md` §2 for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::cact();
+//! let mut trace = SyntheticTrace::new(&profile, 42);
+//! let rec = trace.next_record();
+//! assert!(rec.vaddr.raw() > 0 || rec.gap >= 0);
+//! ```
+
+mod analyze;
+mod file;
+mod gen;
+mod profile;
+mod record;
+
+pub use analyze::TraceSummary;
+pub use file::{capture, FileTrace};
+pub use gen::SyntheticTrace;
+pub use profile::{Burst, WorkloadClass, WorkloadProfile};
+pub use record::{TraceRecord, TraceSource};

@@ -1,0 +1,68 @@
+//! Trace records and the source abstraction.
+
+use nomad_types::{AccessKind, VirtAddr};
+
+/// One unit of a workload trace: `gap` non-memory instructions followed
+/// by a memory operation at `vaddr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Non-memory instructions executed before this access.
+    pub gap: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Virtual byte address accessed.
+    pub vaddr: VirtAddr,
+}
+
+impl TraceRecord {
+    /// Instructions represented by this record (the gap plus the memory
+    /// operation itself).
+    pub fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+/// An endless instruction/memory-reference stream feeding one core.
+///
+/// Sources are infinite: simulations run for a configured instruction
+/// budget, never to end-of-trace.
+pub trait TraceSource {
+    /// Produce the next record.
+    fn next_record(&mut self) -> TraceRecord;
+
+    /// Name of the workload (for reporting).
+    fn name(&self) -> &str;
+
+    /// Virtual pages that a long-running instance of this workload
+    /// would already have resident when the region of interest starts.
+    /// The system pre-warms the DRAM-cache scheme with them, mirroring
+    /// the paper's fast-forward-to-ROI protocol. Defaults to none.
+    fn resident_pages(&self) -> Vec<nomad_types::Vpn> {
+        Vec::new()
+    }
+
+    /// Up to `n` *aged* pages — history a long-running instance would
+    /// have left in the DRAM cache's FIFO behind the live resident
+    /// set, each with its dirty state. The system uses them to start
+    /// the cache full, so eviction and writeback behaviour is in
+    /// steady state from the first measured cycle. Defaults to none.
+    fn aged_pages(&self, n: usize) -> Vec<(nomad_types::Vpn, bool)> {
+        let _ = n;
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_instruction_count() {
+        let r = TraceRecord {
+            gap: 4,
+            kind: AccessKind::Read,
+            vaddr: VirtAddr(0x1000),
+        };
+        assert_eq!(r.instructions(), 5);
+    }
+}

@@ -1,0 +1,314 @@
+//! Address newtypes.
+//!
+//! The simulator deals with three distinct address spaces that must never
+//! be confused:
+//!
+//! * the **virtual** address space of the application ([`VirtAddr`],
+//!   page-granular form [`Vpn`]),
+//! * the **off-package physical** address space of the backing DDR4
+//!   memory ([`PhysAddr`], page-granular form [`Pfn`]),
+//! * the **on-package cache** address space of the HBM DRAM cache
+//!   ([`CacheAddr`], frame-granular form [`Cfn`]).
+//!
+//! OS-managed DRAM caches work precisely by substituting a [`Cfn`] for a
+//! [`Pfn`] inside a page-table entry; keeping the types separate prevents
+//! an entire class of mix-up bugs in the schemes.
+
+use crate::{BLOCK_SHIFT, PAGE_SHIFT, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw 64-bit value of this address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Offset of this address within its 4 KiB page.
+            #[inline]
+            pub const fn page_offset(self) -> PageOffset {
+                PageOffset(self.0 & (PAGE_SIZE - 1))
+            }
+
+            /// 64-byte block-aligned form of this address.
+            #[inline]
+            pub const fn block_aligned(self) -> $name {
+                $name(self.0 & !((1u64 << BLOCK_SHIFT) - 1))
+            }
+
+            /// Index of the 64-byte sub-block within the page
+            /// (0..=63); this is the `SI` field stored in PCSHR
+            /// sub-entries.
+            #[inline]
+            pub const fn sub_block(self) -> SubBlockIdx {
+                SubBlockIdx((self.0 >> BLOCK_SHIFT & 0x3f) as u8)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl core::fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+macro_rules! frame_newtype {
+    ($(#[$doc:meta])* $name:ident => $addr:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw frame/page number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Base address of the frame in its address space.
+            #[inline]
+            pub const fn base(self) -> $addr {
+                $addr(self.0 << PAGE_SHIFT)
+            }
+
+            /// Address of byte `offset` within this frame.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `offset.0 >= PAGE_SIZE`.
+            #[inline]
+            pub fn with_offset(self, offset: PageOffset) -> $addr {
+                debug_assert!(offset.0 < PAGE_SIZE);
+                $addr((self.0 << PAGE_SHIFT) | offset.0)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(n: $name) -> u64 {
+                n.0
+            }
+        }
+
+        impl $addr {
+            /// Page/frame number containing this address.
+            #[inline]
+            pub const fn frame(self) -> $name {
+                $name(self.0 >> PAGE_SHIFT)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual address issued by the application trace.
+    VirtAddr
+}
+addr_newtype! {
+    /// A physical address in the **off-package** (DDR4) memory space.
+    PhysAddr
+}
+addr_newtype! {
+    /// An address in the **on-package** (HBM) DRAM-cache space.
+    CacheAddr
+}
+
+frame_newtype! {
+    /// Virtual page number (virtual address >> 12).
+    Vpn => VirtAddr
+}
+frame_newtype! {
+    /// Physical frame number in off-package memory; the quantity a PTE
+    /// holds for an uncached page.
+    Pfn => PhysAddr
+}
+frame_newtype! {
+    /// Cache frame number in the on-package DRAM cache; the quantity an
+    /// OS-managed scheme substitutes into the PTE as the DC tag.
+    Cfn => CacheAddr
+}
+
+/// Byte offset within a 4 KiB page (0..4096).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageOffset(pub u64);
+
+impl PageOffset {
+    /// The 64-byte sub-block this offset falls into (0..=63).
+    #[inline]
+    pub const fn sub_block(self) -> SubBlockIdx {
+        SubBlockIdx((self.0 >> BLOCK_SHIFT & 0x3f) as u8)
+    }
+}
+
+/// Index of a 64-byte sub-block within a page (0..=63); the `SI`/`PI`
+/// fields of PCSHRs are 6-bit encodings of this value.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubBlockIdx(pub u8);
+
+impl SubBlockIdx {
+    /// Number of distinct sub-block indices (64).
+    pub const COUNT: usize = 64;
+
+    /// Index as usize, guaranteed `< 64`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        (self.0 & 0x3f) as usize
+    }
+
+    /// Bit mask with only this sub-block's bit set; used against the
+    /// R/B/W vectors of a PCSHR.
+    #[inline]
+    pub const fn bit(self) -> u64 {
+        1u64 << (self.0 & 0x3f)
+    }
+
+    /// Byte offset of this sub-block within its page.
+    #[inline]
+    pub const fn page_offset(self) -> PageOffset {
+        PageOffset(((self.0 & 0x3f) as u64) << BLOCK_SHIFT)
+    }
+}
+
+impl core::fmt::Display for SubBlockIdx {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "sb{}", self.0)
+    }
+}
+
+/// A 64-byte-aligned block address in an arbitrary address space,
+/// used by the generic SRAM cache model which is indifferent to whether
+/// it caches physical or cache-space addresses.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Block address containing raw byte address `addr`.
+    #[inline]
+    pub const fn containing(addr: u64) -> Self {
+        BlockAddr(addr >> BLOCK_SHIFT)
+    }
+
+    /// First byte address of the block.
+    #[inline]
+    pub const fn base(self) -> u64 {
+        self.0 << BLOCK_SHIFT
+    }
+
+    /// Page number (frame-agnostic) containing the block.
+    #[inline]
+    pub const fn page(self) -> u64 {
+        self.0 >> (PAGE_SHIFT - BLOCK_SHIFT)
+    }
+
+    /// Sub-block index within the page.
+    #[inline]
+    pub const fn sub_block(self) -> SubBlockIdx {
+        SubBlockIdx((self.0 & 0x3f) as u8)
+    }
+}
+
+impl core::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BlockAddr({:#x})", self.base())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let pa = PhysAddr(0x1234_5678);
+        assert_eq!(pa.frame().with_offset(pa.page_offset()), pa);
+        let ca = CacheAddr(0xdead_beef);
+        assert_eq!(ca.frame().with_offset(ca.page_offset()), ca);
+    }
+
+    #[test]
+    fn sub_block_extraction() {
+        let a = VirtAddr(4096 + 3 * 64 + 17);
+        assert_eq!(a.sub_block(), SubBlockIdx(3));
+        assert_eq!(a.page_offset().0, 3 * 64 + 17);
+        assert_eq!(a.block_aligned().0, 4096 + 3 * 64);
+    }
+
+    #[test]
+    fn sub_block_bits_are_distinct() {
+        let mut seen = 0u64;
+        for i in 0..64u8 {
+            let b = SubBlockIdx(i).bit();
+            assert_eq!(seen & b, 0);
+            seen |= b;
+        }
+        assert_eq!(seen, u64::MAX);
+    }
+
+    #[test]
+    fn block_addr_page_and_base() {
+        let b = BlockAddr::containing(0x2_0040);
+        assert_eq!(b.base(), 0x2_0040);
+        assert_eq!(b.page(), 0x20);
+        assert_eq!(b.sub_block(), SubBlockIdx(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_offset_roundtrip(raw in 0u64..(1 << 48)) {
+            let pa = PhysAddr(raw);
+            prop_assert_eq!(pa.frame().with_offset(pa.page_offset()), pa);
+        }
+
+        #[test]
+        fn prop_block_align_idempotent(raw in 0u64..(1 << 48)) {
+            let a = VirtAddr(raw).block_aligned();
+            prop_assert_eq!(a.block_aligned(), a);
+            prop_assert_eq!(a.raw() % 64, 0);
+        }
+
+        #[test]
+        fn prop_sub_block_consistent(raw in 0u64..(1 << 48)) {
+            let a = PhysAddr(raw);
+            prop_assert_eq!(a.sub_block(), a.page_offset().sub_block());
+            let b = BlockAddr::containing(raw);
+            prop_assert_eq!(b.sub_block(), a.sub_block());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Request and response messages exchanged between simulator components.
+//!
+//! The whole memory system speaks one vocabulary: a [`MemReq`] travels
+//! *down* the hierarchy (core → L1 → L2 → L3 → DRAM-cache scheme →
+//! DRAM devices) and a [`MemResp`] travels back *up*. Every hop stamps
+//! its own `token` on the requests it originates, so each level only has
+//! to understand its own identifiers.
+
+use crate::addr::BlockAddr;
+use crate::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique request identifier (monotonic per issuing component).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl core::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load; the requester waits for the data.
+    Read,
+    /// A store; posted (the requester does not wait), but it still
+    /// consumes bandwidth and sets dirty state.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Which memory device a post-translation address refers to.
+///
+/// OS-managed schemes resolve this at translation time: a cached page
+/// translates to [`MemTarget::DramCache`] (a CFN-based address), an
+/// uncached or non-cacheable page to [`MemTarget::OffPackage`] (a
+/// PFN-based address). HW-based schemes always see
+/// [`MemTarget::OffPackage`] addresses and do their own tag matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemTarget {
+    /// Off-package (DDR4) physical address space.
+    OffPackage,
+    /// On-package (HBM) DRAM-cache address space.
+    DramCache,
+}
+
+/// Why a DRAM transaction happened; used to attribute on-/off-package
+/// bandwidth for the Fig. 10 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Demand read on behalf of an application load.
+    DemandRead,
+    /// Demand write (SRAM writeback of application stores).
+    DemandWrite,
+    /// DC metadata traffic (tag reads/updates of a HW-based scheme).
+    Metadata,
+    /// Cache-fill traffic (page/line copy into the DRAM cache).
+    Fill,
+    /// Writeback of dirty DC data to off-package memory.
+    Writeback,
+    /// Page-table walk traffic.
+    PageTable,
+}
+
+impl TrafficClass {
+    /// All traffic classes, in display order.
+    pub const ALL: [TrafficClass; 6] = [
+        TrafficClass::DemandRead,
+        TrafficClass::DemandWrite,
+        TrafficClass::Metadata,
+        TrafficClass::Fill,
+        TrafficClass::Writeback,
+        TrafficClass::PageTable,
+    ];
+
+    /// Compact label used in printed tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrafficClass::DemandRead => "demand_rd",
+            TrafficClass::DemandWrite => "demand_wr",
+            TrafficClass::Metadata => "metadata",
+            TrafficClass::Fill => "fill",
+            TrafficClass::Writeback => "writeback",
+            TrafficClass::PageTable => "pagetable",
+        }
+    }
+}
+
+impl core::fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Level of the memory hierarchy a message is addressed to; used for
+/// debugging and for stats attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Private first-level data cache.
+    L1,
+    /// Private second-level cache.
+    L2,
+    /// Shared last-level cache.
+    L3,
+    /// The DRAM-cache scheme below the LLC.
+    DcScheme,
+}
+
+/// A memory request travelling down the hierarchy.
+///
+/// `token` identifies the request *to its sender*: responses echo it
+/// verbatim so the sender can match them to its own bookkeeping (ROB
+/// slot, MSHR index, …). `addr` is always 64-byte block-aligned in
+/// cache-to-cache traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemReq {
+    /// Sender-scoped identifier echoed by the response.
+    pub token: ReqId,
+    /// Block address in the sender's (post-translation) address space.
+    pub addr: BlockAddr,
+    /// Which device the address belongs to.
+    pub target: MemTarget,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Bandwidth-attribution class.
+    pub class: TrafficClass,
+    /// Core that ultimately caused the request (for per-core stats).
+    pub core: CoreId,
+    /// Whether the sender expects a [`MemResp`]. Writebacks are posted
+    /// and set this to `false`.
+    pub wants_response: bool,
+}
+
+/// A memory response travelling up the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemResp {
+    /// The `token` of the request being answered.
+    pub token: ReqId,
+    /// Block address of the answered request.
+    pub addr: BlockAddr,
+    /// Kind of the answered request.
+    pub kind: AccessKind,
+    /// Core the answered request originated from (routes shared-cache
+    /// responses back to the right private hierarchy).
+    pub core: CoreId,
+}
+
+impl MemReq {
+    /// A demand read request with sane defaults for the remaining fields.
+    pub fn read(token: ReqId, addr: BlockAddr, target: MemTarget, core: CoreId) -> Self {
+        MemReq {
+            token,
+            addr,
+            target,
+            kind: AccessKind::Read,
+            class: TrafficClass::DemandRead,
+            core,
+            wants_response: true,
+        }
+    }
+
+    /// A demand write request (posted).
+    pub fn write(token: ReqId, addr: BlockAddr, target: MemTarget, core: CoreId) -> Self {
+        MemReq {
+            token,
+            addr,
+            target,
+            kind: AccessKind::Write,
+            class: TrafficClass::DemandWrite,
+            core,
+            wants_response: false,
+        }
+    }
+
+    /// The response answering this request.
+    pub fn response(&self) -> MemResp {
+        MemResp {
+            token: self.token,
+            addr: self.addr,
+            kind: self.kind,
+            core: self.core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_echoes_token_and_addr() {
+        let r = MemReq::read(ReqId(7), BlockAddr(0x40), MemTarget::DramCache, 2);
+        let resp = r.response();
+        assert_eq!(resp.token, ReqId(7));
+        assert_eq!(resp.addr, BlockAddr(0x40));
+        assert_eq!(resp.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn writes_are_posted_by_default() {
+        let w = MemReq::write(ReqId(1), BlockAddr(0), MemTarget::OffPackage, 0);
+        assert!(!w.wants_response);
+        assert!(w.kind.is_write());
+        assert_eq!(w.class, TrafficClass::DemandWrite);
+    }
+
+    #[test]
+    fn traffic_class_labels_are_unique() {
+        let mut labels: Vec<_> = TrafficClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), TrafficClass::ALL.len());
+    }
+}

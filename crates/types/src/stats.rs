@@ -1,0 +1,313 @@
+//! Statistics primitives: counters, running means and log-scale latency
+//! histograms.
+//!
+//! Every metric the paper reports (IPC, stall-cycle ratios, average DC
+//! access time, bandwidth breakdowns, tag-management latency, row-buffer
+//! hit rate) is built from these. All stats types support
+//! [`reset`](Counter::reset) so that a warm-up phase can be excluded
+//! from measurement, mirroring the paper's fast-forward-to-ROI protocol.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Zero the counter (end of warm-up).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl core::fmt::Display for Counter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean of a stream of samples (e.g. latencies in cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+    max: u64,
+    min: u64,
+}
+
+impl RunningMean {
+    /// A mean with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        self.sum += sample as f64;
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+    }
+
+    /// Mean of all samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample, or 0 if none were recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample, or 0 if none were recorded.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Forget all samples (end of warm-up).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl core::fmt::Display for RunningMean {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.1} (n={})", self.mean(), self.count)
+    }
+}
+
+/// A power-of-two-bucketed histogram for latency distributions.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 counts
+/// samples of 0 and 1. 48 buckets cover any plausible cycle count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    const BUCKETS: usize = 48;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; Self::BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        let idx = (64 - sample.max(1).leading_zeros() as usize - 1).min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, reported as the lower bound
+    /// of the bucket containing it. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= threshold.max(1) {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (Self::BUCKETS - 1)
+    }
+
+    /// Iterator over `(bucket_lower_bound, count)` pairs for non-empty
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Forget all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+impl core::fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} p50<{} p99<{}",
+            self.count(),
+            self.quantile(0.5) << 1,
+            self.quantile(0.99) << 1
+        )
+    }
+}
+
+/// Ratio helper: `num / den`, or 0.0 when `den == 0`.
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Bytes-per-second from a byte count, a cycle count and a clock in GHz.
+#[inline]
+pub fn gbps(bytes: u64, cycles: u64, clock_ghz: f64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let seconds = cycles as f64 / (clock_ghz * 1e9);
+    bytes as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn running_mean_tracks_min_max() {
+        let mut m = RunningMean::new();
+        for s in [10, 2, 30] {
+            m.record(s);
+        }
+        assert_eq!(m.mean(), 14.0);
+        assert_eq!(m.min(), 2);
+        assert_eq!(m.max(), 30);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), 0);
+        assert_eq!(m.max(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(1, 2), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotonic() {
+        let mut h = LogHistogram::new();
+        for i in 0..1000u64 {
+            h.record(i);
+        }
+        assert!(h.quantile(0.1) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn gbps_sanity() {
+        // 64 bytes per cycle at 1 GHz = 64 GB/s.
+        let g = gbps(64_000, 1_000, 1.0);
+        assert!((g - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_zero_den() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(1, 2), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_running_mean_bounded(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut m = RunningMean::new();
+            for &s in &samples {
+                m.record(s);
+            }
+            let mean = m.mean();
+            prop_assert!(mean >= m.min() as f64 - 1e-9);
+            prop_assert!(mean <= m.max() as f64 + 1e-9);
+            prop_assert_eq!(m.count(), samples.len() as u64);
+        }
+
+        #[test]
+        fn prop_histogram_count_matches(samples in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+            let mut h = LogHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Capture a workload trace to disk and replay it deterministically —
+//! the record/replay methodology behind reproducible memory-system
+//! studies.
+//!
+//! ```text
+//! cargo run --release --example capture_replay [workload]
+//! ```
+
+use nomad::sim::{runner, SchemeSpec, SystemConfig};
+use nomad::trace::{capture, FileTrace, SyntheticTrace, TraceSource, WorkloadProfile};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mcf");
+    let workload = WorkloadProfile::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}', using mcf");
+        WorkloadProfile::mcf()
+    });
+
+    let cfg = SystemConfig::scaled(2);
+    let dir = std::env::temp_dir().join("nomad_capture_example");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Capture one trace per core (different seeds, like rate mode).
+    let mut paths = Vec::new();
+    for core in 0..cfg.cores {
+        let mut gen = SyntheticTrace::with_scale(
+            &workload,
+            42 + core as u64,
+            cfg.pages_per_gb,
+            cfg.l3_reach_pages(),
+        );
+        let path = dir.join(format!("{}-core{}.trace", workload.name, core));
+        capture(&path, &workload.name, &mut gen, 60_000)?;
+        let bytes = std::fs::metadata(&path)?.len();
+        println!("captured {} ({} records, {} KiB)", path.display(), 60_000, bytes / 1024);
+        paths.push(path);
+    }
+
+    // 2. Replay through the full system — twice, proving determinism.
+    let run = |paths: &[std::path::PathBuf]| -> std::io::Result<nomad::sim::RunReport> {
+        let traces: Vec<Box<dyn TraceSource>> = paths
+            .iter()
+            .map(|p| FileTrace::open(p).map(|t| Box::new(t) as Box<dyn TraceSource>))
+            .collect::<std::io::Result<_>>()?;
+        let mut sys = nomad::sim::System::new(cfg.clone(), SchemeSpec::Nomad.build(&cfg), traces);
+        sys.prewarm();
+        sys.warm_up(10_000);
+        sys.run(30_000);
+        Ok(sys.report(&workload.name))
+    };
+    let a = run(&paths)?;
+    let b = run(&paths)?;
+    println!(
+        "\nreplay A: IPC {:.4} over {} cycles\nreplay B: IPC {:.4} over {} cycles",
+        a.ipc(),
+        a.cycles,
+        b.ipc(),
+        b.cycles
+    );
+    assert_eq!(a.cycles, b.cycles, "replays are bit-identical");
+    println!("replays agree cycle-for-cycle.");
+
+    // 3. Compare against the live generator (same seeds → same trace).
+    let live = runner::run_one(&cfg, &SchemeSpec::Nomad, &workload, 30_000, 10_000, 42);
+    println!(
+        "live generator for reference: IPC {:.4} ({} cycles)",
+        live.ipc(),
+        live.cycles
+    );
+
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+    Ok(())
+}

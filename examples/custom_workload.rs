@@ -1,0 +1,64 @@
+//! Define a custom workload profile and evaluate whether an
+//! OS-managed DRAM cache helps it — the adoption path for users whose
+//! application is not one of the paper's 15 benchmarks.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use nomad::sim::{runner, SchemeSpec, SystemConfig};
+use nomad::trace::{Burst, WorkloadClass, WorkloadProfile};
+
+fn main() {
+    // Characterize your application the way Table I does:
+    //  - how much page-fetch bandwidth would an ideal page cache need
+    //    (RMHB, GB/s)?
+    //  - how many LLC misses per microsecond does it generate (MPMS)?
+    //  - how big is its footprint, how contiguous are its accesses,
+    //    and is it bursty?
+    let custom = WorkloadProfile {
+        name: "kvstore".into(),
+        full_name: "synthetic key-value store".into(),
+        class: WorkloadClass::Loose,
+        rmhb_gbps: 11.0,
+        llc_mpms: 380.0,
+        footprint_gb: 3.0,
+        spatial_run: 4,  // small objects: ~256 B per lookup
+        hot_frac: 0.5,   // half the accesses hit the index (SRAM)
+        write_frac: 0.3, // 30% updates
+        burst: Some(Burst {
+            period_ops: 4000,
+            on_scale: 0.4,
+            off_scale: 1.6,
+        }),
+    };
+
+    let cfg = SystemConfig::scaled(4);
+    println!(
+        "Evaluating '{}' (RMHB {:.0} GB/s, MPMS {:.0}, {} GB footprint)\n",
+        custom.full_name, custom.rmhb_gbps, custom.llc_mpms, custom.footprint_gb
+    );
+
+    let baseline = runner::run_one(&cfg, &SchemeSpec::Baseline, &custom, 100_000, 80_000, 9);
+    let nomad = runner::run_one(&cfg, &SchemeSpec::Nomad, &custom, 100_000, 80_000, 9);
+    let tdc = runner::run_one(&cfg, &SchemeSpec::Tdc, &custom, 100_000, 80_000, 9);
+
+    println!("off-package only      IPC {:.3}", baseline.ipc());
+    println!(
+        "blocking page cache   IPC {:.3}  ({:+.1}% vs off-package, {:.1}% stalled in OS)",
+        tdc.ipc(),
+        (tdc.ipc() / baseline.ipc() - 1.0) * 100.0,
+        tdc.os_stall_ratio() * 100.0
+    );
+    println!(
+        "NOMAD                 IPC {:.3}  ({:+.1}% vs off-package, {:.1}% stalled in OS)",
+        nomad.ipc(),
+        (nomad.ipc() / baseline.ipc() - 1.0) * 100.0,
+        nomad.os_stall_ratio() * 100.0
+    );
+    println!(
+        "\nNOMAD serviced {:.1}% of its in-flight-page accesses from page",
+        nomad.buffer_hit_rate() * 100.0
+    );
+    println!("copy buffers (critical-data-first fills).");
+}

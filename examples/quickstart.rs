@@ -1,0 +1,54 @@
+//! Quickstart: simulate NOMAD on one workload and print the headline
+//! metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nomad::sim::{runner, SchemeSpec, SystemConfig};
+use nomad::trace::WorkloadProfile;
+
+fn main() {
+    // A scaled 4-core system: 64 MiB DRAM cache over single-channel
+    // DDR4, private L1/L2 + shared L3 (see SystemConfig::scaled docs).
+    let cfg = SystemConfig::scaled(4);
+
+    // mcf: a Loose-class, pointer-chasing SPEC2006 workload.
+    let workload = WorkloadProfile::mcf();
+
+    println!(
+        "Running NOMAD on '{}' ({} cores, {} MiB DRAM cache)...",
+        workload.full_name,
+        cfg.cores,
+        cfg.dc_capacity >> 20
+    );
+
+    let report = runner::run_one(
+        &cfg,
+        &SchemeSpec::Nomad,
+        &workload,
+        100_000, // measured instructions per core
+        80_000,  // warm-up instructions per core
+        42,      // seed
+    );
+
+    println!("\n== results ==");
+    println!("IPC (per-core average)      {:.3}", report.ipc());
+    println!("DC access time              {:.0} cycles", report.dc_access_time());
+    println!("tag-management latency      {:.0} cycles", report.tag_mgmt_latency());
+    println!(
+        "OS stall ratio              {:.1}%",
+        report.os_stall_ratio() * 100.0
+    );
+    println!(
+        "page-copy buffer hit rate   {:.1}% of data misses",
+        report.buffer_hit_rate() * 100.0
+    );
+    println!(
+        "on-package bandwidth        {:.1} GB/s (row hits {:.0}%)",
+        report.hbm.total_gbps(),
+        report.hbm_row_hit_rate() * 100.0
+    );
+    println!("off-package bandwidth       {:.1} GB/s", report.ddr_total_gbps());
+    println!("RMHB                        {:.1} GB/s", report.rmhb_gbps());
+}

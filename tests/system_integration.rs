@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: full systems running real scheme ×
+//! workload combinations at smoke scale, checking the paper's
+//! first-order behavioural properties rather than absolute numbers.
+
+use nomad::sim::{runner, NomadSpec, SchemeSpec, SystemConfig};
+use nomad::trace::WorkloadProfile;
+
+const INSTR: u64 = 25_000;
+const WARMUP: u64 = 10_000;
+
+/// Smoke configuration: at 2 cores the default 48 MiB DRAM cache can
+/// swallow an entire scaled footprint (zero steady-state misses, which
+/// is correct but makes miss-path assertions vacuous); shrink it so
+/// footprints exceed capacity like they do at the paper's 8 cores.
+fn smoke_cfg(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::scaled(cores);
+    if cores < 8 {
+        cfg.dc_capacity = 16 * 1024 * 1024;
+    }
+    cfg
+}
+
+fn run(spec: &SchemeSpec, w: &WorkloadProfile, cores: usize) -> nomad::sim::RunReport {
+    runner::run_one(&smoke_cfg(cores), spec, w, INSTR, WARMUP, 1234)
+}
+
+#[test]
+fn every_scheme_completes_every_class_representative() {
+    // One workload per class × all five schemes, 2 cores.
+    for name in ["cact", "libq", "mcf", "pr"] {
+        let w = WorkloadProfile::by_name(name).expect("known workload");
+        for spec in SchemeSpec::fig9_set() {
+            let r = run(&spec, &w, 2);
+            assert!(
+                r.instructions() >= 2 * INSTR,
+                "{name}/{}: committed {}",
+                spec.label(),
+                r.instructions()
+            );
+            assert!(r.ipc() > 0.0, "{name}/{}", spec.label());
+        }
+    }
+}
+
+#[test]
+fn nomad_reduces_os_stalls_versus_tdc() {
+    // The paper's central claim: decoupled tag-data management slashes
+    // application stall cycles (76.1% on average in the paper).
+    let w = WorkloadProfile::cact();
+    let tdc = run(&SchemeSpec::Tdc, &w, 2);
+    let nomad = run(&SchemeSpec::Nomad, &w, 2);
+    assert!(
+        nomad.os_stall_ratio() < 0.7 * tdc.os_stall_ratio(),
+        "NOMAD {:.3} vs TDC {:.3}",
+        nomad.os_stall_ratio(),
+        tdc.os_stall_ratio()
+    );
+    assert!(
+        nomad.ipc() > tdc.ipc(),
+        "NOMAD {:.3} vs TDC {:.3}",
+        nomad.ipc(),
+        tdc.ipc()
+    );
+}
+
+#[test]
+fn ideal_bounds_all_schemes_and_baseline_is_floor_for_excess() {
+    // Needs enough cores to put real pressure on the off-package
+    // memory — with too few, the baseline never saturates and the
+    // class structure does not emerge. Uses the full default
+    // configuration (48 MiB DC) so the revisit windows stay resident.
+    let w = WorkloadProfile::cact();
+    let cfg = SystemConfig::scaled(6);
+    let reports: Vec<_> = SchemeSpec::fig9_set()
+        .iter()
+        .map(|s| runner::run_one(&cfg, s, &w, INSTR, WARMUP, 1234))
+        .collect();
+    let ipc = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.scheme == name)
+            .expect("present")
+            .ipc()
+    };
+    assert!(ipc("Ideal") >= ipc("NOMAD"));
+    assert!(ipc("Ideal") >= ipc("TiD"));
+    assert!(ipc("NOMAD") > ipc("Baseline"));
+}
+
+#[test]
+fn osmanaged_schemes_spend_no_metadata_bandwidth_tid_does() {
+    use nomad::types::TrafficClass;
+    let w = WorkloadProfile::mcf();
+    let tid = run(&SchemeSpec::Tid, &w, 2);
+    let nomad = run(&SchemeSpec::Nomad, &w, 2);
+    assert!(
+        tid.hbm_class_gbps(TrafficClass::Metadata) > 0.5,
+        "TiD must pay metadata bandwidth: {:.2}",
+        tid.hbm_class_gbps(TrafficClass::Metadata)
+    );
+    assert_eq!(
+        nomad.hbm_class_gbps(TrafficClass::Metadata),
+        0.0,
+        "OS-managed schemes keep tags in PTEs"
+    );
+}
+
+#[test]
+fn nomad_tag_latency_has_400_cycle_floor() {
+    let w = WorkloadProfile::bc();
+    let r = run(&SchemeSpec::Nomad, &w, 2);
+    assert!(
+        r.scheme_stats.tag_mgmt_latency.min() >= 400,
+        "min {}",
+        r.scheme_stats.tag_mgmt_latency.min()
+    );
+}
+
+#[test]
+fn most_nomad_data_misses_hit_page_copy_buffers() {
+    // Paper §III-E: 91.6% of data misses hit in page copy buffers
+    // thanks to critical-data-first fills. Require a strong majority.
+    let w = WorkloadProfile::cact();
+    let r = run(&SchemeSpec::Nomad, &w, 2);
+    assert!(r.scheme_stats.data_misses.get() > 0, "must observe data misses");
+    assert!(
+        r.buffer_hit_rate() > 0.5,
+        "buffer hit rate {:.2}",
+        r.buffer_hit_rate()
+    );
+}
+
+#[test]
+fn rmhb_orders_workload_classes() {
+    // Table I: Excess > Tight > Loose > Few in required miss-handling
+    // bandwidth, measured under the ideal configuration.
+    let measure = |name: &str| {
+        let w = WorkloadProfile::by_name(name).expect("known");
+        run(&SchemeSpec::Ideal, &w, 2).rmhb_gbps()
+    };
+    let cact = measure("cact");
+    let libq = measure("libq");
+    let mcf = measure("mcf");
+    let tc = measure("tc");
+    assert!(cact > mcf, "cact {cact:.1} vs mcf {mcf:.1}");
+    assert!(libq > mcf, "libq {libq:.1} vs mcf {mcf:.1}");
+    assert!(mcf > tc, "mcf {mcf:.1} vs tc {tc:.1}");
+}
+
+#[test]
+fn distributed_backends_match_centralized() {
+    // Fig. 16: centralized and distributed back-ends perform similarly
+    // because FIFO allocation spreads copies uniformly.
+    let w = WorkloadProfile::libq();
+    let central = run(
+        &SchemeSpec::NomadWith(NomadSpec {
+            pcshrs: 16,
+            backends: 1,
+            ..NomadSpec::default()
+        }),
+        &w,
+        2,
+    );
+    let distributed = run(
+        &SchemeSpec::NomadWith(NomadSpec {
+            pcshrs: 4,
+            backends: 4,
+            ..NomadSpec::default()
+        }),
+        &w,
+        2,
+    );
+    let ratio = distributed.ipc() / central.ipc();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "distributed/centralized IPC ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn more_pcshrs_help_bursty_workloads() {
+    // Fig. 14: libq (bursty) gains from more PCSHRs.
+    let w = WorkloadProfile::libq();
+    let small = run(
+        &SchemeSpec::NomadWith(NomadSpec {
+            pcshrs: 2,
+            ..NomadSpec::default()
+        }),
+        &w,
+        2,
+    );
+    let large = run(
+        &SchemeSpec::NomadWith(NomadSpec {
+            pcshrs: 32,
+            ..NomadSpec::default()
+        }),
+        &w,
+        2,
+    );
+    // At smoke scale the off-package memory, not the PCSHR count,
+    // bounds IPC (exactly the paper's Fig. 12 saturation argument), so
+    // assert on the contention metrics instead.
+    assert!(
+        large.tag_mgmt_latency() < small.tag_mgmt_latency(),
+        "tag latency should shrink: {:.0} vs {:.0}",
+        large.tag_mgmt_latency(),
+        small.tag_mgmt_latency()
+    );
+    assert!(
+        large.scheme_stats.interface_wait_cycles.get()
+            < small.scheme_stats.interface_wait_cycles.get(),
+        "interface waits should shrink: {} vs {}",
+        large.scheme_stats.interface_wait_cycles.get(),
+        small.scheme_stats.interface_wait_cycles.get()
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let w = WorkloadProfile::tc();
+    let a = run(&SchemeSpec::Nomad, &w, 2);
+    let b = run(&SchemeSpec::Nomad, &w, 2);
+    assert_eq!(a.cycles, b.cycles, "same seed ⇒ same cycle count");
+    assert_eq!(a.instructions(), b.instructions());
+}
+
+#[test]
+fn writes_mark_pages_dirty_and_cause_writebacks() {
+    // cact streams with 35% writes: under a small DRAM cache its
+    // evictions include dirty frames, which must be written back. No
+    // warm-up so the whole capacity churn is measured.
+    // The DRAM cache must be small enough that the FIFO cycles fully
+    // within the run — dirty frames only reach the tail after a full
+    // revolution.
+    let w = WorkloadProfile::cact();
+    let mut cfg = smoke_cfg(2);
+    cfg.dc_capacity = 1024 * 1024; // 256 frames
+    let r = runner::run_one(&cfg, &SchemeSpec::Nomad, &w, 250_000, 0, 1234);
+    assert!(
+        r.scheme_stats.evictions.get() > cfg.dc_frames(),
+        "FIFO must cycle fully: {} evictions",
+        r.scheme_stats.evictions.get()
+    );
+    assert!(
+        r.scheme_stats.writebacks.get() > 0,
+        "dirty pages must be written back"
+    );
+}
