@@ -24,7 +24,14 @@ struct Ablation {
 }
 
 fn run_spec(scale: &Scale, spec: &SchemeSpec, w: &WorkloadProfile) -> nomad_sim::RunReport {
-    runner::run_one(&scale.config(), spec, w, scale.instructions, scale.warmup, scale.seed)
+    runner::run_one(
+        &scale.config(),
+        spec,
+        w,
+        scale.instructions,
+        scale.warmup,
+        scale.seed,
+    )
 }
 
 /// Ablation 1 + 2: critical-data-first off (which also removes most

@@ -5,7 +5,11 @@ const COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32];
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("fig12: 4 classes × {} PCSHR counts ({:?})", COUNTS.len(), scale);
+    eprintln!(
+        "fig12: 4 classes × {} PCSHR counts ({:?})",
+        COUNTS.len(),
+        scale
+    );
     let rows = pcshr_sweeps::fig12(&scale, COUNTS);
     pcshr_sweeps::print_fig12(&rows, COUNTS);
     save_json("fig12", &rows);

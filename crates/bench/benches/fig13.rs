@@ -6,7 +6,12 @@ const CORES: &[usize] = &[2, 4, 8];
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("fig13: {} core counts × {} PCSHR counts ({:?})", CORES.len(), COUNTS.len(), scale);
+    eprintln!(
+        "fig13: {} core counts × {} PCSHR counts ({:?})",
+        CORES.len(),
+        COUNTS.len(),
+        scale
+    );
     let rows = pcshr_sweeps::fig13(&scale, COUNTS, CORES);
     pcshr_sweeps::print_fig13(&rows, COUNTS, CORES);
     save_json("fig13", &rows);

@@ -5,7 +5,11 @@ const COUNTS: &[usize] = &[4, 8, 16, 32];
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("fig14: 2 workloads × {} PCSHR counts ({:?})", COUNTS.len(), scale);
+    eprintln!(
+        "fig14: 2 workloads × {} PCSHR counts ({:?})",
+        COUNTS.len(),
+        scale
+    );
     let rows = pcshr_sweeps::fig14(&scale, COUNTS);
     pcshr_sweeps::print_fig14(&rows, COUNTS);
     save_json("fig14", &rows);

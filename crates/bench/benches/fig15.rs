@@ -5,7 +5,11 @@ const GRID: &[(usize, usize)] = &[(8, 8), (16, 8), (32, 8), (16, 16), (32, 16), 
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("fig15: 2 workloads × {} (n,m) points ({:?})", GRID.len(), scale);
+    eprintln!(
+        "fig15: 2 workloads × {} (n,m) points ({:?})",
+        GRID.len(),
+        scale
+    );
     let rows = fig15::run(&scale, GRID);
     fig15::print(&rows);
     save_json("fig15", &rows);

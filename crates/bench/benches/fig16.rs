@@ -5,7 +5,11 @@ const TOTALS: &[usize] = &[4, 8, 16, 32];
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("fig16: 2 organizations × {} PCSHR totals ({:?})", TOTALS.len(), scale);
+    eprintln!(
+        "fig16: 2 organizations × {} PCSHR totals ({:?})",
+        TOTALS.len(),
+        scale
+    );
     let rows = fig16::run(&scale, TOTALS);
     fig16::print(&rows);
     save_json("fig16", &rows);

@@ -45,7 +45,7 @@ fn bench_dram_channel(c: &mut Criterion) {
             if dram.can_accept(token * 64) {
                 let _ = dram.try_push(DramRequest {
                     token: ReqId(token),
-                    addr: (token * 2891) % (1 << 26) & !63,
+                    addr: ((token * 2891) % (1 << 26)) & !63,
                     kind: AccessKind::Read,
                     class: TrafficClass::DemandRead,
                     wants_completion: false,

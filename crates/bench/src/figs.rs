@@ -89,6 +89,63 @@ pub fn sweep(scale: &Scale, specs: &[SchemeSpec], workloads: &[WorkloadProfile])
     rows
 }
 
+/// Like [`sweep`], but submits the whole grid through a running
+/// nomad-serve instance at `addr` (one cell per job, results in the
+/// same `workloads × specs` order). Repeated invocations against the
+/// same server reuse its content-addressed result cache, so
+/// regenerating a figure after a partial run only pays for the cells
+/// that changed.
+pub fn sweep_via_service(
+    addr: &str,
+    scale: &Scale,
+    specs: &[SchemeSpec],
+    workloads: &[WorkloadProfile],
+) -> Vec<Row> {
+    let cells: Vec<nomad_sim::runner::Cell> = workloads
+        .iter()
+        .flat_map(|w| {
+            specs.iter().map(|spec| nomad_sim::runner::Cell {
+                cfg: scale.config(),
+                spec: spec.clone(),
+                profile: w.clone(),
+                instructions: scale.instructions,
+                warmup: scale.warmup,
+                seed: scale.seed,
+            })
+        })
+        .collect();
+    let reports = nomad_serve::run_grid_via(addr, cells)
+        .unwrap_or_else(|e| panic!("grid submission to nomad-serve at {addr} failed: {e}"));
+    let mut rows = Vec::new();
+    let mut it = reports.iter();
+    for w in workloads {
+        for spec in specs {
+            let r = it.next().expect("one report per cell");
+            rows.push(Row::from_report(r, w.class.label()));
+            eprintln!(
+                "  [{}/{}] ipc {:.3} (via service)",
+                w.name,
+                spec.label(),
+                r.ipc()
+            );
+        }
+    }
+    rows
+}
+
+/// `sweep` locally, or via nomad-serve when `NOMAD_SERVE_ADDR` is
+/// set.
+pub fn sweep_maybe_serviced(
+    scale: &Scale,
+    specs: &[SchemeSpec],
+    workloads: &[WorkloadProfile],
+) -> Vec<Row> {
+    match std::env::var("NOMAD_SERVE_ADDR") {
+        Ok(addr) if !addr.is_empty() => sweep_via_service(&addr, scale, specs, workloads),
+        _ => sweep(scale, specs, workloads),
+    }
+}
+
 /// Table I — workload characteristics under the ideal OS-managed
 /// configuration.
 pub mod table1 {
@@ -269,7 +326,10 @@ pub mod fig02 {
         println!("{:<8} {:>14} {:>18}", "wl", "TDC IPC / TiD", "RMHB (GB/s)");
         hr(56);
         for r in rows {
-            println!("{:<8} {:>14.2} {:>18.1}", r.workload, r.tdc_over_tid, r.rmhb_gbps);
+            println!(
+                "{:<8} {:>14.2} {:>18.1}",
+                r.workload, r.tdc_over_tid, r.rmhb_gbps
+            );
         }
         hr(56);
         println!("(paper: ratio < 1 for Excess-class cact/sssp/bwav — the HW");
@@ -283,9 +343,10 @@ pub mod fig02 {
 pub mod fig09 {
     use super::*;
 
-    /// Run the full cross product.
+    /// Run the full cross product — in-process, or through a running
+    /// nomad-serve instance when `NOMAD_SERVE_ADDR` is set.
     pub fn run(scale: &Scale) -> Vec<Row> {
-        sweep(scale, &SchemeSpec::fig9_set(), &WorkloadProfile::all())
+        sweep_maybe_serviced(scale, &SchemeSpec::fig9_set(), &WorkloadProfile::all())
     }
 
     /// Print the table plus headline summary.
@@ -456,7 +517,10 @@ pub mod fig11 {
         }
         hr(92);
         let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
-        println!("Average stall-cycle reduction: {:.1}% (paper: 76.1%)", avg * 100.0);
+        println!(
+            "Average stall-cycle reduction: {:.1}% (paper: 76.1%)",
+            avg * 100.0
+        );
         println!("(paper: TDC stalls ~43% Excess / 29% Tight / 15% Loose / 4% Few;");
         println!(" NOMAD tag latency >= 400 cycles, growing with contention)");
     }
@@ -649,7 +713,11 @@ pub mod pcshr_sweeps {
             print!("{:<6}", name);
             for &n in counts {
                 if let Some(r) = rows.iter().find(|r| r.workload == name && r.pcshrs == n) {
-                    print!(" {:>7.1}% {:>8.0}", r.os_stall_ratio * 100.0, r.tag_mgmt_latency);
+                    print!(
+                        " {:>7.1}% {:>8.0}",
+                        r.os_stall_ratio * 100.0,
+                        r.tag_mgmt_latency
+                    );
                 }
             }
             println!();
@@ -711,7 +779,10 @@ pub mod fig15 {
         println!("\nFig. 15: area-optimized back-end — (n PCSHRs, m page copy");
         println!("buffers) on the bursty-RMHB workloads");
         hr(64);
-        println!("{:<6} {:>10} {:>10} {:>10} {:>14}", "wl", "(n,m)", "IPC", "norm", "taglat");
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>14}",
+            "wl", "(n,m)", "IPC", "norm", "taglat"
+        );
         hr(64);
         for name in ["libq", "gems"] {
             let base = rows
@@ -802,7 +873,11 @@ pub mod fig16 {
         for r in rows {
             println!(
                 "{:<12} {:>12} {:>10.3} {:>14.0}",
-                if r.backends == 1 { "centralized" } else { "distributed" },
+                if r.backends == 1 {
+                    "centralized"
+                } else {
+                    "distributed"
+                },
                 r.total_pcshrs,
                 r.ipc,
                 r.tag_mgmt_latency

@@ -51,7 +51,10 @@ impl Scale {
     /// Read the scale from the environment, falling back to defaults.
     pub fn from_env() -> Self {
         let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         let d = Scale::default();
         Scale {
@@ -86,7 +89,14 @@ pub fn run_with_cfg(
     spec: &SchemeSpec,
     profile: &WorkloadProfile,
 ) -> RunReport {
-    runner::run_one(cfg, spec, profile, scale.instructions, scale.warmup, scale.seed)
+    runner::run_one(
+        cfg,
+        spec,
+        profile,
+        scale.instructions,
+        scale.warmup,
+        scale.seed,
+    )
 }
 
 /// Write a JSON artifact under `results/` (best effort: failures are

@@ -1,0 +1,43 @@
+//! The figure harness produces identical rows whether it runs its
+//! grid in-process or through nomad-serve.
+
+use nomad_bench::figs::{sweep, sweep_via_service};
+use nomad_bench::Scale;
+use nomad_serve::{serve, ServerConfig};
+use nomad_sim::SchemeSpec;
+use nomad_trace::WorkloadProfile;
+
+#[test]
+fn sweep_rows_match_through_the_service() {
+    let scale = Scale {
+        instructions: 6_000,
+        warmup: 500,
+        cores: 2,
+        seed: 13,
+    };
+    let specs = [SchemeSpec::Baseline, SchemeSpec::Nomad];
+    let workloads = [WorkloadProfile::tc(), WorkloadProfile::libq()];
+
+    let local = sweep(&scale, &specs, &workloads);
+
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let served = sweep_via_service(&handle.local_addr().to_string(), &scale, &specs, &workloads);
+    handle.shutdown();
+
+    assert_eq!(local.len(), served.len());
+    for (l, s) in local.iter().zip(&served) {
+        assert_eq!(l.workload, s.workload);
+        assert_eq!(l.scheme, s.scheme);
+        assert_eq!(l.class, s.class);
+        assert_eq!(
+            serde_json::to_string(l).expect("row json"),
+            serde_json::to_string(s).expect("row json"),
+            "rows must match bit-for-bit"
+        );
+    }
+}

@@ -130,7 +130,7 @@ impl CacheArray {
         let tag = self.tag(key);
         let set_base = self.set_range(key).start;
         let num_sets = self.num_sets as u64;
-        let set_idx = (key & (num_sets - 1)) as u64;
+        let set_idx = key & (num_sets - 1);
         self.stamp += 1;
         let stamp = self.stamp;
 
@@ -152,10 +152,7 @@ impl CacheArray {
             return None;
         }
         // Evict LRU.
-        let victim_way = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("assoc > 0");
+        let victim_way = set.iter_mut().min_by_key(|w| w.lru).expect("assoc > 0");
         let victim = Victim {
             key: victim_way.tag * num_sets + set_idx,
             dirty: victim_way.dirty,

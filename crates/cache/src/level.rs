@@ -187,7 +187,11 @@ impl CacheLevel {
     /// Panics in debug builds if called while
     /// [`can_accept`](CacheLevel::can_accept) is `false`.
     pub fn push_req(&mut self, req: MemReq, now: Cycle) {
-        debug_assert!(self.can_accept(), "{}: push without can_accept", self.cfg.name);
+        debug_assert!(
+            self.can_accept(),
+            "{}: push without can_accept",
+            self.cfg.name
+        );
         self.incoming.push_back((now + self.cfg.hit_latency, req));
     }
 
@@ -227,10 +231,7 @@ impl CacheLevel {
         // 2. Lookups.
         let mut budget = self.cfg.ports;
         while budget > 0 {
-            let ready = match self.incoming.front() {
-                Some(&(ready, _)) if ready <= now => true,
-                _ => false,
-            };
+            let ready = matches!(self.incoming.front(), Some(&(ready, _)) if ready <= now);
             if !ready {
                 break;
             }
@@ -370,7 +371,11 @@ mod tests {
     }
 
     /// Run the level as if backed by a fixed-latency memory.
-    fn run_until_idle(level: &mut CacheLevel, mem_latency: Cycle, max: Cycle) -> Vec<(Cycle, MemResp)> {
+    fn run_until_idle(
+        level: &mut CacheLevel,
+        mem_latency: Cycle,
+        max: Cycle,
+    ) -> Vec<(Cycle, MemResp)> {
         let mut lower: VecDeque<(Cycle, MemReq)> = VecDeque::new();
         let mut out = Vec::new();
         for now in 0..max {

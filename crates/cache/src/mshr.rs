@@ -100,9 +100,10 @@ impl MshrFile {
 
     /// Find the entry tracking `key`, if any.
     pub fn find(&self, key: u64) -> Option<MshrToken> {
-        self.slots.iter().position(|s| {
-            s.as_ref().map(|e| e.key == key).unwrap_or(false)
-        }).map(MshrToken)
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().map(|e| e.key == key).unwrap_or(false))
+            .map(MshrToken)
     }
 
     /// Allocate an entry for `req`'s block (primary miss) or merge it
@@ -149,7 +150,10 @@ impl MshrFile {
 
     /// Key being fetched by `token`, if live.
     pub fn key_of(&self, token: MshrToken) -> Option<u64> {
-        self.slots.get(token.0).and_then(|s| s.as_ref()).map(|e| e.key)
+        self.slots
+            .get(token.0)
+            .and_then(|s| s.as_ref())
+            .map(|e| e.key)
     }
 }
 

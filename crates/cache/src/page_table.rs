@@ -125,10 +125,7 @@ impl PageTable {
     /// All VPNs mapping `pfn` (the reverse mapping of Algorithm 2,
     /// lines 12–15). Empty if the PFN was never allocated.
     pub fn reverse_map(&self, pfn: Pfn) -> &[u64] {
-        self.rmap
-            .get(&pfn.raw())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.rmap.get(&pfn.raw()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Point every PTE mapping `pfn` at cache frame `cfn` (cache-frame

@@ -180,10 +180,7 @@ impl Backend {
     /// Whether `cfn` has an in-flight copy (fill or writeback); the
     /// eviction daemon must skip such frames.
     pub fn busy_cfn(&self, cfn: Cfn) -> bool {
-        self.slots
-            .iter()
-            .flatten()
-            .any(|p| p.cmd.cfn == cfn)
+        self.slots.iter().flatten().any(|p| p.cmd.cfn == cfn)
     }
 
     fn find_fill(&self, cfn: Cfn) -> Option<usize> {
@@ -405,7 +402,13 @@ impl Backend {
     }
 
     /// Deliver a copy-traffic DRAM completion (decoded from its token).
-    pub fn on_copy_completion(&mut self, is_write: bool, slot_idx: usize, sub: SubBlockIdx, now: Cycle) {
+    pub fn on_copy_completion(
+        &mut self,
+        is_write: bool,
+        slot_idx: usize,
+        sub: SubBlockIdx,
+        now: Cycle,
+    ) {
         let Some(slot) = self.slots.get_mut(slot_idx).and_then(Option::as_mut) else {
             return; // stale completion for a retired slot
         };
@@ -413,7 +416,10 @@ impl Backend {
             slot.write_done(sub);
             if slot.complete() {
                 let p = self.slots[slot_idx].take().expect("checked");
-                debug_assert!(p.sub_entries.is_empty(), "entries must drain before completion");
+                debug_assert!(
+                    p.sub_entries.is_empty(),
+                    "entries must drain before completion"
+                );
                 self.buffers_free += 1;
                 self.completed.push(CompletedCopy {
                     kind: p.cmd.kind,
@@ -520,7 +526,14 @@ mod tests {
 
     #[test]
     fn interface_busy_when_pcshrs_full() {
-        let mut b = Backend::new(0, BackendConfig { pcshrs: 2, buffers: 2, ..Default::default() });
+        let mut b = Backend::new(
+            0,
+            BackendConfig {
+                pcshrs: 2,
+                buffers: 2,
+                ..Default::default()
+            },
+        );
         assert!(b.try_send(fill_cmd(1, 10, None)));
         assert!(b.try_send(fill_cmd(2, 11, None)));
         assert!(!b.interface_idle());
@@ -600,7 +613,10 @@ mod tests {
 
     #[test]
     fn sub_entry_exhaustion_forces_retry() {
-        let cfg = BackendConfig { sub_entries: 2, ..Default::default() };
+        let cfg = BackendConfig {
+            sub_entries: 2,
+            ..Default::default()
+        };
         let mut b = Backend::new(0, cfg);
         b.try_send(fill_cmd(1, 10, None));
         assert_eq!(b.check_access(dc_read(1, 10, 1), 0), AccessCheck::Parked);
@@ -638,16 +654,21 @@ mod tests {
 
     #[test]
     fn decoupled_buffers_defer_transfers() {
-        let cfg = BackendConfig { pcshrs: 4, buffers: 1, ..Default::default() };
+        let cfg = BackendConfig {
+            pcshrs: 4,
+            buffers: 1,
+            ..Default::default()
+        };
         let mut b = Backend::new(0, cfg);
         assert!(b.try_send(fill_cmd(1, 10, None)));
-        assert!(b.try_send(fill_cmd(2, 11, None)), "PCSHR free even without buffer");
+        assert!(
+            b.try_send(fill_cmd(2, 11, None)),
+            "PCSHR free even without buffer"
+        );
         // Only the first command can transfer until its buffer frees.
         b.tick(0);
         let first_wave: Vec<_> = b.to_ddr.drain(..).collect();
-        assert!(first_wave
-            .iter()
-            .all(|r| decode_copy_token(r.token).2 == 0));
+        assert!(first_wave.iter().all(|r| decode_copy_token(r.token).2 == 0));
         // Deliver the drained reads so the first command can finish.
         for r in first_wave {
             let (_, w, slot, sub) = decode_copy_token(r.token);
@@ -669,7 +690,11 @@ mod tests {
 
     #[test]
     fn token_round_trip() {
-        for (be, w, slot, sub) in [(0usize, false, 0usize, 0u8), (5, true, 1023, 63), (15, false, 7, 31)] {
+        for (be, w, slot, sub) in [
+            (0usize, false, 0usize, 0u8),
+            (5, true, 1023, 63),
+            (15, false, 7, 31),
+        ] {
             let t = ReqId(copy_token(be, w, slot, SubBlockIdx(sub)));
             assert!(is_copy_token(t));
             assert_eq!(decode_copy_token(t), (be, w, slot, SubBlockIdx(sub)));

@@ -233,9 +233,21 @@ mod tests {
     #[test]
     fn sub_entries_drain_on_matching_read() {
         let mut p: Pcshr<u32> = Pcshr::new(cmd(None), Some(0), 0);
-        p.sub_entries.push(SubEntry { sub: SubBlockIdx(3), arrival: 10, payload: 1 });
-        p.sub_entries.push(SubEntry { sub: SubBlockIdx(9), arrival: 11, payload: 2 });
-        p.sub_entries.push(SubEntry { sub: SubBlockIdx(3), arrival: 12, payload: 3 });
+        p.sub_entries.push(SubEntry {
+            sub: SubBlockIdx(3),
+            arrival: 10,
+            payload: 1,
+        });
+        p.sub_entries.push(SubEntry {
+            sub: SubBlockIdx(9),
+            arrival: 11,
+            payload: 2,
+        });
+        p.sub_entries.push(SubEntry {
+            sub: SubBlockIdx(3),
+            arrival: 12,
+            payload: 3,
+        });
         let mut s = Vec::new();
         p.read_done(SubBlockIdx(3), &mut s);
         let mut got: Vec<u32> = s.iter().map(|e| e.payload).collect();

@@ -291,14 +291,10 @@ impl Frontend {
                         None => {
                             // Emergency synchronous reclamation: the
                             // daemon fell behind a miss burst.
-                            let (got, _) = self.reclaim(
-                                self.cfg.eviction_batch,
-                                backends,
-                                flush,
-                                events,
-                            );
-                            penalty = got as u64 * self.cfg.evict_page_cost
-                                + self.cfg.evict_batch_cost;
+                            let (got, _) =
+                                self.reclaim(self.cfg.eviction_batch, backends, flush, events);
+                            penalty =
+                                got as u64 * self.cfg.evict_page_cost + self.cfg.evict_batch_cost;
                             self.frames.allocate(job.pfn)
                         }
                     };
@@ -308,10 +304,11 @@ impl Frontend {
                     let alloc = match alloc {
                         Some(a) => Some(a),
                         None => {
-                            let victims = self.frames.evict_batch_force(
-                                self.cfg.eviction_batch,
-                                |cfn| backends.busy_cfn(cfn),
-                            );
+                            let victims = self
+                                .frames
+                                .evict_batch_force(self.cfg.eviction_batch, |cfn| {
+                                    backends.busy_cfn(cfn)
+                                });
                             for v in &victims {
                                 flush.flush_dc_page(v.cfn.raw());
                                 for &vpn in self.page_table.reverse_map(v.cpd.pfn) {
@@ -357,10 +354,9 @@ impl Frontend {
                 }
                 Job::Daemon => {
                     self.daemon_queued = false;
-                    let (got, _) =
-                        self.reclaim(self.cfg.eviction_batch, backends, flush, events);
-                    let duration = self.cfg.evict_batch_cost
-                        + got as u64 * self.cfg.evict_page_cost;
+                    let (got, _) = self.reclaim(self.cfg.eviction_batch, backends, flush, events);
+                    let duration =
+                        self.cfg.evict_batch_cost + got as u64 * self.cfg.evict_page_cost;
                     events.daemon_runs += 1;
                     if self.cfg.serialized {
                         self.daemon_until = Some(now + duration);
@@ -448,7 +444,11 @@ mod tests {
 
     impl StubBackend {
         fn new(slots: usize) -> Self {
-            StubBackend { slots, sent: Vec::new(), busy: Vec::new() }
+            StubBackend {
+                slots,
+                sent: Vec::new(),
+                busy: Vec::new(),
+            }
         }
     }
 
@@ -539,7 +539,10 @@ mod tests {
         let mut latencies: Vec<u64> = handled.iter().map(|h| h.completed - h.enqueued).collect();
         latencies.sort_unstable();
         assert_eq!(latencies[0], 400);
-        assert!(latencies[1] >= 800, "second waits for the mutex: {latencies:?}");
+        assert!(
+            latencies[1] >= 800,
+            "second waits for the mutex: {latencies:?}"
+        );
         assert!(latencies[2] >= 1200, "{latencies:?}");
     }
 
@@ -588,7 +591,12 @@ mod tests {
         assert!(f.frames().num_free() > 3, "free {}", f.frames().num_free());
         // Evicted pages are uncached again.
         let evicted_pages = (0..13u64)
-            .filter(|v| !f.page_table().get(Vpn(*v)).map(|p| p.cached()).unwrap_or(false))
+            .filter(|v| {
+                !f.page_table()
+                    .get(Vpn(*v))
+                    .map(|p| p.cached())
+                    .unwrap_or(false)
+            })
             .count();
         assert!(evicted_pages > 0);
     }

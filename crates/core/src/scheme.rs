@@ -14,8 +14,7 @@ use nomad_dcache::{
 };
 use nomad_dram::Dram;
 use nomad_types::{
-    AccessKind, Cfn, CoreId, Cycle, MemResp, MemTarget, SubBlockIdx, TrafficClass, Vpn,
-    PAGE_SIZE,
+    AccessKind, Cfn, CoreId, Cycle, MemResp, MemTarget, SubBlockIdx, TrafficClass, Vpn, PAGE_SIZE,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -143,7 +142,9 @@ impl NomadScheme {
                     // like conventional PTE dirty bits).
                     self.frontend.frames_mut().set_dirty(Cfn(req.addr.page()));
                 }
-                let check = self.backend_for_cfn(Cfn(req.addr.page())).check_access(req, now);
+                let check = self
+                    .backend_for_cfn(Cfn(req.addr.page()))
+                    .check_access(req, now);
                 match check {
                     AccessCheck::NoMatch => {
                         self.stats.dc_data_hits.inc();
@@ -286,7 +287,9 @@ impl DcScheme for NomadScheme {
         if !pte.tag_miss() {
             return;
         }
-        let FrameKind::Phys(pfn) = pte.frame else { return };
+        let FrameKind::Phys(pfn) = pte.frame else {
+            return;
+        };
         let frames = self.frontend.frames_mut();
         if frames.num_free() == 0 {
             let evicted = frames.evict_batch(64);
@@ -343,7 +346,8 @@ impl DcScheme for NomadScheme {
         self.fe_events.clear();
         {
             let mut view = BackendsView(&mut self.backends);
-            self.frontend.tick(now, &mut view, flush, &mut self.fe_events);
+            self.frontend
+                .tick(now, &mut view, flush, &mut self.fe_events);
         }
         self.stats.evictions.add(self.fe_events.evicted as u64);
         events.shootdowns.append(&mut self.fe_events.shootdowns);
@@ -406,7 +410,9 @@ impl DcScheme for NomadScheme {
                 .complete(c.token)
                 .or_else(|| self.ddr_demand.complete(c.token))
             {
-                self.stats.dc_access_time.record(now.saturating_sub(arrived));
+                self.stats
+                    .dc_access_time
+                    .record(now.saturating_sub(arrived));
                 events.responses.push(MemResp {
                     token: req.token,
                     addr: req.addr,
@@ -428,7 +434,9 @@ impl DcScheme for NomadScheme {
             b.take_completed(&mut completed);
         }
         for (arrival, r) in resp.drain(..) {
-            self.stats.dc_access_time.record(now.saturating_sub(arrival));
+            self.stats
+                .dc_access_time
+                .record(now.saturating_sub(arrival));
             events.responses.push(r);
         }
         for c in completed.drain(..) {
@@ -514,8 +522,13 @@ mod tests {
 
         fn run(&mut self, cycles: Cycle) {
             for _ in 0..cycles {
-                self.scheme
-                    .tick(self.now, &mut self.hbm, &mut self.ddr, &mut NoFlush, &mut self.ev);
+                self.scheme.tick(
+                    self.now,
+                    &mut self.hbm,
+                    &mut self.ddr,
+                    &mut NoFlush,
+                    &mut self.ev,
+                );
                 self.responses.append(&mut self.ev.responses);
                 self.wakes.append(&mut self.ev.wakes);
                 self.ev.clear();
@@ -666,7 +679,10 @@ mod tests {
         cfg.eviction_batch = 16;
         let mut rig = Rig::new(NomadScheme::new(cfg));
         for v in 0..200u64 {
-            match rig.scheme.walk(0, Vpn(v), SubBlockIdx(0), AccessKind::Write, rig.now) {
+            match rig
+                .scheme
+                .walk(0, Vpn(v), SubBlockIdx(0), AccessKind::Write, rig.now)
+            {
                 WalkOutcome::Blocked { .. } => {
                     // Wait for the handler to finish before the next
                     // touch (single-threaded touch loop).
@@ -707,7 +723,10 @@ mod tests {
         let mut rig = Rig::new(NomadScheme::nomad(1 << 22));
         // Burst of 8 simultaneous tag misses from different cores.
         for (core, v) in (0..8u64).enumerate() {
-            match rig.scheme.walk(core, Vpn(v), SubBlockIdx(0), AccessKind::Read, 0) {
+            match rig
+                .scheme
+                .walk(core, Vpn(v), SubBlockIdx(0), AccessKind::Read, 0)
+            {
                 WalkOutcome::Blocked { .. } => {}
                 _ => panic!("tag miss expected"),
             }

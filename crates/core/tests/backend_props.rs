@@ -23,7 +23,11 @@ fn access(cfn: u64, sub: u8, write: bool, token: u64) -> DcAccessReq {
         token: ReqId(token),
         addr: BlockAddr(cfn * 64 + (sub % 64) as u64),
         target: MemTarget::DramCache,
-        kind: if write { AccessKind::Write } else { AccessKind::Read },
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
         core: 0,
         wants_response: !write,
     }

@@ -30,8 +30,13 @@ impl Rig {
     fn run(&mut self, cycles: u64) -> usize {
         let mut wakes = 0;
         for _ in 0..cycles {
-            self.scheme
-                .tick(self.now, &mut self.hbm, &mut self.ddr, &mut NoFlush, &mut self.ev);
+            self.scheme.tick(
+                self.now,
+                &mut self.hbm,
+                &mut self.ddr,
+                &mut NoFlush,
+                &mut self.ev,
+            );
             wakes += self.ev.wakes.len();
             self.ev.clear();
             self.now += 1;

@@ -103,7 +103,9 @@ impl DcScheme for Baseline {
         hbm.tick(&mut Vec::new());
         for c in done {
             if let Some((req, arrived)) = self.demand.complete(c.token) {
-                self.stats.dc_access_time.record(now.saturating_sub(arrived));
+                self.stats
+                    .dc_access_time
+                    .record(now.saturating_sub(arrived));
                 events.responses.push(MemResp {
                     token: req.token,
                     addr: req.addr,

@@ -24,7 +24,6 @@ pub struct DemandPath {
 /// Token bits reserved for source tags (top byte).
 pub const DEMAND_TAG_MASK: u64 = 0xff << 56;
 
-
 impl DemandPath {
     /// An empty router with tag 0.
     pub fn new() -> Self {
@@ -117,7 +116,12 @@ mod tests {
     fn read_round_trip() {
         let mut dram = Dram::new(DramConfig::ddr4_2ch());
         let mut path = DemandPath::new();
-        path.submit(access(7, AccessKind::Read), 0x1000, TrafficClass::DemandRead, 5);
+        path.submit(
+            access(7, AccessKind::Read),
+            0x1000,
+            TrafficClass::DemandRead,
+            5,
+        );
         let mut done = Vec::new();
         for _ in 0..500 {
             path.drain(&mut dram);
@@ -134,7 +138,12 @@ mod tests {
     fn writes_are_posted_and_untracked() {
         let mut dram = Dram::new(DramConfig::ddr4_2ch());
         let mut path = DemandPath::new();
-        path.submit(access(1, AccessKind::Write), 0, TrafficClass::DemandWrite, 0);
+        path.submit(
+            access(1, AccessKind::Write),
+            0,
+            TrafficClass::DemandWrite,
+            0,
+        );
         let mut done = Vec::new();
         for _ in 0..500 {
             path.drain(&mut dram);
@@ -143,9 +152,7 @@ mod tests {
         assert!(done.is_empty());
         assert_eq!(path.in_flight(), 0);
         assert_eq!(
-            dram.stats()
-                .bytes_for(TrafficClass::DemandWrite)
-                .written,
+            dram.stats().bytes_for(TrafficClass::DemandWrite).written,
             64
         );
     }
@@ -155,8 +162,18 @@ mod tests {
         let mut a = DemandPath::with_tag(1 << 56);
         let mut b = DemandPath::with_tag(2 << 56);
         let mut dram = Dram::new(DramConfig::hbm());
-        a.submit(access(1, AccessKind::Read), 0x40, TrafficClass::DemandRead, 0);
-        b.submit(access(2, AccessKind::Read), 0x80, TrafficClass::DemandRead, 0);
+        a.submit(
+            access(1, AccessKind::Read),
+            0x40,
+            TrafficClass::DemandRead,
+            0,
+        );
+        b.submit(
+            access(2, AccessKind::Read),
+            0x80,
+            TrafficClass::DemandRead,
+            0,
+        );
         let mut done = Vec::new();
         for _ in 0..500 {
             a.drain(&mut dram);
@@ -182,7 +199,12 @@ mod tests {
         let mut path = DemandPath::new();
         // Far more than the 2×32 queue slots.
         for i in 0..200 {
-            path.submit(access(i, AccessKind::Read), i * 64, TrafficClass::DemandRead, 0);
+            path.submit(
+                access(i, AccessKind::Read),
+                i * 64,
+                TrafficClass::DemandRead,
+                0,
+            );
         }
         let mut done = Vec::new();
         let mut completions = 0;

@@ -121,7 +121,9 @@ impl DcScheme for Ideal {
     fn prewarm(&mut self, _core: CoreId, vpn: Vpn, dirty: bool) {
         let pte = *self.page_table.pte_mut(vpn);
         if pte.tag_miss() {
-            let FrameKind::Phys(pfn) = pte.frame else { return };
+            let FrameKind::Phys(pfn) = pte.frame else {
+                return;
+            };
             self.reclaim_if_needed();
             if let Some((cfn, _)) = self.frames.allocate(pfn) {
                 self.page_table.cache_all(pfn, cfn);
@@ -178,7 +180,9 @@ impl DcScheme for Ideal {
         hbm.tick(&mut done);
         for c in done.drain(..) {
             if let Some((req, arrived)) = self.hbm_demand.complete(c.token) {
-                self.stats.dc_access_time.record(now.saturating_sub(arrived));
+                self.stats
+                    .dc_access_time
+                    .record(now.saturating_sub(arrived));
                 events.responses.push(MemResp {
                     token: req.token,
                     addr: req.addr,
@@ -190,7 +194,9 @@ impl DcScheme for Ideal {
         ddr.tick(&mut done);
         for c in done {
             if let Some((req, arrived)) = self.ddr_demand.complete(c.token) {
-                self.stats.dc_access_time.record(now.saturating_sub(arrived));
+                self.stats
+                    .dc_access_time
+                    .record(now.saturating_sub(arrived));
                 events.responses.push(MemResp {
                     token: req.token,
                     addr: req.addr,
@@ -257,7 +263,13 @@ mod tests {
         assert_eq!(s.stats().tag_misses.get(), 200);
         assert!(s.stats().evictions.get() > 0);
         // A long-evicted early page tag-misses again.
-        s.walk(0, Vpn(0), nomad_types::SubBlockIdx(0), AccessKind::Read, 999);
+        s.walk(
+            0,
+            Vpn(0),
+            nomad_types::SubBlockIdx(0),
+            AccessKind::Read,
+            999,
+        );
         assert_eq!(s.stats().tag_misses.get(), 201);
     }
 
@@ -300,6 +312,9 @@ mod tests {
         for v in 500..1200u64 {
             s.walk(0, Vpn(v), nomad_types::SubBlockIdx(0), AccessKind::Read, v);
         }
-        assert!(!s.page_table.get(Vpn(0)).unwrap().cached(), "reclaimed after departure");
+        assert!(
+            !s.page_table.get(Vpn(0)).unwrap().cached(),
+            "reclaimed after departure"
+        );
     }
 }

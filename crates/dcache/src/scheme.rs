@@ -5,7 +5,9 @@ use crate::stats::SchemeStats;
 use nomad_cache::TlbEntry;
 use nomad_cpu::OsStallReason;
 use nomad_dram::Dram;
-use nomad_types::{AccessKind, BlockAddr, CoreId, Cycle, MemResp, MemTarget, ReqId, SubBlockIdx, Vpn};
+use nomad_types::{
+    AccessKind, BlockAddr, CoreId, Cycle, MemResp, MemTarget, ReqId, SubBlockIdx, Vpn,
+};
 
 /// A demand access arriving at the DRAM-cache controller from the LLC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -94,9 +94,9 @@ mod tests {
     fn rmhb_math() {
         let mut s = SchemeStats::default();
         s.tag_misses.add(1000); // 1000 pages = 4 MiB
-        // 3200 cycles at 3.2 GHz = 1 µs → 4.096 MB/µs = 4.096 GB/ms… = 4096 GB/s? No:
-        // 4 MiB in 1 µs = 4.194 GB / 1e-6 s / 1e9 = 4194 GB/s — scale sanely:
-        // use 3.2e6 cycles = 1 ms → 4.194e-3 GB / 1e-3 s = 4.19 GB/s.
+                                // 3200 cycles at 3.2 GHz = 1 µs → 4.096 MB/µs = 4.096 GB/ms… = 4096 GB/s? No:
+                                // 4 MiB in 1 µs = 4.194 GB / 1e-6 s / 1e9 = 4194 GB/s — scale sanely:
+                                // use 3.2e6 cycles = 1 ms → 4.194e-3 GB / 1e-3 s = 4.19 GB/s.
         let v = s.rmhb_gbps(3_200_000, 3.2);
         assert!((v - 4.096).abs() < 0.01, "{v}");
     }

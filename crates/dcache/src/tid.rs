@@ -24,9 +24,7 @@ use crate::scheme::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents, WalkOutcome
 use crate::stats::SchemeStats;
 use nomad_cache::{CacheArray, PageTable, TlbEntry};
 use nomad_dram::{Dram, DramRequest};
-use nomad_types::{
-    AccessKind, CoreId, Cycle, MemResp, ReqId, TrafficClass, Vpn, BLOCK_SIZE,
-};
+use nomad_types::{AccessKind, CoreId, Cycle, MemResp, ReqId, TrafficClass, Vpn, BLOCK_SIZE};
 use std::collections::{HashMap, VecDeque};
 
 /// TiD configuration.
@@ -121,7 +119,7 @@ impl Tid {
     /// Panics if `line_bytes` is not a multiple of 64 or the geometry
     /// does not produce at least one set.
     pub fn new(cfg: TidConfig) -> Self {
-        assert!(cfg.line_bytes % BLOCK_SIZE == 0 && cfg.line_bytes >= BLOCK_SIZE);
+        assert!(cfg.line_bytes.is_multiple_of(BLOCK_SIZE) && cfg.line_bytes >= BLOCK_SIZE);
         let lines = (cfg.capacity_bytes / cfg.line_bytes).max(1) as usize;
         assert!(lines >= cfg.assoc, "geometry too small");
         let sets = (lines / cfg.assoc).next_power_of_two();
@@ -237,9 +235,7 @@ impl Tid {
             if m.fetched & (1 << block) != 0 {
                 // Serviced straight from the fill buffer.
                 self.stats.buffer_hits.inc();
-                self.stats
-                    .dc_access_time
-                    .record(buffer_latency);
+                self.stats.dc_access_time.record(buffer_latency);
                 self.ready_responses.push((
                     now + buffer_latency,
                     MemResp {
@@ -292,7 +288,11 @@ impl Tid {
         let mut mshr = TidMshr {
             line,
             fetched: 0,
-            issued: if req.kind.is_write() { 0 } else { 1u32 << block },
+            issued: if req.kind.is_write() {
+                0
+            } else {
+                1u32 << block
+            },
             critical: block,
             dirty: req.kind.is_write(),
             waiting: Vec::new(),
@@ -320,9 +320,7 @@ impl Tid {
         if let Some(v) = victim {
             if v.dirty {
                 self.stats.writebacks.inc();
-                self.stats
-                    .writeback_bytes
-                    .add(self.cfg.line_bytes);
+                self.stats.writeback_bytes.add(self.cfg.line_bytes);
                 mshr.wb_reads_left = self.blocks_per_line();
                 mshr.wb_line = v.key;
                 for b in 0..self.blocks_per_line() as u8 {
@@ -396,7 +394,9 @@ impl Tid {
             while i < m.waiting.len() {
                 if m.waiting[i].1 == block {
                     let (req, _, arrival) = m.waiting.swap_remove(i);
-                    self.stats.dc_access_time.record(now.saturating_sub(arrival));
+                    self.stats
+                        .dc_access_time
+                        .record(now.saturating_sub(arrival));
                     self.ready_responses.push((
                         now,
                         MemResp {
@@ -557,7 +557,9 @@ impl DcScheme for Tid {
                 TOK_DEMAND => {
                     let seq = c.token.0 & !TOK_MASK;
                     if let Some((req, arrived)) = self.demand_inflight.remove(&seq) {
-                        self.stats.dc_access_time.record(now.saturating_sub(arrived));
+                        self.stats
+                            .dc_access_time
+                            .record(now.saturating_sub(arrived));
                         events.responses.push(MemResp {
                             token: req.token,
                             addr: req.addr,
@@ -718,10 +720,7 @@ mod tests {
         }
         run(&mut tid, &mut hbm, &mut ddr, &mut ev, 4000, 20_000);
         assert_eq!(tid.stats().writebacks.get(), 1);
-        assert_eq!(
-            ddr.stats().bytes_for(TrafficClass::Writeback).written,
-            1024
-        );
+        assert_eq!(ddr.stats().bytes_for(TrafficClass::Writeback).written, 1024);
     }
 
     #[test]

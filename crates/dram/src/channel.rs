@@ -72,7 +72,9 @@ pub(crate) struct Channel {
 impl Channel {
     pub fn new(cfg: &DramConfig) -> Self {
         Channel {
-            banks: (0..cfg.banks_per_channel).map(|_| Bank::default()).collect(),
+            banks: (0..cfg.banks_per_channel)
+                .map(|_| Bank::default())
+                .collect(),
             queue: VecDeque::with_capacity(cfg.queue_depth),
             queue_depth: cfg.queue_depth,
             bus_free_at: 0,
@@ -95,6 +97,7 @@ impl Channel {
     }
 
     /// Enqueue a decoded command.
+    #[allow(clippy::too_many_arguments)]
     pub fn try_push(
         &mut self,
         token: ReqId,
@@ -225,10 +228,7 @@ impl Channel {
                     protected |= bit;
                 }
                 Some(_) => {
-                    if attempted & bit == 0
-                        && protected & bit == 0
-                        && bank.can_pre(now)
-                    {
+                    if attempted & bit == 0 && protected & bit == 0 && bank.can_pre(now) {
                         bank.pre(now, &t);
                         return;
                     }
@@ -273,8 +273,16 @@ mod tests {
     fn single_read_completes_with_idle_latency() {
         let (mut ch, cfg) = channel();
         let mut stats = DramStats::new(&cfg);
-        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
-            .unwrap();
+        ch.try_push(
+            ReqId(1),
+            0,
+            5,
+            AccessKind::Read,
+            TrafficClass::DemandRead,
+            true,
+            0,
+        )
+        .unwrap();
         let done = drain_until(&mut ch, &mut stats, 200);
         assert_eq!(done.len(), 1);
         let t = cfg.timing;
@@ -310,10 +318,26 @@ mod tests {
     fn row_conflict_requires_pre_act() {
         let (mut ch, cfg) = channel();
         let mut stats = DramStats::new(&cfg);
-        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
-            .unwrap();
-        ch.try_push(ReqId(2), 0, 9, AccessKind::Read, TrafficClass::DemandRead, true, 0)
-            .unwrap();
+        ch.try_push(
+            ReqId(1),
+            0,
+            5,
+            AccessKind::Read,
+            TrafficClass::DemandRead,
+            true,
+            0,
+        )
+        .unwrap();
+        ch.try_push(
+            ReqId(2),
+            0,
+            9,
+            AccessKind::Read,
+            TrafficClass::DemandRead,
+            true,
+            0,
+        )
+        .unwrap();
         let done = drain_until(&mut ch, &mut stats, 500);
         assert_eq!(done.len(), 2);
         let t = cfg.timing;
@@ -339,7 +363,15 @@ mod tests {
         }
         assert!(!ch.can_accept());
         assert_eq!(
-            ch.try_push(ReqId(99), 0, 0, AccessKind::Read, TrafficClass::DemandRead, true, 0),
+            ch.try_push(
+                ReqId(99),
+                0,
+                0,
+                AccessKind::Read,
+                TrafficClass::DemandRead,
+                true,
+                0
+            ),
             Err(QueuePushError)
         );
     }
@@ -393,7 +425,10 @@ mod tests {
         // tFAW. Its data can finish no earlier than tFAW + tRCD + tCL.
         let min_fifth = t.t_faw + t.t_rcd + t.t_cl + t.t_burst;
         let last = done.iter().map(|c| c.done_at).max().expect("non-empty");
-        assert!(last >= min_fifth, "fifth access at {last}, needs >= {min_fifth}");
+        assert!(
+            last >= min_fifth,
+            "fifth access at {last}, needs >= {min_fifth}"
+        );
     }
 
     #[test]
@@ -411,10 +446,26 @@ mod tests {
     fn different_banks_overlap() {
         let (mut ch, cfg) = channel();
         let mut stats = DramStats::new(&cfg);
-        ch.try_push(ReqId(1), 0, 5, AccessKind::Read, TrafficClass::DemandRead, true, 0)
-            .unwrap();
-        ch.try_push(ReqId(2), 1, 7, AccessKind::Read, TrafficClass::DemandRead, true, 0)
-            .unwrap();
+        ch.try_push(
+            ReqId(1),
+            0,
+            5,
+            AccessKind::Read,
+            TrafficClass::DemandRead,
+            true,
+            0,
+        )
+        .unwrap();
+        ch.try_push(
+            ReqId(2),
+            1,
+            7,
+            AccessKind::Read,
+            TrafficClass::DemandRead,
+            true,
+            0,
+        )
+        .unwrap();
         let done = drain_until(&mut ch, &mut stats, 300);
         assert_eq!(done.len(), 2);
         let t = cfg.timing;

@@ -132,7 +132,9 @@ impl Dram {
         self.pending.retain(|c| {
             if c.done_at <= dev_now {
                 if c.kind == AccessKind::Read {
-                    stats.read_latency.record(cpu_now.saturating_sub(c.push_cpu));
+                    stats
+                        .read_latency
+                        .record(cpu_now.saturating_sub(c.push_cpu));
                 }
                 if c.wants_completion {
                     out.push(DramCompletion {
@@ -235,10 +237,7 @@ mod tests {
         let mut cycles = 0u64;
         while completed < total as usize {
             while pushed < total {
-                if dram
-                    .try_push(read_req(pushed, pushed * 64))
-                    .is_err()
-                {
+                if dram.try_push(read_req(pushed, pushed * 64)).is_err() {
                     break;
                 }
                 pushed += 1;

@@ -109,7 +109,11 @@ impl DramStats {
 
     /// Achieved bandwidth for `class` in GB/s over the measured window.
     pub fn class_gbps(&self, class: TrafficClass) -> f64 {
-        gbps(self.bytes_for(class).total(), self.cpu_cycles, self.cpu_clock_ghz)
+        gbps(
+            self.bytes_for(class).total(),
+            self.cpu_cycles,
+            self.cpu_clock_ghz,
+        )
     }
 
     /// Total achieved bandwidth in GB/s over the measured window.
@@ -119,7 +123,10 @@ impl DramStats {
 
     /// Row-buffer hit rate over all CAS operations.
     pub fn row_hit_rate(&self) -> f64 {
-        ratio(self.row_hits.get(), self.row_hits.get() + self.row_misses.get())
+        ratio(
+            self.row_hits.get(),
+            self.row_hits.get() + self.row_misses.get(),
+        )
     }
 
     /// Mean command-queue occupancy.

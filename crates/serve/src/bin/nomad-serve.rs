@@ -1,0 +1,67 @@
+//! The nomad-serve daemon.
+//!
+//! ```text
+//! nomad-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!             [--timeout-ms N] [--retries N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7979`), prints the bound address, and
+//! serves until a client sends `"Shutdown"`.
+
+use nomad_serve::{serve, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7979".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
+            "--queue" => cfg.queue_capacity = parse(&value("--queue"), "--queue"),
+            "--timeout-ms" => {
+                cfg.job_timeout =
+                    Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"))
+            }
+            "--retries" => cfg.retry_budget = parse(&value("--retries"), "--retries"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: nomad-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--timeout-ms N] [--retries N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let workers = cfg.workers;
+    let handle = match serve(cfg) {
+        Ok(h) => h,
+        Err(e) => die(&format!("bind failed: {e}")),
+    };
+    println!(
+        "nomad-serve listening on {} ({} workers)",
+        handle.local_addr(),
+        workers
+    );
+    handle.join();
+    println!("nomad-serve: shut down");
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("invalid value `{s}` for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("nomad-serve: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,275 @@
+//! Content-addressed result cache with single-flight coalescing.
+//!
+//! Results are keyed by the FNV-1a 64 hash of the job's canonical JSON
+//! (see [`crate::proto::JobSpec::content_key`]). Because 64-bit
+//! hashes can collide, every slot stores the canonical string and
+//! verifies it on lookup: a collision degrades to
+//! [`Claim::RunUncached`] (run the job, skip the cache), never to a
+//! wrong report.
+//!
+//! The first claimant of a key becomes its *runner*
+//! ([`Claim::Run`]); identical jobs claimed while the first is still
+//! executing coalesce onto the same [`Flight`] ([`Claim::Wait`]) and
+//! are counted as cache hits — they are served without a new
+//! simulation. Successful results are cached forever (simulations are
+//! deterministic, so entries never go stale); failures are *not*
+//! cached — the next identical submission retries from scratch.
+
+use nomad_sim::RunReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a job did not produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Human-readable description (panic message, timeout, shutdown).
+    pub error: String,
+    /// Execution attempts consumed (0 if the job never started).
+    pub attempts: u32,
+}
+
+/// The outcome of one job execution.
+pub type JobResult = Result<Arc<RunReport>, JobFailure>;
+
+/// A rendezvous between one running job and any coalesced waiters.
+pub struct Flight {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    /// A fresh, unresolved flight.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Publish the result and wake all waiters. Idempotent: the first
+    /// completion wins.
+    pub fn complete(&self, result: JobResult) {
+        let mut slot = self.slot.lock().expect("flight lock");
+        if slot.is_none() {
+            *slot = Some(result);
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until the result is published.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.slot.lock().expect("flight lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).expect("flight lock");
+        }
+    }
+}
+
+enum Slot {
+    /// A completed result.
+    Ready {
+        canonical: String,
+        report: Arc<RunReport>,
+    },
+    /// A job currently executing (or queued).
+    InFlight {
+        canonical: String,
+        flight: Arc<Flight>,
+    },
+}
+
+/// What a submission should do, as decided by [`ResultCache::claim`].
+pub enum Claim {
+    /// Cached result; respond immediately.
+    Hit(Arc<RunReport>),
+    /// An identical job is already in flight; wait for it.
+    Wait(Arc<Flight>),
+    /// This submission is the runner: execute, then
+    /// [`complete`](ResultCache::complete) the key.
+    Run(Arc<Flight>),
+    /// Key collision with a *different* job (canonical strings
+    /// differ): execute without touching the cache.
+    RunUncached,
+}
+
+/// The shared result cache.
+#[derive(Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide how to serve a job with this `(key, canonical)`
+    /// identity, registering an in-flight slot when this submission
+    /// becomes the runner.
+    pub fn claim(&self, key: u64, canonical: &str) -> Claim {
+        let mut map = self.map.lock().expect("cache lock");
+        match map.get(&key) {
+            Some(Slot::Ready {
+                canonical: c,
+                report,
+            }) if c == canonical => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Claim::Hit(Arc::clone(report))
+            }
+            Some(Slot::InFlight {
+                canonical: c,
+                flight,
+            }) if c == canonical => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Claim::Wait(Arc::clone(flight))
+            }
+            Some(_) => {
+                // 64-bit collision between distinct jobs.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Claim::RunUncached
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let flight = Flight::new();
+                map.insert(
+                    key,
+                    Slot::InFlight {
+                        canonical: canonical.to_string(),
+                        flight: Arc::clone(&flight),
+                    },
+                );
+                Claim::Run(flight)
+            }
+        }
+    }
+
+    /// Resolve the in-flight slot for `key`: successes become cached
+    /// entries, failures are forgotten (retried on next submission).
+    /// Waiters are woken either way.
+    pub fn complete(&self, key: u64, result: JobResult) {
+        let mut map = self.map.lock().expect("cache lock");
+        let Some(Slot::InFlight { canonical, flight }) = map.remove(&key) else {
+            return;
+        };
+        if let Ok(report) = &result {
+            map.insert(
+                key,
+                Slot::Ready {
+                    canonical,
+                    report: Arc::clone(report),
+                },
+            );
+        }
+        drop(map);
+        flight.complete(result);
+    }
+
+    /// Submissions served from cache or coalesced.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Submissions that required a new simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Completed reports currently cached.
+    pub fn entries(&self) -> usize {
+        let map = self.map.lock().expect("cache lock");
+        map.values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Arc<RunReport> {
+        use nomad_sim::{runner, SchemeSpec, SystemConfig};
+        use nomad_trace::WorkloadProfile;
+        let mut cfg = SystemConfig::scaled(1);
+        cfg.dc_capacity = 4 * 1024 * 1024;
+        Arc::new(runner::run_one(
+            &cfg,
+            &SchemeSpec::Baseline,
+            &WorkloadProfile::tc(),
+            2_000,
+            0,
+            1,
+        ))
+    }
+
+    #[test]
+    fn first_claim_runs_second_hits_after_completion() {
+        let cache = ResultCache::new();
+        let r = report();
+        let Claim::Run(flight) = cache.claim(42, "job-a") else {
+            panic!("first claim must run");
+        };
+        cache.complete(42, Ok(Arc::clone(&r)));
+        assert_eq!(flight.wait().expect("success").cycles, r.cycles);
+        let Claim::Hit(hit) = cache.claim(42, "job-a") else {
+            panic!("second claim must hit");
+        };
+        assert_eq!(hit.cycles, r.cycles);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn concurrent_claims_coalesce_onto_one_flight() {
+        let cache = ResultCache::new();
+        let Claim::Run(_runner) = cache.claim(7, "job") else {
+            panic!("runner");
+        };
+        let Claim::Wait(waiter) = cache.claim(7, "job") else {
+            panic!("waiter");
+        };
+        let r = report();
+        cache.complete(7, Ok(Arc::clone(&r)));
+        assert_eq!(waiter.wait().expect("success").cycles, r.cycles);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let cache = ResultCache::new();
+        let Claim::Run(flight) = cache.claim(9, "job") else {
+            panic!("runner");
+        };
+        cache.complete(
+            9,
+            Err(JobFailure {
+                error: "panicked".into(),
+                attempts: 3,
+            }),
+        );
+        assert_eq!(flight.wait().expect_err("failure").attempts, 3);
+        assert_eq!(cache.entries(), 0);
+        // The next identical submission runs again.
+        assert!(matches!(cache.claim(9, "job"), Claim::Run(_)));
+    }
+
+    #[test]
+    fn collision_bypasses_cache() {
+        let cache = ResultCache::new();
+        let Claim::Run(_) = cache.claim(1, "job-a") else {
+            panic!("runner");
+        };
+        // Same key, different canonical string: must not coalesce.
+        assert!(matches!(cache.claim(1, "job-b"), Claim::RunUncached));
+        cache.complete(1, Ok(report()));
+        assert!(matches!(cache.claim(1, "job-b"), Claim::RunUncached));
+    }
+}

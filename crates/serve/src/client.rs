@@ -1,0 +1,152 @@
+//! Thin synchronous client for the nomad-serve protocol.
+
+use crate::proto::{self, JobSpec, Request, Response, StatsSnapshot};
+use nomad_sim::runner::Cell;
+use nomad_sim::RunReport;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a nomad-serve instance. Requests on a connection
+/// are synchronous; open one client per concurrent job.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        proto::write_frame(&mut self.writer, request)?;
+        proto::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )
+        })
+    }
+
+    /// Submit one job (no backpressure retry; see
+    /// [`submit_retrying`](Self::submit_retrying)).
+    pub fn submit(&mut self, job: &JobSpec) -> io::Result<Response> {
+        self.request(&Request::Submit(job.clone()))
+    }
+
+    /// Submit, honouring `Rejected { retry_after_ms }` backoff up to
+    /// `max_attempts` total tries.
+    pub fn submit_retrying(&mut self, job: &JobSpec, max_attempts: u32) -> io::Result<Response> {
+        let mut last = None;
+        for _ in 0..max_attempts.max(1) {
+            match self.submit(job)? {
+                Response::Rejected { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    last = Some(Response::Rejected { retry_after_ms });
+                }
+                other => return Ok(other),
+            }
+        }
+        Ok(last.expect("at least one attempt"))
+    }
+
+    /// Fetch service statistics.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected {wanted}, got {got:?}"),
+    )
+}
+
+/// Drop-in replacement for [`runner::run_grid`]
+/// (`nomad_sim::runner::run_grid`) that submits the grid through a
+/// running nomad-serve instance: one connection per client thread,
+/// results in input order. Fails on the first job the service reports
+/// as failed.
+pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+    let work: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let msg = e.to_string();
+                        // Without a connection this thread can do
+                        // nothing; record the error for every cell it
+                        // would have claimed as they come up.
+                        loop {
+                            let item = queue.lock().expect("work lock").pop();
+                            let Some((idx, _)) = item else { return };
+                            results
+                                .lock()
+                                .expect("results lock")
+                                .push((idx, Err(format!("connect failed: {msg}"))));
+                        }
+                    }
+                };
+                loop {
+                    let item = queue.lock().expect("work lock").pop();
+                    let Some((idx, cell)) = item else { return };
+                    let job = JobSpec::from_cell(&cell);
+                    let outcome = match client.submit_retrying(&job, 1000) {
+                        Ok(Response::Report { report, .. }) => Ok(report),
+                        Ok(Response::Failed { error, attempts }) => {
+                            Err(format!("job failed after {attempts} attempts: {error}"))
+                        }
+                        Ok(Response::Rejected { .. }) => {
+                            Err("job rejected past retry budget".to_string())
+                        }
+                        Ok(other) => Err(format!("unexpected response: {other:?}")),
+                        Err(e) => Err(format!("transport error: {e}")),
+                    };
+                    results.lock().expect("results lock").push((idx, outcome));
+                }
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("threads joined");
+    collected.sort_by_key(|(i, _)| *i);
+    collected
+        .into_iter()
+        .map(|(_, r)| r.map_err(io::Error::other))
+        .collect()
+}

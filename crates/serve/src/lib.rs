@@ -1,0 +1,51 @@
+//! nomad-serve: a sharded simulation service over the NOMAD
+//! experiment runner.
+//!
+//! Long parameter sweeps re-run many identical (config × scheme ×
+//! workload × seed) cells — across figures, across sessions, across
+//! collaborators. This crate turns the in-process
+//! [`runner`](nomad_sim::runner) into a small network service that
+//! runs each distinct experiment at most once:
+//!
+//! * **Protocol** ([`proto`]) — line-delimited JSON over TCP; a
+//!   connection is a lane of synchronous request/response pairs.
+//! * **Job queue** ([`queue`]) — bounded MPMC with backpressure:
+//!   submissions beyond capacity are rejected with a retry-after hint
+//!   instead of queueing unboundedly.
+//! * **Worker pool** ([`worker`]) — shards jobs across OS threads;
+//!   every attempt runs under `catch_unwind` with a wall-clock
+//!   timeout, and panics are retried up to a budget so one poisoned
+//!   job cannot take the service down.
+//! * **Result cache** ([`cache`]) — content-addressed by the FNV-1a 64
+//!   hash of the job's canonical JSON, with single-flight coalescing:
+//!   identical concurrent submissions ride on one execution.
+//! * **Stats** ([`stats`], `Request::Stats`) — queue depth, cache hit
+//!   rate, per-worker utilization, p50/p99 job latency.
+//!
+//! Simulations are deterministic, so cached reports never go stale and
+//! a cache hit is byte-identical to re-running the job.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use nomad_serve::{serve, Client, JobSpec, ServerConfig};
+//!
+//! let handle = serve(ServerConfig::default()).expect("bind");
+//! let mut client = Client::connect(handle.local_addr()).expect("connect");
+//! # let job: JobSpec = todo!();
+//! let response = client.submit(&job).expect("submit");
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod worker;
+
+pub use cache::{JobFailure, ResultCache};
+pub use client::{run_grid_via, Client};
+pub use proto::{JobSpec, Request, Response, StatsSnapshot};
+pub use server::{serve, ServerConfig, ServerHandle};

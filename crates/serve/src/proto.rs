@@ -1,0 +1,277 @@
+//! Wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request and response is one compact JSON document followed by
+//! `\n`. A connection carries a synchronous request/response stream —
+//! the server answers requests in order, and a `Submit` holds the
+//! connection until its job resolves. Clients wanting parallelism open
+//! one connection per in-flight job (see
+//! [`run_grid_via`](crate::client::run_grid_via)).
+//!
+//! # Cache key
+//!
+//! A job's identity is the FNV-1a 64 hash of its *canonical JSON*: the
+//! compact serialization of [`JobSpec`] with fields in declaration
+//! order (the derive preserves declaration order, and the vendored
+//! `serde_json` prints numbers deterministically). Two jobs are the
+//! same experiment iff their `(SystemConfig, SchemeSpec,
+//! WorkloadProfile, instructions, warmup, seed)` tuples serialize
+//! identically.
+
+use crate::hash::fnv1a;
+use nomad_sim::runner::{self, Cell};
+use nomad_sim::{RunReport, SchemeSpec, SystemConfig};
+use nomad_trace::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One simulation job: the full input tuple of
+/// [`runner::run_one`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Scheme to run.
+    pub spec: SchemeSpec,
+    /// Workload to run.
+    pub profile: WorkloadProfile,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// Build a job from a [`run_grid`](runner::run_grid) cell.
+    pub fn from_cell(cell: &Cell) -> Self {
+        JobSpec {
+            cfg: cell.cfg.clone(),
+            spec: cell.spec.clone(),
+            profile: cell.profile.clone(),
+            instructions: cell.instructions,
+            warmup: cell.warmup,
+            seed: cell.seed,
+        }
+    }
+
+    /// The canonical (compact, field-declaration-ordered) JSON
+    /// encoding this job is cached under.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("JobSpec serializes")
+    }
+
+    /// Content-address of this job: FNV-1a 64 of
+    /// [`canonical_json`](Self::canonical_json).
+    pub fn content_key(&self) -> u64 {
+        fnv1a(self.canonical_json().as_bytes())
+    }
+
+    /// Run this job in-process (what the service's workers execute).
+    pub fn run_local(&self) -> RunReport {
+        runner::run_one(
+            &self.cfg,
+            &self.spec,
+            &self.profile,
+            self.instructions,
+            self.warmup,
+            self.seed,
+        )
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Request {
+    /// Run (or fetch the cached result of) one job.
+    Submit(JobSpec),
+    /// Report service statistics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Ask the service to shut down gracefully.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum Response {
+    /// The job's result. `cached` is true when the report was served
+    /// without running a new simulation for this request (a cache hit,
+    /// or coalescing onto an identical in-flight job).
+    Report {
+        /// Served from the result cache (or coalesced).
+        cached: bool,
+        /// The simulation report.
+        report: RunReport,
+    },
+    /// The queue was full; retry after the given backoff.
+    Rejected {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The job ran and failed (panicked past its retry budget, timed
+    /// out, or the server shut down while it was queued).
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+        /// Execution attempts consumed (0 if the job never started).
+        attempts: u32,
+    },
+    /// Service statistics.
+    Stats(StatsSnapshot),
+    /// Liveness reply.
+    Pong,
+    /// Acknowledgement of a [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request could not be understood.
+    Error(String),
+}
+
+/// A point-in-time view of the service counters, as returned by
+/// [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Queue capacity (submissions beyond this are rejected).
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Total `Submit` requests received.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs that failed (panic past budget, timeout, shutdown).
+    pub jobs_failed: u64,
+    /// Submissions rejected for backpressure.
+    pub jobs_rejected: u64,
+    /// Submissions served from the cache or coalesced onto an
+    /// in-flight identical job.
+    pub cache_hits: u64,
+    /// Submissions that required running a new simulation.
+    pub cache_misses: u64,
+    /// Completed reports currently cached.
+    pub cache_entries: usize,
+    /// Fraction of wall-clock time each worker spent executing jobs,
+    /// since the server started.
+    pub worker_utilization: Vec<f64>,
+    /// Median submit-to-completion latency (ms, log-bucket lower
+    /// bound).
+    pub latency_p50_ms: u64,
+    /// 99th-percentile submit-to-completion latency (ms, log-bucket
+    /// lower bound).
+    pub latency_p99_ms: u64,
+}
+
+/// Write one message as a JSON line and flush it.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()> {
+    let line = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one JSON-line message. Returns `Ok(None)` on a clean EOF;
+/// malformed JSON maps to [`io::ErrorKind::InvalidData`].
+pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    serde_json::from_str(line.trim_end())
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_job() -> JobSpec {
+        JobSpec {
+            cfg: SystemConfig::scaled(1),
+            spec: SchemeSpec::Nomad,
+            profile: WorkloadProfile::tc(),
+            instructions: 5_000,
+            warmup: 500,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_the_wire() {
+        let reqs = vec![
+            Request::Submit(demo_job()),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for want in &reqs {
+            let got: Request = read_frame(&mut cursor).expect("read").expect("present");
+            assert_eq!(&got, want);
+        }
+        assert!(read_frame::<Request, _>(&mut cursor)
+            .expect("eof")
+            .is_none());
+    }
+
+    #[test]
+    fn responses_round_trip_the_wire() {
+        let resps = vec![
+            Response::Rejected { retry_after_ms: 25 },
+            Response::Failed {
+                error: "panicked: boom".into(),
+                attempts: 3,
+            },
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Error("bad request".into()),
+        ];
+        let mut buf = Vec::new();
+        for r in &resps {
+            write_frame(&mut buf, r).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for want in &resps {
+            let got: Response = read_frame(&mut cursor).expect("read").expect("present");
+            // `RunReport` (inside `Response::Report`) has no
+            // `PartialEq`; canonical JSON equality is the protocol's
+            // own notion of identity anyway.
+            assert_eq!(
+                serde_json::to_string(&got).expect("json"),
+                serde_json::to_string(want).expect("json"),
+            );
+        }
+    }
+
+    #[test]
+    fn content_key_is_stable_and_input_sensitive() {
+        let a = demo_job();
+        let b = demo_job();
+        assert_eq!(a.content_key(), b.content_key());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+
+        let mut c = demo_job();
+        c.seed += 1;
+        assert_ne!(a.content_key(), c.content_key());
+        let mut d = demo_job();
+        d.spec = SchemeSpec::Baseline;
+        assert_ne!(a.content_key(), d.content_key());
+    }
+
+    #[test]
+    fn malformed_frame_is_invalid_data_not_panic() {
+        let mut cursor = std::io::Cursor::new(b"{not json}\n".to_vec());
+        let err = read_frame::<Request, _>(&mut cursor).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

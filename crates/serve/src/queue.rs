@@ -1,0 +1,165 @@
+//! Bounded multi-producer/multi-consumer job queue with backpressure.
+//!
+//! Producers never block: [`BoundedQueue::try_push`] fails fast when
+//! the queue is at capacity, which the server surfaces to clients as
+//! `Rejected { retry_after_ms }`. Consumers block in
+//! [`BoundedQueue::pop`] until an item arrives or the queue is closed
+//! *and* drained — closing lets workers finish the backlog before
+//! exiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue (mutex + condvar; contention here is dwarfed
+/// by simulation time per job).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking; fails when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed and empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Remove and return everything queued right now, without waiting.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.items.drain(..).collect()
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Close the queue: further pushes fail, poppers drain the backlog
+    /// then receive `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        assert_eq!(q.try_push('c'), Err(PushError::Full('c')));
+        q.pop();
+        q.try_push('c').unwrap();
+    }
+
+    #[test]
+    fn close_drains_backlog_then_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..10 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 10);
+    }
+}

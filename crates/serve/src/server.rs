@@ -1,0 +1,347 @@
+//! The TCP server: accept loop, connection handlers, and lifecycle.
+//!
+//! One thread accepts connections (non-blocking, polling the shutdown
+//! flag); each connection gets a handler thread speaking the
+//! line-delimited JSON protocol of [`crate::proto`]. `Submit`
+//! consults the result cache, enqueues on a miss, and blocks the
+//! connection until the job resolves — so a connection is one lane of
+//! synchronous requests, and concurrency comes from opening more
+//! connections.
+//!
+//! # Shutdown
+//!
+//! Graceful shutdown (a `Shutdown` request or
+//! [`ServerHandle::shutdown`]) closes the queue, lets workers finish
+//! jobs they already started, fails every job still waiting in the
+//! queue with "server shutting down", and stops accepting. Blocked
+//! submitters therefore always get an answer.
+
+use crate::cache::{Claim, JobFailure, ResultCache};
+use crate::proto::{self, Request, Response, StatsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::ServiceStats;
+use crate::worker::{Job, Resolve, WorkerPool};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Wall-clock budget per job attempt.
+    pub job_timeout: Duration,
+    /// Extra attempts after a panicking first attempt.
+    pub retry_budget: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 64,
+            job_timeout: Duration::from_secs(300),
+            retry_budget: 2,
+        }
+    }
+}
+
+/// State shared by the accept loop, handlers, and workers.
+struct Shared {
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ResultCache>,
+    stats: Arc<ServiceStats>,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl Shared {
+    /// Backoff hint for rejected submissions.
+    fn retry_after_ms(&self) -> u64 {
+        25
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let (latency_p50_ms, latency_p99_ms) = self.stats.latency_quantiles_ms();
+        StatsSnapshot {
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            jobs_submitted: self.stats.submitted.load(Ordering::Relaxed),
+            jobs_completed: self.stats.completed.load(Ordering::Relaxed),
+            jobs_failed: self.stats.failed.load(Ordering::Relaxed),
+            jobs_rejected: self.stats.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.entries(),
+            worker_utilization: self.stats.worker_utilization(),
+            latency_p50_ms,
+            latency_p99_ms,
+        }
+    }
+
+    /// Close the queue and fail everything still waiting in it.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for job in self.queue.drain_now() {
+            let failure = Err(JobFailure {
+                error: "server shutting down".to_string(),
+                attempts: 0,
+            });
+            match job.resolve {
+                Resolve::Cache(key) => self.cache.complete(key, failure),
+                Resolve::Direct(flight) => flight.complete(failure),
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Self::shutdown) (or send a `Shutdown` request)
+/// first.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves ephemeral
+    /// ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, fail queued jobs, and wait for workers and the
+    /// accept loop to exit.
+    pub fn shutdown(mut self) {
+        self.shared.initiate_shutdown();
+        self.join_threads();
+    }
+
+    /// Block until the server shuts down (via a client `Shutdown`
+    /// request or another thread's handle).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+/// Bind, spawn workers and the accept loop, and return immediately.
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        queue: Arc::new(BoundedQueue::new(cfg.queue_capacity)),
+        cache: Arc::new(ResultCache::new()),
+        stats: Arc::new(ServiceStats::new(cfg.workers)),
+        shutdown: AtomicBool::new(false),
+        workers: cfg.workers,
+    });
+
+    let pool = WorkerPool::spawn(
+        cfg.workers,
+        Arc::clone(&shared.queue),
+        Arc::clone(&shared.cache),
+        Arc::clone(&shared.stats),
+        cfg.job_timeout,
+        cfg.retry_budget,
+    );
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("nomad-serve-accept".into())
+        .spawn(move || {
+            accept_loop(listener, accept_shared);
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        pool: Some(pool),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("nomad-serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, shared);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match proto::read_frame::<Request, _>(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // client hung up
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                proto::write_frame(&mut writer, &Response::Error(e.to_string()))?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match request {
+            Request::Submit(spec) => handle_submit(spec, &shared),
+            Request::Stats => Response::Stats(shared.snapshot()),
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                proto::write_frame(&mut writer, &Response::ShuttingDown)?;
+                shared.initiate_shutdown();
+                return Ok(());
+            }
+        };
+        proto::write_frame(&mut writer, &response)?;
+    }
+}
+
+fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Failed {
+            error: "server shutting down".to_string(),
+            attempts: 0,
+        };
+    }
+    let canonical = spec.canonical_json();
+    let key = crate::hash::fnv1a(canonical.as_bytes());
+    match shared.cache.claim(key, &canonical) {
+        Claim::Hit(report) => Response::Report {
+            cached: true,
+            report: (*report).clone(),
+        },
+        Claim::Wait(flight) => match flight.wait() {
+            Ok(report) => Response::Report {
+                cached: true,
+                report: (*report).clone(),
+            },
+            Err(failure) => Response::Failed {
+                error: failure.error,
+                attempts: failure.attempts,
+            },
+        },
+        Claim::Run(flight) => {
+            let job = Job {
+                spec,
+                resolve: Resolve::Cache(key),
+                submitted: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => match flight.wait() {
+                    Ok(report) => Response::Report {
+                        cached: false,
+                        report: (*report).clone(),
+                    },
+                    Err(failure) => Response::Failed {
+                        error: failure.error,
+                        attempts: failure.attempts,
+                    },
+                },
+                Err(push_err) => {
+                    // Un-register the in-flight slot so coalesced
+                    // waiters (and future submissions) are not stuck
+                    // behind a job that never ran.
+                    let (reason, response) = match &push_err {
+                        PushError::Full(_) => {
+                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            (
+                                "queue full; job was rejected",
+                                Response::Rejected {
+                                    retry_after_ms: shared.retry_after_ms(),
+                                },
+                            )
+                        }
+                        PushError::Closed(_) => (
+                            "server shutting down",
+                            Response::Failed {
+                                error: "server shutting down".to_string(),
+                                attempts: 0,
+                            },
+                        ),
+                    };
+                    shared.cache.complete(
+                        key,
+                        Err(JobFailure {
+                            error: reason.to_string(),
+                            attempts: 0,
+                        }),
+                    );
+                    response
+                }
+            }
+        }
+        Claim::RunUncached => {
+            // Content-key collision with a different job: run it
+            // without caching, resolved through a private flight.
+            let flight = crate::cache::Flight::new();
+            let job = Job {
+                spec,
+                resolve: Resolve::Direct(Arc::clone(&flight)),
+                submitted: Instant::now(),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => match flight.wait() {
+                    Ok(report) => Response::Report {
+                        cached: false,
+                        report: (*report).clone(),
+                    },
+                    Err(failure) => Response::Failed {
+                        error: failure.error,
+                        attempts: failure.attempts,
+                    },
+                },
+                Err(PushError::Full(_)) => {
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::Rejected {
+                        retry_after_ms: shared.retry_after_ms(),
+                    }
+                }
+                Err(PushError::Closed(_)) => Response::Failed {
+                    error: "server shutting down".to_string(),
+                    attempts: 0,
+                },
+            }
+        }
+    }
+}

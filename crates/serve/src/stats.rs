@@ -1,0 +1,95 @@
+//! Service counters backing the `/stats` request.
+
+use nomad_types::stats::LogHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shared mutable service counters. Everything here is updated by
+/// connection handlers and workers and read by `Stats` requests.
+pub struct ServiceStats {
+    started: Instant,
+    /// Total `Submit` requests received.
+    pub submitted: AtomicU64,
+    /// Jobs that ran to completion.
+    pub completed: AtomicU64,
+    /// Jobs that failed.
+    pub failed: AtomicU64,
+    /// Submissions rejected for backpressure.
+    pub rejected: AtomicU64,
+    /// Busy nanoseconds per worker.
+    worker_busy_ns: Vec<AtomicU64>,
+    /// Submit-to-completion latency in milliseconds.
+    latency_ms: Mutex<LogHistogram>,
+}
+
+impl ServiceStats {
+    /// Counters for a pool of `workers` threads, starting now.
+    pub fn new(workers: usize) -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            latency_ms: Mutex::new(LogHistogram::new()),
+        }
+    }
+
+    /// Credit `busy` execution time to worker `id`.
+    pub fn add_worker_busy(&self, id: usize, busy: Duration) {
+        self.worker_busy_ns[id].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one job's submit-to-completion latency.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency_ms
+            .lock()
+            .expect("latency lock")
+            .record(latency.as_millis() as u64);
+    }
+
+    /// Per-worker busy fraction since the server started.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        let elapsed_ns = self.started.elapsed().as_nanos().max(1) as f64;
+        self.worker_busy_ns
+            .iter()
+            .map(|b| (b.load(Ordering::Relaxed) as f64 / elapsed_ns).min(1.0))
+            .collect()
+    }
+
+    /// `(p50, p99)` completion latency in milliseconds (log-bucket
+    /// lower bounds).
+    pub fn latency_quantiles_ms(&self) -> (u64, u64) {
+        let h = self.latency_ms.lock().expect("latency lock");
+        (h.quantile(0.5), h.quantile(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_bounded_and_per_worker() {
+        let s = ServiceStats::new(2);
+        s.add_worker_busy(1, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let u = s.worker_utilization();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0], 0.0);
+        assert!(u[1] > 0.0 && u[1] <= 1.0);
+    }
+
+    #[test]
+    fn latency_quantiles_track_samples() {
+        let s = ServiceStats::new(1);
+        for ms in [2u64, 2, 2, 2, 300] {
+            s.record_latency(Duration::from_millis(ms));
+        }
+        let (p50, p99) = s.latency_quantiles_ms();
+        assert!(p50 <= 2);
+        assert!(p99 >= 256, "p99 bucket {p99}");
+    }
+}

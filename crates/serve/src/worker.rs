@@ -1,0 +1,197 @@
+//! Worker pool: shards queued jobs across OS threads.
+//!
+//! Each job attempt runs on a dedicated *attempt thread* so the worker
+//! can enforce a wall-clock timeout: the worker waits on a channel
+//! with `recv_timeout`, and an attempt that overruns is abandoned (the
+//! detached thread finishes in the background and its result is
+//! dropped). Panics inside the simulator are caught with
+//! `catch_unwind` and retried up to the configured budget; timeouts
+//! are not retried — a deterministic simulation that exceeded the
+//! budget once will exceed it again.
+
+use crate::cache::{JobFailure, JobResult, ResultCache};
+use crate::proto::JobSpec;
+use crate::queue::BoundedQueue;
+use crate::stats::ServiceStats;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued unit of work.
+pub struct Job {
+    /// The job to run.
+    pub spec: JobSpec,
+    /// Where the result goes.
+    pub resolve: Resolve,
+    /// When the job was accepted, for latency accounting.
+    pub submitted: Instant,
+}
+
+/// How a finished job reaches its submitter(s).
+pub enum Resolve {
+    /// Resolve through the cache under this content key (wakes the
+    /// flight registered by [`ResultCache::claim`]).
+    Cache(u64),
+    /// Content-key collision bypass: complete this unregistered
+    /// flight directly, leaving the cache untouched.
+    Direct(Arc<crate::cache::Flight>),
+}
+
+/// The worker threads of one server.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `count` workers draining `queue` until it is closed and
+    /// empty.
+    pub fn spawn(
+        count: usize,
+        queue: Arc<BoundedQueue<Job>>,
+        cache: Arc<ResultCache>,
+        stats: Arc<ServiceStats>,
+        job_timeout: Duration,
+        retry_budget: u32,
+    ) -> Self {
+        let handles = (0..count)
+            .map(|id| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("nomad-serve-worker-{id}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            let t0 = Instant::now();
+                            let result = execute(&job.spec, job_timeout, retry_budget);
+                            stats.add_worker_busy(id, t0.elapsed());
+                            match &result {
+                                Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                            stats.record_latency(job.submitted.elapsed());
+                            match job.resolve {
+                                Resolve::Cache(key) => cache.complete(key, result),
+                                Resolve::Direct(flight) => flight.complete(result),
+                            }
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Wait for every worker to exit (the queue must be closed first).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run one job with retries: panics consume the retry budget, a
+/// timeout fails immediately.
+pub fn execute(spec: &JobSpec, timeout: Duration, retry_budget: u32) -> JobResult {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let (tx, rx) = mpsc::channel();
+        let job = spec.clone();
+        std::thread::Builder::new()
+            .name("nomad-serve-attempt".into())
+            .spawn(move || {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job.run_local()));
+                // The worker may have timed out and gone away; a dead
+                // receiver just drops the result.
+                let _ = tx.send(outcome);
+            })
+            .expect("spawn attempt");
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(report)) => return Ok(Arc::new(report)),
+            Ok(Err(panic)) => {
+                if attempts > retry_budget {
+                    // `&*panic` so the downcast sees the payload, not
+                    // the `Box<dyn Any>` itself.
+                    return Err(JobFailure {
+                        error: format!("job panicked: {}", panic_message(&*panic)),
+                        attempts,
+                    });
+                }
+            }
+            Err(_) => {
+                return Err(JobFailure {
+                    error: format!("job timed out after {} ms", timeout.as_millis()),
+                    attempts,
+                });
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomad_sim::{SchemeSpec, SystemConfig};
+    use nomad_trace::WorkloadProfile;
+
+    fn tiny_job() -> JobSpec {
+        let mut cfg = SystemConfig::scaled(1);
+        cfg.dc_capacity = 4 * 1024 * 1024;
+        JobSpec {
+            cfg,
+            spec: SchemeSpec::Baseline,
+            profile: WorkloadProfile::tc(),
+            instructions: 2_000,
+            warmup: 0,
+            seed: 1,
+        }
+    }
+
+    /// A profile whose `derive()` asserts: `spatial_run` far beyond
+    /// any blocks-per-page budget.
+    fn poisoned_job() -> JobSpec {
+        let mut job = tiny_job();
+        job.profile.spatial_run = 1_000_000;
+        job
+    }
+
+    #[test]
+    fn healthy_job_succeeds_first_attempt() {
+        let r = execute(&tiny_job(), Duration::from_secs(30), 2).expect("success");
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn panicking_job_consumes_retry_budget() {
+        let err = execute(&poisoned_job(), Duration::from_secs(30), 2).expect_err("fails");
+        assert_eq!(err.attempts, 3, "1 attempt + 2 retries");
+        assert!(err.error.contains("panicked"), "{}", err.error);
+        assert!(
+            err.error.contains("spatial_run"),
+            "panic message surfaced: {}",
+            err.error
+        );
+    }
+
+    #[test]
+    fn overrunning_job_times_out_without_retry() {
+        let mut job = tiny_job();
+        job.instructions = 2_000_000;
+        let err = execute(&job, Duration::from_millis(5), 3).expect_err("times out");
+        assert_eq!(err.attempts, 1, "timeouts are not retried");
+        assert!(err.error.contains("timed out"), "{}", err.error);
+    }
+}

@@ -8,10 +8,27 @@ fn main() {
     let instr: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
     let cores: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let cfg = SystemConfig::scaled(cores);
-    let workloads: Vec<String> = args.get(3).map(|s| s.split(',').map(String::from).collect())
+    let workloads: Vec<String> = args
+        .get(3)
+        .map(|s| s.split(',').map(String::from).collect())
         .unwrap_or_else(|| vec!["cact".into(), "libq".into(), "mcf".into(), "pr".into()]);
-    println!("{:<6} {:>9} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>7}",
-        "wl", "scheme", "ipc", "dcacc", "taglat", "osstall", "rmhb", "mpms", "hbmGBs", "ddrGBs", "hbmlat", "ddrlat", "l3miss", "secs");
+    println!(
+        "{:<6} {:>9} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>6} {:>7}",
+        "wl",
+        "scheme",
+        "ipc",
+        "dcacc",
+        "taglat",
+        "osstall",
+        "rmhb",
+        "mpms",
+        "hbmGBs",
+        "ddrGBs",
+        "hbmlat",
+        "ddrlat",
+        "l3miss",
+        "secs"
+    );
     for w in &workloads {
         let p = WorkloadProfile::by_name(w).unwrap();
         for spec in SchemeSpec::fig9_set() {

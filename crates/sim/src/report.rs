@@ -95,7 +95,11 @@ impl RunReport {
         if self.cores.is_empty() {
             return 0.0;
         }
-        self.cores.iter().map(CoreStats::os_stall_ratio).sum::<f64>() / self.cores.len() as f64
+        self.cores
+            .iter()
+            .map(CoreStats::os_stall_ratio)
+            .sum::<f64>()
+            / self.cores.len() as f64
     }
 
     /// Fraction of cycles stalled on memory (non-OS), averaged over

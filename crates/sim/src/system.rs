@@ -107,8 +107,12 @@ impl System {
             .collect();
         System {
             tlbs: (0..cfg.cores).map(|_| TlbHierarchy::new(cfg.tlb)).collect(),
-            l1s: (0..cfg.cores).map(|_| CacheLevel::new(cfg.l1.clone())).collect(),
-            l2s: (0..cfg.cores).map(|_| CacheLevel::new(cfg.l2.clone())).collect(),
+            l1s: (0..cfg.cores)
+                .map(|_| CacheLevel::new(cfg.l1.clone()))
+                .collect(),
+            l2s: (0..cfg.cores)
+                .map(|_| CacheLevel::new(cfg.l2.clone()))
+                .collect(),
             l3: CacheLevel::new(cfg.l3.clone()),
             scheme,
             hbm: Dram::new(cfg.hbm.clone()),
@@ -146,7 +150,10 @@ impl System {
 
     /// Total instructions committed across all cores.
     pub fn total_instructions(&self) -> u64 {
-        self.cores.iter().map(|c| c.stats().instructions.get()).sum()
+        self.cores
+            .iter()
+            .map(|c| c.stats().instructions.get())
+            .sum()
     }
 
     /// Minimum per-core committed instructions (run-completion metric).
@@ -408,7 +415,9 @@ impl System {
         self.l3.tick(now);
         // L3 → scheme.
         while self.scheme.can_accept() {
-            let Some(req) = self.l3.pop_to_lower() else { break };
+            let Some(req) = self.l3.pop_to_lower() else {
+                break;
+            };
             self.scheme.access(
                 DcAccessReq {
                     token: req.token,

@@ -75,9 +75,21 @@ mod tests {
     #[test]
     fn summary_counts() {
         let recs = vec![
-            TraceRecord { gap: 2, kind: AccessKind::Read, vaddr: VirtAddr(0x1000) },
-            TraceRecord { gap: 3, kind: AccessKind::Write, vaddr: VirtAddr(0x1040) },
-            TraceRecord { gap: 0, kind: AccessKind::Read, vaddr: VirtAddr(0x2000) },
+            TraceRecord {
+                gap: 2,
+                kind: AccessKind::Read,
+                vaddr: VirtAddr(0x1000),
+            },
+            TraceRecord {
+                gap: 3,
+                kind: AccessKind::Write,
+                vaddr: VirtAddr(0x1040),
+            },
+            TraceRecord {
+                gap: 0,
+                kind: AccessKind::Read,
+                vaddr: VirtAddr(0x2000),
+            },
         ];
         let mut t = FixedTrace(recs, 0);
         let s = TraceSummary::measure(&mut t, 3);

@@ -110,7 +110,9 @@ impl FileTrace {
             } else {
                 AccessKind::Read
             };
-            let vaddr = VirtAddr(u64::from_le_bytes(rec[5..13].try_into().expect("slice sized")));
+            let vaddr = VirtAddr(u64::from_le_bytes(
+                rec[5..13].try_into().expect("slice sized"),
+            ));
             records.push(TraceRecord { gap, kind, vaddr });
         }
         if records.is_empty() {
@@ -233,6 +235,43 @@ mod tests {
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate");
         assert!(FileTrace::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic_on_otherwise_valid_file() {
+        let path = tmp("badmagic.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::tc(), 3);
+        capture(&path, "tc", &mut gen, 10).expect("capture");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[..8].copy_from_slice(b"NOMADTR9"); // future/unknown version
+        std::fs::write(&path, &bytes).expect("write");
+        let err = FileTrace::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_record_tail_truncated_mid_record() {
+        let path = tmp("midrecord.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::tc(), 3);
+        capture(&path, "tc", &mut gen, 10).expect("capture");
+        let bytes = std::fs::read(&path).expect("read");
+        // Cut into the middle of the final 13-byte record: the header
+        // promises 10 records but only 9.x are present.
+        std::fs::write(&path, &bytes[..bytes.len() - RECORD_BYTES / 2]).expect("truncate");
+        let err = FileTrace::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_record_capture_fails_to_open_not_panic() {
+        let path = tmp("empty.trace");
+        let mut gen = SyntheticTrace::new(&WorkloadProfile::tc(), 3);
+        capture(&path, "tc", &mut gen, 0).expect("capture writes a header");
+        let err = FileTrace::open(&path).expect_err("empty trace must not open");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
     }
 }

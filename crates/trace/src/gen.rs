@@ -78,7 +78,7 @@ impl SyntheticTrace {
             hot_frac: profile.hot_frac,
             write_frac: profile.write_frac,
             burst: profile.burst,
-            rng: SmallRng::seed_from_u64(seed ^ 0x4e4f_4d41_44u64),
+            rng: SmallRng::seed_from_u64(seed ^ 0x004e_4f4d_4144_u64),
             stream_cursor: prefill % params.footprint_pages,
             window: (0..prefill).collect(),
             visit: None,
@@ -134,9 +134,7 @@ impl SyntheticTrace {
             self.window[idx]
         };
         let run = self.spatial_run.min(SUB_BLOCKS_PER_PAGE as usize);
-        let start = self
-            .rng
-            .gen_range(0..=(SUB_BLOCKS_PER_PAGE as usize - run)) as u64;
+        let start = self.rng.gen_range(0..=(SUB_BLOCKS_PER_PAGE as usize - run)) as u64;
         self.visit = Some((page, start, run));
     }
 
@@ -169,7 +167,10 @@ impl TraceSource for SyntheticTrace {
 
     fn resident_pages(&self) -> Vec<nomad_types::Vpn> {
         let hot = (0..HOT_PAGES).map(|p| nomad_types::Vpn(HEAP_BASE_VPN - HOT_PAGES + p));
-        let window = self.window.iter().map(|p| nomad_types::Vpn(HEAP_BASE_VPN + p));
+        let window = self
+            .window
+            .iter()
+            .map(|p| nomad_types::Vpn(HEAP_BASE_VPN + p));
         hot.chain(window).collect()
     }
 
@@ -234,7 +235,11 @@ mod tests {
         let summary = TraceSummary::measure(&mut SyntheticTrace::new(&p, 3), 200_000);
         // cact derives a high new-page fraction: unique pages should be
         // a large share of page visits.
-        assert!(summary.unique_pages > 1000, "unique {}", summary.unique_pages);
+        assert!(
+            summary.unique_pages > 1000,
+            "unique {}",
+            summary.unique_pages
+        );
     }
 
     #[test]

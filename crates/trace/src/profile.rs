@@ -174,6 +174,7 @@ impl WorkloadProfile {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn new(
         name: &str,
         full_name: &str,
@@ -207,17 +208,47 @@ impl WorkloadProfile {
 
     /// cactusADM (SPEC2006) — highest RMHB, streaming stencil.
     pub fn cact() -> Self {
-        Self::new("cact", "cactusADM", WorkloadClass::Excess, 43.8, 486.6, 11.9, 32, 0.35, None)
+        Self::new(
+            "cact",
+            "cactusADM",
+            WorkloadClass::Excess,
+            43.8,
+            486.6,
+            11.9,
+            32,
+            0.35,
+            None,
+        )
     }
 
     /// sssp (GAPBS) — Excess class with low spatial locality.
     pub fn sssp() -> Self {
-        Self::new("sssp", "sssp", WorkloadClass::Excess, 38.8, 511.1, 2.3, 4, 0.15, None)
+        Self::new(
+            "sssp",
+            "sssp",
+            WorkloadClass::Excess,
+            38.8,
+            511.1,
+            2.3,
+            4,
+            0.15,
+            None,
+        )
     }
 
     /// bwaves (SPEC2006) — Excess-class dense solver.
     pub fn bwav() -> Self {
-        Self::new("bwav", "bwaves", WorkloadClass::Excess, 31.7, 588.1, 4.5, 24, 0.30, None)
+        Self::new(
+            "bwav",
+            "bwaves",
+            WorkloadClass::Excess,
+            31.7,
+            588.1,
+            4.5,
+            24,
+            0.30,
+            None,
+        )
     }
 
     /// leslie3d (SPEC2006) — Tight class, abundant spatial locality,
@@ -269,47 +300,137 @@ impl WorkloadProfile {
     /// bfs (GAPBS) — Tight class; spatial locality below 4 KiB but near
     /// the 1 KiB HW-scheme line size (§IV-B.2).
     pub fn bfs() -> Self {
-        Self::new("bfs", "bfs", WorkloadClass::Tight, 23.1, 298.5, 2.4, 12, 0.15, None)
+        Self::new(
+            "bfs",
+            "bfs",
+            WorkloadClass::Tight,
+            23.1,
+            298.5,
+            2.4,
+            12,
+            0.15,
+            None,
+        )
     }
 
     /// cc (GAPBS) — Loose class with low LLC MPMS.
     pub fn cc() -> Self {
-        Self::new("cc", "cc", WorkloadClass::Loose, 13.5, 183.1, 2.3, 4, 0.15, None)
+        Self::new(
+            "cc",
+            "cc",
+            WorkloadClass::Loose,
+            13.5,
+            183.1,
+            2.3,
+            4,
+            0.15,
+            None,
+        )
     }
 
     /// lbm (SPEC2006) — Loose-class streaming with heavy writes.
     pub fn lbm() -> Self {
-        Self::new("lbm", "lbm", WorkloadClass::Loose, 12.4, 270.5, 3.2, 32, 0.45, None)
+        Self::new(
+            "lbm",
+            "lbm",
+            WorkloadClass::Loose,
+            12.4,
+            270.5,
+            3.2,
+            32,
+            0.45,
+            None,
+        )
     }
 
     /// mcf (SPEC2006) — Loose-class pointer chasing.
     pub fn mcf() -> Self {
-        Self::new("mcf", "mcf", WorkloadClass::Loose, 12.2, 472.0, 2.8, 2, 0.20, None)
+        Self::new(
+            "mcf",
+            "mcf",
+            WorkloadClass::Loose,
+            12.2,
+            472.0,
+            2.8,
+            2,
+            0.20,
+            None,
+        )
     }
 
     /// bc (GAPBS) — Loose class, low spatial locality (§IV-B.3).
     pub fn bc() -> Self {
-        Self::new("bc", "bc", WorkloadClass::Loose, 10.8, 533.7, 1.3, 2, 0.15, None)
+        Self::new(
+            "bc",
+            "bc",
+            WorkloadClass::Loose,
+            10.8,
+            533.7,
+            1.3,
+            2,
+            0.15,
+            None,
+        )
     }
 
     /// astar (SPEC2006) — Few class but highest RMHB within it.
     pub fn ast() -> Self {
-        Self::new("ast", "astar", WorkloadClass::Few, 6.9, 72.1, 1.0, 4, 0.25, None)
+        Self::new(
+            "ast",
+            "astar",
+            WorkloadClass::Few,
+            6.9,
+            72.1,
+            1.0,
+            4,
+            0.25,
+            None,
+        )
     }
 
     /// pr (GAPBS) — Few-class PageRank: huge MPMS, tiny RMHB.
     pub fn pr() -> Self {
-        Self::new("pr", "pr", WorkloadClass::Few, 3.4, 691.9, 4.8, 2, 0.15, None)
+        Self::new(
+            "pr",
+            "pr",
+            WorkloadClass::Few,
+            3.4,
+            691.9,
+            4.8,
+            2,
+            0.15,
+            None,
+        )
     }
 
     /// soplex (SPEC2006) — Few class.
     pub fn sop() -> Self {
-        Self::new("sop", "soplex", WorkloadClass::Few, 1.7, 310.2, 1.2, 8, 0.25, None)
+        Self::new(
+            "sop",
+            "soplex",
+            WorkloadClass::Few,
+            1.7,
+            310.2,
+            1.2,
+            8,
+            0.25,
+            None,
+        )
     }
 
     /// tc (GAPBS) — Few class, lowest RMHB.
     pub fn tc() -> Self {
-        Self::new("tc", "tc", WorkloadClass::Few, 1.66, 226.3, 2.3, 2, 0.15, None)
+        Self::new(
+            "tc",
+            "tc",
+            WorkloadClass::Few,
+            1.66,
+            226.3,
+            2.3,
+            2,
+            0.15,
+            None,
+        )
     }
 
     /// All 15 Table I workloads in paper order.
@@ -340,7 +461,10 @@ impl WorkloadProfile {
 
     /// All workloads of `class`, in paper order.
     pub fn of_class(class: WorkloadClass) -> Vec<WorkloadProfile> {
-        Self::all().into_iter().filter(|p| p.class == class).collect()
+        Self::all()
+            .into_iter()
+            .filter(|p| p.class == class)
+            .collect()
     }
 
     /// The six high-MPMS workloads of Fig. 2 (paper order, excluding
@@ -365,7 +489,12 @@ mod tests {
         assert_eq!(all[14].name, "tc");
         // RMHB is non-increasing in Table I order.
         for w in all.windows(2) {
-            assert!(w[0].rmhb_gbps >= w[1].rmhb_gbps, "{} < {}", w[0].name, w[1].name);
+            assert!(
+                w[0].rmhb_gbps >= w[1].rmhb_gbps,
+                "{} < {}",
+                w[0].name,
+                w[1].name
+            );
         }
     }
 
@@ -426,7 +555,10 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(WorkloadProfile::by_name("libq").unwrap().full_name, "libquantum");
+        assert_eq!(
+            WorkloadProfile::by_name("libq").unwrap().full_name,
+            "libquantum"
+        );
         assert!(WorkloadProfile::by_name("nope").is_none());
     }
 

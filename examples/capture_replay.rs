@@ -33,7 +33,12 @@ fn main() -> std::io::Result<()> {
         let path = dir.join(format!("{}-core{}.trace", workload.name, core));
         capture(&path, &workload.name, &mut gen, 60_000)?;
         let bytes = std::fs::metadata(&path)?.len();
-        println!("captured {} ({} records, {} KiB)", path.display(), 60_000, bytes / 1024);
+        println!(
+            "captured {} ({} records, {} KiB)",
+            path.display(),
+            60_000,
+            bytes / 1024
+        );
         paths.push(path);
     }
 

@@ -22,7 +22,11 @@ fn main() {
         "PCSHR provisioning for '{}' ({} class{}):\n",
         workload.full_name,
         workload.class,
-        if workload.burst.is_some() { ", bursty" } else { "" }
+        if workload.burst.is_some() {
+            ", bursty"
+        } else {
+            ""
+        }
     );
     println!(
         "{:>7} {:>9} {:>7} {:>10} {:>10}",

@@ -34,8 +34,14 @@ fn main() {
 
     println!("\n== results ==");
     println!("IPC (per-core average)      {:.3}", report.ipc());
-    println!("DC access time              {:.0} cycles", report.dc_access_time());
-    println!("tag-management latency      {:.0} cycles", report.tag_mgmt_latency());
+    println!(
+        "DC access time              {:.0} cycles",
+        report.dc_access_time()
+    );
+    println!(
+        "tag-management latency      {:.0} cycles",
+        report.tag_mgmt_latency()
+    );
     println!(
         "OS stall ratio              {:.1}%",
         report.os_stall_ratio() * 100.0
@@ -49,6 +55,9 @@ fn main() {
         report.hbm.total_gbps(),
         report.hbm_row_hit_rate() * 100.0
     );
-    println!("off-package bandwidth       {:.1} GB/s", report.ddr_total_gbps());
+    println!(
+        "off-package bandwidth       {:.1} GB/s",
+        report.ddr_total_gbps()
+    );
     println!("RMHB                        {:.1} GB/s", report.rmhb_gbps());
 }

@@ -1,0 +1,76 @@
+//! nomad-serve quick start: a CLI client for the simulation service.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart            # in-process server
+//! cargo run --release --example serve_quickstart HOST:PORT  # existing server
+//! ```
+//!
+//! Submits the same small experiment twice (the second submission is a
+//! cache hit), prints both reports' headline metrics, and dumps the
+//! service statistics.
+
+use nomad::serve::proto::{JobSpec, Response};
+use nomad::serve::{serve, Client, ServerConfig};
+use nomad::sim::{SchemeSpec, SystemConfig};
+use nomad::trace::WorkloadProfile;
+
+fn main() {
+    // Connect to the address on the command line, or start an
+    // in-process server on an ephemeral port.
+    let (addr, local_server) = match std::env::args().nth(1) {
+        Some(addr) => (addr, None),
+        None => {
+            let handle = serve(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                ..ServerConfig::default()
+            })
+            .expect("bind in-process server");
+            println!("started in-process server on {}", handle.local_addr());
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("ping");
+
+    let job = JobSpec {
+        cfg: SystemConfig::scaled(2),
+        spec: SchemeSpec::Nomad,
+        profile: WorkloadProfile::mcf(),
+        instructions: 50_000,
+        warmup: 10_000,
+        seed: 42,
+    };
+    println!("job content key: {:016x}", job.content_key());
+
+    for round in 1..=2 {
+        match client.submit(&job).expect("submit") {
+            Response::Report { cached, report } => println!(
+                "round {round}: ipc {:.3}, dc access {:.0} cy, cached={cached}",
+                report.ipc(),
+                report.dc_access_time(),
+            ),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "stats: {} submitted, {} hit / {} miss, {} cached report(s), \
+         queue {}/{}, p50 {} ms, p99 {} ms",
+        stats.jobs_submitted,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_entries,
+        stats.queue_depth,
+        stats.queue_capacity,
+        stats.latency_p50_ms,
+        stats.latency_p99_ms,
+    );
+
+    if let Some(handle) = local_server {
+        client.shutdown_server().expect("shutdown");
+        handle.join();
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`core`] — **the paper's contribution**: NOMAD front-end OS
 //!   routines + PCSHR back-end hardware (and the blocking TDC variant).
 //! * [`sim`] — full-system assembly and the experiment runner.
+//! * [`serve`] — sharded simulation service: TCP job queue, worker
+//!   pool, content-addressed result cache.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub use nomad_core as core;
 pub use nomad_cpu as cpu;
 pub use nomad_dcache as dcache;
 pub use nomad_dram as dram;
+pub use nomad_serve as serve;
 pub use nomad_sim as sim;
 pub use nomad_trace as trace;
 pub use nomad_types as types;

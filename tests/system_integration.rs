@@ -69,11 +69,15 @@ fn ideal_bounds_all_schemes_and_baseline_is_floor_for_excess() {
     // memory — with too few, the baseline never saturates and the
     // class structure does not emerge. Uses the full default
     // configuration (48 MiB DC) so the revisit windows stay resident.
+    // Runs a window 4× the smoke default: below ~100k instructions the
+    // NOMAD-vs-Baseline margin on cact is inside run-to-run noise
+    // (page-copy churn has not amortised yet); at 100k the ordering is
+    // stable across seeds.
     let w = WorkloadProfile::cact();
     let cfg = SystemConfig::scaled(6);
     let reports: Vec<_> = SchemeSpec::fig9_set()
         .iter()
-        .map(|s| runner::run_one(&cfg, s, &w, INSTR, WARMUP, 1234))
+        .map(|s| runner::run_one(&cfg, s, &w, 4 * INSTR, WARMUP, 1234))
         .collect();
     let ipc = |name: &str| {
         reports
@@ -122,7 +126,10 @@ fn most_nomad_data_misses_hit_page_copy_buffers() {
     // thanks to critical-data-first fills. Require a strong majority.
     let w = WorkloadProfile::cact();
     let r = run(&SchemeSpec::Nomad, &w, 2);
-    assert!(r.scheme_stats.data_misses.get() > 0, "must observe data misses");
+    assert!(
+        r.scheme_stats.data_misses.get() > 0,
+        "must observe data misses"
+    );
     assert!(
         r.buffer_hit_rate() > 0.5,
         "buffer hit rate {:.2}",

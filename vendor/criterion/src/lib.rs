@@ -1,0 +1,111 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion) (see
+//! `vendor/README.md`).
+//!
+//! Keeps the macro/struct surface the workspace's micro-benchmarks use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`) and measures with a simple
+//! calibrated-loop timer instead of criterion's statistical machinery:
+//! each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill ~50 ms, reporting mean ns/iter. When run by
+//! `cargo test` (criterion benches receive `--test` or `--bench` flags
+//! from the harness) it executes each body once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench executables are invoked with
+        // harness flags; treat any argument as "run once, don't time".
+        let test_mode = std::env::args().nth(1).is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measured_ns_per_iter: None,
+        };
+        f(&mut b);
+        match b.measured_ns_per_iter {
+            Some(ns) if !self.test_mode => {
+                println!("{name:<40} {ns:>12.1} ns/iter");
+            }
+            _ => println!("{name:<40} ok (smoke)"),
+        }
+        self
+    }
+}
+
+/// Timing loop handle.
+pub struct Bencher {
+    test_mode: bool,
+    measured_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, discarding its output via a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run for ~5 ms to stabilise caches and branch state.
+        let warm_until = Instant::now() + Duration::from_millis(5);
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose an iteration count filling ~50 ms, then time it.
+        let per_iter_est = Duration::from_millis(5).as_nanos() as u64 / warm_iters.max(1);
+        let iters = (Duration::from_millis(50).as_nanos() as u64 / per_iter_est.max(1))
+            .clamp(10, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.measured_ns_per_iter = Some(total.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Group benchmark functions, mirroring the real macro's signature
+/// (configuration arms accepted and ignored).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,461 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde subset.
+//!
+//! Implemented directly on `proc_macro` token trees (the container has
+//! no `syn`/`quote`), which bounds what the derives accept:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching real serde's default representation);
+//! * no generic parameters and no `#[serde(...)]` attributes — the
+//!   workspace uses neither.
+//!
+//! Field order follows declaration order, so derived serialization is
+//! deterministic — a property `nomad-serve`'s content-addressed cache
+//! depends on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Parsed shape of the deriving type.
+enum TypeDef {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&TypeDef) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(def) => generate(&def)
+            .parse()
+            .expect("derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attributes and visibility qualifiers.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<TypeDef, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(TypeDef::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(TypeDef::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(TypeDef::UnitStruct { name }),
+            None => Ok(TypeDef::UnitStruct { name }),
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(TypeDef::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `name: Type, ...`, returning field names in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(fields),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        skip_type_until_comma(&mut it);
+        fields.push(name);
+    }
+}
+
+/// Consume a type, stopping after the `,` that ends it (or at the end
+/// of the stream). Tracks `<...>` nesting so commas inside generic
+/// arguments do not terminate the field.
+fn skip_type_until_comma(it: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return Ok(variants),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = it.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        it.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        TypeDef::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        TypeDef::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                                 ({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                     ({vname:?}.to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
+                                     ({vname:?}.to_string(), ::serde::Value::Object(vec![{pushes}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                             return Err(::serde::Error::type_mismatch(\"object\", v));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        TypeDef::TupleStruct { name, arity } => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                 Ok({name}({inits})),\n\
+                             _ => Err(::serde::Error::custom(concat!(\n\
+                                 \"expected array of \", {arity}, \" elements for \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     match v {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         _ => Err(::serde::Error::type_mismatch(\"null\", v)),\n\
+                     }}\n\
+                 }}\n\
+             }}"
+        ),
+        TypeDef::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match payload {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                                         Ok({name}::{vname}({inits})),\n\
+                                     _ => Err(::serde::Error::custom(\
+                                         concat!(\"bad payload for variant \", {vname:?}))),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(payload, {f:?})?,"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => Ok({name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\n\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::type_mismatch(\"enum\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

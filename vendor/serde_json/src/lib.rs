@@ -1,0 +1,478 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json):
+//! emits and parses JSON against the in-tree serde subset's [`Value`]
+//! data model (see `vendor/README.md`).
+//!
+//! Output is deterministic: fields keep declaration order and numbers
+//! use Rust's shortest round-trip formatting, so the same value always
+//! encodes to the same bytes — the property `nomad-serve`'s
+//! content-addressed cache keys rely on.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------- emit
+
+/// Serialize to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the tree data model; the `Result` return mirrors the
+/// real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty JSON string (two-space indent, like real
+/// serde_json).
+///
+/// # Errors
+///
+/// Never fails; see [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not match the target type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    Ok(T::from_value(value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            |o, x, d| write_value(o, x, indent, d),
+            '[',
+            ']',
+        ),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            indent,
+            depth,
+            |o, (k, x), d| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<&str>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+/// JSON has no NaN/infinity; real serde_json refuses them. Emitting
+/// `null` keeps the (metrics-only) callers total.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // Mark integral floats as floats, matching serde_json ("1.0").
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parse
+
+/// Deserialize a typed value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a type mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(Error::new(format!(
+                "expected `{}` at offset {}, found {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            ))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Array(items)),
+                got => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found {:?} at offset {}",
+                        got.map(|g| g as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Object(fields)),
+                got => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found {:?} at offset {}",
+                        got.map(|g| g as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        s.push(
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
+                        );
+                    }
+                    got => {
+                        return Err(Error::new(format!(
+                            "invalid escape {:?}",
+                            got.map(|g| g as char)
+                        )))
+                    }
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+            code = code * 16
+                + (c as char)
+                    .to_digit(16)
+                    .ok_or_else(|| Error::new("invalid hex digit"))?;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits are UTF-8");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(7)),
+            ("b".into(), Value::F64(3.25)),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("d".into(), Value::Str("line\n\"quote\"".into())),
+            ("e".into(), Value::I64(-12)),
+        ]);
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_float_syntax() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn compact_output_is_stable() {
+        let v = Value::Object(vec![("x".into(), Value::U64(1))]);
+        assert_eq!(to_string(&v).unwrap(), "{\"x\":1}");
+    }
+}
