@@ -1,0 +1,6 @@
+//! Binary mirror of the `event_speed` bench target:
+//! `cargo run --release -p nomad-bench --bin event_speed`.
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/benches/event_speed.rs"
+));

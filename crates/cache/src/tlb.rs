@@ -17,7 +17,7 @@
 //! event.
 
 use crate::page_table::FrameKind;
-use nomad_types::{Cycle, Vpn};
+use nomad_types::{Cycle, NextActivity, Vpn};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -266,6 +266,15 @@ impl TlbHierarchy {
     /// Page-table-walk latency of this hierarchy's walker.
     pub fn walk_latency(&self) -> Cycle {
         self.cfg.walk_latency
+    }
+}
+
+impl NextActivity for TlbHierarchy {
+    /// TLBs have no clocked state at all — every lookup, insert, and
+    /// shootdown happens synchronously inside someone else's cycle —
+    /// so they never request a wake-up.
+    fn next_activity_at(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 

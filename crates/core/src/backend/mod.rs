@@ -475,6 +475,39 @@ impl Backend {
         out.append(&mut self.completed);
     }
 
+    /// Earliest cycle strictly after `now` at which a
+    /// [`tick`](Self::tick) could make progress, or `None` while the
+    /// back-end is idle (same contract as
+    /// [`nomad_types::NextActivity`]).
+    ///
+    /// A live PCSHR keeps the back-end dense only while a tick could
+    /// actually act on it: undrained outbound queues, a pending buffer
+    /// handoff, or an issuable source read / destination write. A slot
+    /// that has issued everything and is waiting on DRAM completions
+    /// is *reactive* — `on_copy_completion` is a poke, and the system
+    /// bounds skips by the busy device's own edges. With no copies in
+    /// flight only the timed demand responses remain.
+    pub fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.to_hbm.is_empty() || !self.to_ddr.is_empty() || !self.completed.is_empty() {
+            return Some(now + 1);
+        }
+        if self.buffers_free > 0 && self.slots.iter().flatten().any(|p| p.buffer.is_none()) {
+            return Some(now + 1);
+        }
+        if self
+            .slots
+            .iter()
+            .flatten()
+            .any(|p| p.buffer.is_some() && (p.next_read().is_some() || p.next_write().is_some()))
+        {
+            return Some(now + 1);
+        }
+        self.responses
+            .iter()
+            .map(|&(ready, _, _, _)| ready.max(now + 1))
+            .min()
+    }
+
     /// Whether this back-end has no active work (for drain loops).
     pub fn is_idle(&self) -> bool {
         self.active() == 0

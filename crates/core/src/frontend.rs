@@ -421,6 +421,41 @@ impl Frontend {
         self.arm_daemon_if_needed();
     }
 
+    /// Earliest cycle strictly after `now` at which a
+    /// [`tick`](Self::tick) could make progress, or `None` while the
+    /// front-end is idle (same contract as
+    /// [`nomad_types::NextActivity`]).
+    ///
+    /// Handlers still waiting on the back-end interface and deferred
+    /// writebacks retry (and accrue `interface_wait`) every cycle, so
+    /// they pin activity to `now + 1`. Sent handlers and a running
+    /// daemon are pure timers: nothing observable happens until
+    /// `work_done_at` / `daemon_until`.
+    pub fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |at: Cycle| {
+            let t = at.max(now + 1);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+        if !self.deferred_wb.is_empty() {
+            consider(now + 1);
+        }
+        if !self.queue.is_empty() && self.mutex_free() {
+            consider(now + 1);
+        }
+        for a in &self.active {
+            if a.sent {
+                consider(a.work_done_at);
+            } else {
+                consider(now + 1);
+            }
+        }
+        if let Some(until) = self.daemon_until {
+            consider(until);
+        }
+        next
+    }
+
     /// Whether the front-end has no queued or active work.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()

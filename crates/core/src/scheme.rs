@@ -465,6 +465,24 @@ impl DcScheme for NomadScheme {
         self.completed_scratch = completed;
     }
 
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        // Retries and queued demand drain one entry per tick; the
+        // front-end and back-ends report their own timers. Tracked
+        // in-flight demand reads are reactive: their completions
+        // surface on DRAM device edges the system watches separately.
+        if !self.retry.is_empty() || self.hbm_demand.has_queued() || self.ddr_demand.has_queued() {
+            return Some(now + 1);
+        }
+        let mut next = self.frontend.next_activity_at(now);
+        for b in &self.backends {
+            next = match (next, b.next_activity_at(now)) {
+                (Some(a), Some(c)) => Some(a.min(c)),
+                (a, c) => a.or(c),
+            };
+        }
+        next
+    }
+
     fn tlb_inserted(&mut self, core: CoreId, vpn: Vpn) {
         if let Some(pte) = self.frontend.page_table().get(vpn) {
             if let FrameKind::Cache(cfn) = pte.frame {

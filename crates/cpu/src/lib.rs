@@ -24,7 +24,7 @@
 
 use nomad_trace::TraceSource;
 use nomad_types::stats::Counter;
-use nomad_types::{AccessKind, CoreId, Cycle, VirtAddr};
+use nomad_types::{AccessKind, CoreId, Cycle, NextActivity, VirtAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -368,6 +368,45 @@ impl Core {
         }
     }
 
+    /// Whether dispatched memory operations await collection by the
+    /// memory system ([`pop_dispatch`](Self::pop_dispatch)). Draining
+    /// them is the *system's* per-cycle work, so the event kernel must
+    /// not skip while this is set even if the core itself is stalled.
+    pub fn dispatch_pending(&self) -> bool {
+        !self.dispatch_q.is_empty()
+    }
+
+    /// Whether a tick would be pure stall accounting: the ROB head
+    /// waits on an incomplete memory op and fetch cannot place a single
+    /// instruction (ROB full, or the pending record is a memory op and
+    /// the LSQ is full). Every escape from this state goes through an
+    /// external call (`mem_done`, `wake_os`).
+    fn quiescent(&self) -> bool {
+        let fetch_blocked = self.rob_occupancy >= self.cfg.rob_size
+            || (self.gap_left == 0
+                && self.mem_pending.is_some()
+                && self.mem_status.len() >= self.cfg.max_outstanding_mem);
+        self.head_waits_on_mem() && fetch_blocked
+    }
+
+    /// Bulk-account `delta` skipped cycles exactly as dense ticking
+    /// would: the core must be OS-stalled past the whole window or
+    /// [`quiescent`](Self::quiescent) (zero commits, head waiting on
+    /// memory), so each skipped cycle increments `cycles` plus exactly
+    /// one stall counter.
+    pub fn idle_advance(&mut self, delta: Cycle) {
+        self.stats.cycles.add(delta);
+        if let Some((_, reason)) = self.os_stall {
+            match reason {
+                OsStallReason::TagMiss => self.stats.stall_os_tag.add(delta),
+                OsStallReason::BlockingFill => self.stats.stall_os_fill.add(delta),
+            }
+        } else {
+            debug_assert!(self.quiescent(), "idle advance on an active core");
+            self.stats.stall_mem.add(delta);
+        }
+    }
+
     /// Counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
@@ -376,6 +415,30 @@ impl Core {
     /// Reset counters (end of warm-up); pipeline state is preserved.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+}
+
+impl NextActivity for Core {
+    /// * OS-stalled past `now + 1` — the stall-expiry cycle (or `None`
+    ///   for an open-ended stall ended only by `wake_os`).
+    /// * Otherwise `Some(now + 1)` unless the core is
+    ///   [`quiescent`](Core::quiescent), which only `mem_done` /
+    ///   `wake_os` can end — then `None`.
+    ///
+    /// Query *after* all of a cycle's completions and wakes have been
+    /// delivered; the predicates read the post-delivery state.
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        if let Some((until, _)) = self.os_stall {
+            if until > now + 1 {
+                return (until != Cycle::MAX).then_some(until);
+            }
+            return Some(now + 1);
+        }
+        if self.quiescent() {
+            None
+        } else {
+            Some(now + 1)
+        }
     }
 }
 
@@ -545,5 +608,125 @@ mod tests {
     fn mem_done_unknown_slot_panics() {
         let mut c = core_with(vec![rec(0, AccessKind::Read, 0)]);
         c.mem_done(42);
+    }
+
+    /// The same environment as [`run`], but advancing with
+    /// `next_activity_at` + `idle_advance` instead of ticking every
+    /// cycle — the mini version of the system's event kernel.
+    fn run_event(core: &mut Core, cycles: Cycle, latency: Cycle) {
+        let mut inflight: VecDeque<(Cycle, u64)> = VecDeque::new();
+        let mut now = 0;
+        while now < cycles {
+            core.tick(now);
+            while let Some(op) = core.pop_dispatch() {
+                if op.kind == AccessKind::Read {
+                    inflight.push_back((now + latency, op.slot));
+                }
+            }
+            while let Some(&(at, slot)) = inflight.front() {
+                if at <= now {
+                    core.mem_done(slot);
+                    inflight.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let mut next = core.next_activity_at(now).unwrap_or(Cycle::MAX);
+            if core.dispatch_pending() {
+                next = next.min(now + 1);
+            }
+            if let Some(&(at, _)) = inflight.front() {
+                next = next.min(at);
+            }
+            let next = next.min(cycles);
+            assert!(next > now, "next activity must be in the future");
+            if next > now + 1 {
+                core.idle_advance(next - (now + 1));
+            }
+            now = next;
+        }
+    }
+
+    fn assert_same_stats(a: &CoreStats, b: &CoreStats) {
+        assert_eq!(a.cycles.get(), b.cycles.get(), "cycles");
+        assert_eq!(a.instructions.get(), b.instructions.get(), "instructions");
+        assert_eq!(a.mem_ops.get(), b.mem_ops.get(), "mem_ops");
+        assert_eq!(a.stall_mem.get(), b.stall_mem.get(), "stall_mem");
+        assert_eq!(a.stall_os_tag.get(), b.stall_os_tag.get(), "stall_os_tag");
+        assert_eq!(
+            a.stall_os_fill.get(),
+            b.stall_os_fill.get(),
+            "stall_os_fill"
+        );
+        assert_eq!(a.busy.get(), b.busy.get(), "busy");
+        assert_eq!(
+            a.stall_frontend.get(),
+            b.stall_frontend.get(),
+            "stall_frontend"
+        );
+    }
+
+    #[test]
+    fn event_advance_matches_dense_ticking() {
+        // Mixes covering quiescence (long-latency loads), ROB pressure,
+        // posted stores, and ALU-heavy stretches.
+        let mixes: Vec<Vec<TraceRecord>> = vec![
+            vec![rec(0, AccessKind::Read, 0x1000)],
+            vec![rec(999, AccessKind::Read, 0x1000)],
+            vec![
+                rec(3, AccessKind::Read, 0x40),
+                rec(0, AccessKind::Write, 0x80),
+                rec(17, AccessKind::Read, 0xc0),
+            ],
+        ];
+        for mix in mixes {
+            for latency in [1, 10, 400] {
+                let mut dense = core_with(mix.clone());
+                let mut event = core_with(mix.clone());
+                run(&mut dense, 20_000, latency);
+                run_event(&mut event, 20_000, latency);
+                assert_same_stats(dense.stats(), event.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn event_advance_matches_dense_under_os_stall() {
+        let mut dense = core_with(vec![rec(2, AccessKind::Read, 0x40)]);
+        let mut event = core_with(vec![rec(2, AccessKind::Read, 0x40)]);
+        dense.stall_os(700, OsStallReason::TagMiss);
+        event.stall_os(700, OsStallReason::TagMiss);
+        run(&mut dense, 2_000, 30);
+        run_event(&mut event, 2_000, 30);
+        assert_same_stats(dense.stats(), event.stats());
+    }
+
+    #[test]
+    fn next_activity_contract() {
+        // A fresh core always has fetch work.
+        let mut c = core_with(vec![rec(0, AccessKind::Read, 0)]);
+        assert_eq!(c.next_activity_at(5), Some(6));
+
+        // Open-ended OS stall: reactive until wake_os.
+        c.stall_os(Cycle::MAX, OsStallReason::TagMiss);
+        assert_eq!(c.next_activity_at(5), None);
+        c.wake_os();
+
+        // Finite OS stall: wakes exactly at `until`.
+        c.stall_os(100, OsStallReason::BlockingFill);
+        assert_eq!(c.next_activity_at(5), Some(100));
+        assert_eq!(c.next_activity_at(99), Some(100));
+        c.wake_os();
+
+        // Saturate the LSQ with never-completing loads: quiescent.
+        for now in 0..200 {
+            c.tick(now);
+            while c.pop_dispatch().is_some() {}
+        }
+        assert_eq!(
+            c.next_activity_at(200),
+            None,
+            "head blocked + LSQ full is reactive"
+        );
     }
 }

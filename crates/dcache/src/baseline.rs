@@ -116,6 +116,18 @@ impl DcScheme for Baseline {
         }
     }
 
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        // Queued demand needs a tick to drain into the DDR device.
+        // Tracked in-flight reads are purely reactive: their
+        // completions can only surface on a DDR device edge, and the
+        // system bounds skips by the device's own next activity.
+        if self.demand.has_queued() {
+            Some(now + 1)
+        } else {
+            None
+        }
+    }
+
     fn tlb_inserted(&mut self, _core: CoreId, _vpn: Vpn) {}
 
     fn tlb_departed(&mut self, _core: CoreId, _vpn: Vpn) {}

@@ -93,6 +93,12 @@ impl DemandPath {
     pub fn has_room(&self, limit: usize) -> bool {
         self.pending.len() < limit
     }
+
+    /// Whether requests are still queued awaiting [`drain`](Self::drain)
+    /// (the owning scheme must keep ticking while this holds).
+    pub fn has_queued(&self) -> bool {
+        !self.pending.is_empty()
+    }
 }
 
 #[cfg(test)]

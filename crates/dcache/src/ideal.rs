@@ -207,6 +207,20 @@ impl DcScheme for Ideal {
         }
     }
 
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        // Deferred SRAM flushes and queued demand both need a tick;
+        // in-flight reads complete on device edges the system already
+        // watches.
+        if !self.pending_flush.is_empty()
+            || self.hbm_demand.has_queued()
+            || self.ddr_demand.has_queued()
+        {
+            Some(now + 1)
+        } else {
+            None
+        }
+    }
+
     fn tlb_inserted(&mut self, core: CoreId, vpn: Vpn) {
         if let Some(pte) = self.page_table.get(vpn) {
             if let FrameKind::Cache(cfn) = pte.frame {

@@ -142,6 +142,23 @@ pub trait DcScheme {
         events: &mut SchemeEvents,
     );
 
+    /// Earliest cycle strictly after `now` at which a
+    /// [`tick`](DcScheme::tick) could do anything (progress queued
+    /// work, release a delayed response, run an OS routine), or `None`
+    /// while the scheme is quiescent and only an external `access` /
+    /// `walk` / DRAM completion can create work.
+    ///
+    /// The contract matches [`nomad_types::NextActivity`]: answering
+    /// *early* is always safe, answering *late* breaks dense/event
+    /// parity. The conservative default — "tick me every cycle" —
+    /// makes every scheme correct out of the box; implementations
+    /// override it to unlock skipping. DRAM-device activity is the
+    /// system's concern: the devices are queried separately, so a
+    /// scheme only reports its own queues and timers here.
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+
     /// TLB-residency notification: `vpn`'s translation entered `core`'s
     /// TLB hierarchy (TLB-directory set).
     fn tlb_inserted(&mut self, core: CoreId, vpn: Vpn);

@@ -600,6 +600,26 @@ impl DcScheme for Tid {
         }
     }
 
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        // Retries, queued traffic and live MSHRs all make per-cycle
+        // progress (fill-read issue is throttled per tick), so stay
+        // dense while any exist. Otherwise only delayed buffer-hit
+        // responses are timed; in-flight demand reads complete on HBM
+        // device edges the system watches separately.
+        if !self.retry.is_empty()
+            || !self.pending_hbm.is_empty()
+            || !self.pending_hbm_bg.is_empty()
+            || !self.pending_ddr.is_empty()
+            || self.mshrs.iter().any(Option::is_some)
+        {
+            return Some(now + 1);
+        }
+        self.ready_responses
+            .iter()
+            .map(|&(at, _)| at.max(now + 1))
+            .min()
+    }
+
     fn tlb_inserted(&mut self, _core: CoreId, _vpn: Vpn) {}
 
     fn tlb_departed(&mut self, _core: CoreId, _vpn: Vpn) {}

@@ -246,6 +246,56 @@ impl Channel {
             }
         }
     }
+
+    /// Replay the refresh machinery over the idle device-cycle window
+    /// `(from, to]` without ticking every cycle.
+    ///
+    /// Only valid while the command queue is empty: with no queued
+    /// work, [`tick_device`](Self::tick_device) can do nothing except
+    /// start and finish refreshes, whose schedule depends solely on
+    /// channel-local state — so the window can be walked in
+    /// O(#refreshes) jumps between "interesting" cycles instead of
+    /// cycle by cycle. Produces bit-identical state and stats to dense
+    /// ticking over the same window.
+    pub fn replay_idle_refreshes(&mut self, from: u64, to: u64, stats: &mut DramStats) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "idle refresh replay with queued work"
+        );
+        let mut cur = from;
+        loop {
+            // Next device cycle at which a dense tick would do
+            // anything: finish the in-progress refresh, or start one
+            // once the schedule, bank drain, and bus all allow it.
+            let next = match self.refresh_until {
+                Some(until) => until.max(cur + 1),
+                None => {
+                    let drain = self.banks.iter().map(Bank::busy_until).max().unwrap_or(0);
+                    self.next_refresh
+                        .max(drain)
+                        .max(self.bus_free_at)
+                        .max(cur + 1)
+                }
+            };
+            if next > to {
+                return;
+            }
+            self.refresh_until = None;
+            if next >= self.next_refresh {
+                let drain = self.banks.iter().map(Bank::busy_until).max().unwrap_or(0);
+                if next >= drain && next >= self.bus_free_at {
+                    let until = next + self.timing.t_rfc;
+                    for b in &mut self.banks {
+                        b.refresh_close(until);
+                    }
+                    self.refresh_until = Some(until);
+                    self.next_refresh += self.timing.t_refi;
+                    stats.refreshes.inc();
+                }
+            }
+            cur = next;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,58 @@ impl Dram {
         });
     }
 
+    /// Earliest CPU cycle strictly after `now` at which ticking the
+    /// device could issue a command or deliver a completion: the next
+    /// device-clock edge. Between edges a tick only advances the CPU
+    /// counters (and a completion pass that can deliver nothing, since
+    /// `dev_cycle` is unchanged), all of which
+    /// [`advance_idle`](Self::advance_idle) reproduces in bulk.
+    ///
+    /// Returns `None` when the device is idle — refresh-only progress
+    /// is replayed by `advance_idle`, so an idle device never needs a
+    /// wake-up. `now` must equal [`cpu_cycle`](Self::cpu_cycle).
+    pub fn next_activity_at(&self, now: Cycle) -> Option<Cycle> {
+        debug_assert_eq!(now, self.cpu_cycle);
+        if self.is_idle() {
+            return None;
+        }
+        let remaining = self.cfg.cpu_per_dev_num - self.clock_acc;
+        Some(now + remaining.div_ceil(self.cfg.cpu_per_dev_den))
+    }
+
+    /// Advance `delta` CPU cycles in bulk, exactly as `delta` calls to
+    /// [`tick`](Self::tick) would while no queued or in-flight work
+    /// exists: CPU counters move, device edges elapse, and due
+    /// refreshes are replayed per channel.
+    ///
+    /// Crossing a device edge in bulk requires [`is_idle`](Self::is_idle);
+    /// a sub-edge `delta` is valid even while the device is busy (the
+    /// skipped ticks could not have scheduled or delivered anything).
+    pub fn advance_idle(&mut self, delta: Cycle) {
+        if delta == 0 {
+            return;
+        }
+        self.cpu_cycle += delta;
+        self.stats.cpu_cycles += delta;
+        let total = self.clock_acc + delta * self.cfg.cpu_per_dev_den;
+        let edges = total / self.cfg.cpu_per_dev_num;
+        self.clock_acc = total % self.cfg.cpu_per_dev_num;
+        if edges == 0 {
+            return;
+        }
+        debug_assert!(
+            self.is_idle(),
+            "bulk advance across device edges requires an idle device"
+        );
+        let from = self.dev_cycle;
+        self.dev_cycle += edges;
+        for ch in &mut self.channels {
+            ch.replay_idle_refreshes(from, self.dev_cycle, &mut self.stats);
+        }
+        self.stats
+            .sample_queue_idle(edges * self.channels.len() as u64);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &DramStats {
         &self.stats
@@ -305,6 +357,70 @@ mod tests {
         let ddr = stream(DramConfig::ddr4_2ch());
         let ratio = ddr as f64 / hbm as f64;
         assert!(ratio > 3.0, "DDR/HBM stream-time ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_advance_matches_dense_ticking() {
+        for cfg in [DramConfig::hbm(), DramConfig::ddr4_2ch()] {
+            let mut dense = Dram::new(cfg.clone());
+            let mut event = Dram::new(cfg.clone());
+            // Seed both with identical non-trivial bank/bus state.
+            dense.try_push(read_req(1, 0x1000)).unwrap();
+            event.try_push(read_req(1, 0x1000)).unwrap();
+            run(&mut dense, 500);
+            run(&mut event, 500);
+            assert!(dense.is_idle() && event.is_idle());
+
+            // Cover several refresh intervals while idle.
+            let idle = cfg.dev_to_cpu(cfg.timing.t_refi) * 4 + 7;
+            run(&mut dense, idle);
+            event.advance_idle(idle);
+
+            assert_eq!(dense.cpu_cycle(), event.cpu_cycle());
+            assert_eq!(
+                serde_json::to_string(dense.stats()).unwrap(),
+                serde_json::to_string(event.stats()).unwrap(),
+                "stats diverged after bulk idle advance ({})",
+                cfg.name
+            );
+            assert!(
+                dense.stats().refreshes.get() >= 2,
+                "window covered refreshes"
+            );
+
+            // The hidden channel state (bank timers, refresh phase) must
+            // also agree: a follow-up read completes identically.
+            dense.try_push(read_req(2, 0x2000)).unwrap();
+            event.try_push(read_req(2, 0x2000)).unwrap();
+            let a = run(&mut dense, 2000);
+            let b = run(&mut event, 2000);
+            assert_eq!(a, b, "post-window completion diverged ({})", cfg.name);
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn next_activity_is_never_late() {
+        let mut dram = Dram::new(DramConfig::hbm());
+        for i in 0..8 {
+            dram.try_push(read_req(i, i * 4096)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut predicted = None;
+        for _ in 0..2000 {
+            out.clear();
+            dram.tick(&mut out);
+            if let (false, Some(p)) = (out.is_empty(), predicted) {
+                assert!(
+                    dram.cpu_cycle() >= p,
+                    "completion at {} before predicted activity {p}",
+                    dram.cpu_cycle()
+                );
+            }
+            predicted = dram.next_activity_at(dram.cpu_cycle());
+        }
+        assert!(dram.is_idle());
+        assert_eq!(dram.next_activity_at(dram.cpu_cycle()), None);
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl DramStats {
         self.queue_occupancy_samples += 1;
     }
 
+    /// Record `n` zero-occupancy queue samples at once — what dense
+    /// ticking would have sampled across `n` (edge × channel) pairs
+    /// while every command queue was empty.
+    pub(crate) fn sample_queue_idle(&mut self, n: u64) {
+        self.queue_occupancy_samples += n;
+    }
+
     /// Bytes moved for `class` (both directions).
     pub fn bytes_for(&self, class: TrafficClass) -> ClassBytes {
         let idx = TrafficClass::ALL

@@ -3,17 +3,23 @@
 //! ```text
 //! nomad-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--timeout-ms N] [--retries N]
+//!             [--cache-dir PATH | --no-cache-dir]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7979`), prints the bound address, and
-//! serves until a client sends `"Shutdown"`.
+//! serves until a client sends `"Shutdown"`. Completed results are
+//! spilled to `results/cache/` by default (override with
+//! `--cache-dir`, disable with `--no-cache-dir`) so a restarted
+//! daemon keeps serving hits for experiments it already ran.
 
 use nomad_serve::{serve, ServerConfig};
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7979".to_string(),
+        cache_dir: Some(PathBuf::from("results/cache")),
         ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);
@@ -31,10 +37,12 @@ fn main() {
                     Duration::from_millis(parse(&value("--timeout-ms"), "--timeout-ms"))
             }
             "--retries" => cfg.retry_budget = parse(&value("--retries"), "--retries"),
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--no-cache-dir" => cfg.cache_dir = None,
             "--help" | "-h" => {
                 println!(
                     "usage: nomad-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--timeout-ms N] [--retries N]"
+                     [--timeout-ms N] [--retries N] [--cache-dir PATH | --no-cache-dir]"
                 );
                 return;
             }

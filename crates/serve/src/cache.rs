@@ -14,9 +14,23 @@
 //! simulation. Successful results are cached forever (simulations are
 //! deterministic, so entries never go stale); failures are *not*
 //! cached — the next identical submission retries from scratch.
+//!
+//! # Persistence
+//!
+//! With [`ResultCache::with_dir`], every `Ready` entry is spilled to
+//! `<dir>/<key:016x>.json` as a `{canonical, report}` document and
+//! reloaded on the next startup, so a restarted server keeps serving
+//! hits for experiments it has already run. Spills are best-effort
+//! (I/O failures are ignored) and happen outside the map lock; on
+//! reload, corrupt or partially written files are silently skipped —
+//! a bad spill degrades to a cache miss, never to a crash or a wrong
+//! report. Reloaded entries are re-keyed by hashing their canonical
+//! string, so a hit still verifies the full job identity.
 
 use nomad_sim::RunReport;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -96,18 +110,91 @@ pub enum Claim {
     RunUncached,
 }
 
+/// On-disk form of one completed cache entry.
+#[derive(Serialize, Deserialize)]
+struct PersistedEntry {
+    canonical: String,
+    report: RunReport,
+}
+
 /// The shared result cache.
 #[derive(Default)]
 pub struct ResultCache {
     map: Mutex<HashMap<u64, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Spill directory for completed entries; `None` = memory-only.
+    dir: Option<PathBuf>,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache that spills completed entries to `dir` (see the
+    /// module-level *Persistence* section) and starts out warmed with
+    /// whatever valid entries `dir` already holds. `None` behaves like
+    /// [`new`](Self::new).
+    pub fn with_dir(dir: Option<PathBuf>) -> Self {
+        let cache = ResultCache {
+            dir,
+            ..Self::default()
+        };
+        cache.reload();
+        cache
+    }
+
+    /// Load every parseable spill file from the directory. Corrupt,
+    /// partial, or foreign files are skipped, not fatal.
+    fn reload(&self) {
+        let Some(dir) = &self.dir else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut map = self.map.lock().expect("cache lock");
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(persisted) = serde_json::from_str::<PersistedEntry>(&bytes) else {
+                continue;
+            };
+            // Re-key from the canonical string (not the file name) so
+            // a renamed or mislabeled spill still lands under the key
+            // `claim` will actually probe.
+            let key = crate::hash::fnv1a(persisted.canonical.as_bytes());
+            map.entry(key).or_insert(Slot::Ready {
+                canonical: persisted.canonical,
+                report: Arc::new(persisted.report),
+            });
+        }
+    }
+
+    /// Best-effort spill of one completed entry (called outside the
+    /// map lock). Written to a temp file and renamed so readers never
+    /// observe a partial document under the final name.
+    fn spill(&self, key: u64, canonical: &str, report: &RunReport) {
+        let Some(dir) = &self.dir else { return };
+        let entry = PersistedEntry {
+            canonical: canonical.to_string(),
+            report: report.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        let tmp = dir.join(format!("{key:016x}.json.tmp"));
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, dir.join(format!("{key:016x}.json")));
+        }
     }
 
     /// Decide how to serve a job with this `(key, canonical)`
@@ -158,17 +245,25 @@ impl ResultCache {
         let Some(Slot::InFlight { canonical, flight }) = map.remove(&key) else {
             return;
         };
-        if let Ok(report) = &result {
+        let spilled = if let Ok(report) = &result {
             map.insert(
                 key,
                 Slot::Ready {
-                    canonical,
+                    canonical: canonical.clone(),
                     report: Arc::clone(report),
                 },
             );
-        }
+            Some((canonical, Arc::clone(report)))
+        } else {
+            None
+        };
         drop(map);
+        // Wake waiters before touching the disk: persistence must not
+        // add latency to coalesced submissions.
         flight.complete(result);
+        if let Some((canonical, report)) = spilled {
+            self.spill(key, &canonical, &report);
+        }
     }
 
     /// Submissions served from cache or coalesced.
@@ -259,6 +354,78 @@ mod tests {
         assert_eq!(cache.entries(), 0);
         // The next identical submission runs again.
         assert!(matches!(cache.claim(9, "job"), Claim::Run(_)));
+    }
+
+    /// A fresh scratch directory under the system temp dir, unique to
+    /// this process and test.
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nomad-serve-cache-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ready_entries_survive_reload() {
+        let dir = scratch_dir("reload");
+        let canonical = "job-a";
+        let key = crate::hash::fnv1a(canonical.as_bytes());
+        let r = report();
+        {
+            let cache = ResultCache::with_dir(Some(dir.clone()));
+            let Claim::Run(_) = cache.claim(key, canonical) else {
+                panic!("runner");
+            };
+            cache.complete(key, Ok(Arc::clone(&r)));
+            assert_eq!(cache.entries(), 1);
+        }
+        // A brand-new cache over the same directory serves the hit.
+        let cache = ResultCache::with_dir(Some(dir.clone()));
+        assert_eq!(cache.entries(), 1);
+        let Claim::Hit(hit) = cache.claim(key, canonical) else {
+            panic!("reloaded entry must hit");
+        };
+        assert_eq!(hit.cycles, r.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_are_not_spilled() {
+        let dir = scratch_dir("failures");
+        {
+            let cache = ResultCache::with_dir(Some(dir.clone()));
+            let Claim::Run(_) = cache.claim(5, "job") else {
+                panic!("runner");
+            };
+            cache.complete(
+                5,
+                Err(JobFailure {
+                    error: "boom".into(),
+                    attempts: 1,
+                }),
+            );
+        }
+        let cache = ResultCache::with_dir(Some(dir.clone()));
+        assert_eq!(cache.entries(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_files_are_ignored() {
+        let dir = scratch_dir("corrupt");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(dir.join("0000000000000bad.json"), "{not json").expect("write");
+        std::fs::write(dir.join("wrong-shape.json"), "[1,2,3]").expect("write");
+        std::fs::write(dir.join("partial.json.tmp"), "{\"canonical\":").expect("write");
+        let cache = ResultCache::with_dir(Some(dir.clone()));
+        assert_eq!(cache.entries(), 0, "garbage must not become entries");
+        // The cache still works normally on top of the garbage.
+        let Claim::Run(_) = cache.claim(3, "job") else {
+            panic!("runner");
+        };
+        cache.complete(3, Ok(report()));
+        assert_eq!(cache.entries(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

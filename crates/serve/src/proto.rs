@@ -21,6 +21,7 @@ use crate::hash::fnv1a;
 use nomad_sim::runner::{self, Cell};
 use nomad_sim::{RunReport, SchemeSpec, SystemConfig};
 use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
@@ -76,6 +77,23 @@ impl JobSpec {
             self.instructions,
             self.warmup,
             self.seed,
+        )
+    }
+
+    /// [`run_local`](Self::run_local) with cooperative cancellation:
+    /// the simulation polls `cancel` at event boundaries and returns
+    /// `None` promptly once it is cancelled (used by the worker pool's
+    /// timeout path so an overrunning attempt does not keep burning a
+    /// CPU in the background).
+    pub fn run_local_cancellable(&self, cancel: &CancelToken) -> Option<RunReport> {
+        runner::run_one_cancellable(
+            &self.cfg,
+            &self.spec,
+            &self.profile,
+            self.instructions,
+            self.warmup,
+            self.seed,
+            cancel,
         )
     }
 }

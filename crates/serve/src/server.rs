@@ -41,6 +41,9 @@ pub struct ServerConfig {
     pub job_timeout: Duration,
     /// Extra attempts after a panicking first attempt.
     pub retry_budget: u32,
+    /// Directory for spilling completed results to disk (reloaded on
+    /// the next startup); `None` keeps the result cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +56,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             job_timeout: Duration::from_secs(300),
             retry_budget: 2,
+            cache_dir: None,
         }
     }
 }
@@ -156,7 +160,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
 
     let shared = Arc::new(Shared {
         queue: Arc::new(BoundedQueue::new(cfg.queue_capacity)),
-        cache: Arc::new(ResultCache::new()),
+        cache: Arc::new(ResultCache::with_dir(cfg.cache_dir.clone())),
         stats: Arc::new(ServiceStats::new(cfg.workers)),
         shutdown: AtomicBool::new(false),
         workers: cfg.workers,

@@ -2,17 +2,19 @@
 //!
 //! Each job attempt runs on a dedicated *attempt thread* so the worker
 //! can enforce a wall-clock timeout: the worker waits on a channel
-//! with `recv_timeout`, and an attempt that overruns is abandoned (the
-//! detached thread finishes in the background and its result is
-//! dropped). Panics inside the simulator are caught with
-//! `catch_unwind` and retried up to the configured budget; timeouts
-//! are not retried — a deterministic simulation that exceeded the
-//! budget once will exceed it again.
+//! with `recv_timeout`, and when an attempt overruns the worker cancels
+//! its [`CancelToken`] and *joins* the thread — the simulation polls
+//! the token at event boundaries, so the attempt unwinds promptly
+//! instead of finishing detached in the background. Panics inside the
+//! simulator are caught with `catch_unwind` and retried up to the
+//! configured budget; timeouts are not retried — a deterministic
+//! simulation that exceeded the budget once will exceed it again.
 
 use crate::cache::{JobFailure, JobResult, ResultCache};
 use crate::proto::JobSpec;
 use crate::queue::BoundedQueue;
 use crate::stats::ServiceStats;
+use nomad_types::CancelToken;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
@@ -93,25 +95,48 @@ impl WorkerPool {
 }
 
 /// Run one job with retries: panics consume the retry budget, a
-/// timeout fails immediately.
+/// timeout cancels the attempt (cooperatively, via its
+/// [`CancelToken`]) and fails immediately. In every outcome the
+/// attempt thread is joined before this function returns — timeouts do
+/// not leak a busy background thread.
 pub fn execute(spec: &JobSpec, timeout: Duration, retry_budget: u32) -> JobResult {
     let mut attempts = 0u32;
     loop {
         attempts += 1;
         let (tx, rx) = mpsc::channel();
         let job = spec.clone();
-        std::thread::Builder::new()
+        let cancel = CancelToken::new();
+        let attempt_cancel = cancel.clone();
+        let handle = std::thread::Builder::new()
             .name("nomad-serve-attempt".into())
             .spawn(move || {
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| job.run_local()));
-                // The worker may have timed out and gone away; a dead
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    job.run_local_cancellable(&attempt_cancel)
+                }));
+                // The worker may have stopped listening; a dead
                 // receiver just drops the result.
                 let _ = tx.send(outcome);
             })
             .expect("spawn attempt");
+        let timed_out = |attempts| {
+            Err(JobFailure {
+                error: format!("job timed out after {} ms", timeout.as_millis()),
+                attempts,
+            })
+        };
         match rx.recv_timeout(timeout) {
-            Ok(Ok(report)) => return Ok(Arc::new(report)),
+            Ok(Ok(Some(report))) => {
+                let _ = handle.join();
+                return Ok(Arc::new(report));
+            }
+            Ok(Ok(None)) => {
+                // The attempt observed cancellation; only the timeout
+                // arm below cancels, so report it as a timeout.
+                let _ = handle.join();
+                return timed_out(attempts);
+            }
             Ok(Err(panic)) => {
+                let _ = handle.join();
                 if attempts > retry_budget {
                     // `&*panic` so the downcast sees the payload, not
                     // the `Box<dyn Any>` itself.
@@ -122,10 +147,12 @@ pub fn execute(spec: &JobSpec, timeout: Duration, retry_budget: u32) -> JobResul
                 }
             }
             Err(_) => {
-                return Err(JobFailure {
-                    error: format!("job timed out after {} ms", timeout.as_millis()),
-                    attempts,
-                });
+                // Cancel the attempt and wait for it to actually exit:
+                // the simulation polls the token at event boundaries,
+                // so the join returns promptly.
+                cancel.cancel();
+                let _ = handle.join();
+                return timed_out(attempts);
             }
         }
     }
@@ -193,5 +220,51 @@ mod tests {
         let err = execute(&job, Duration::from_millis(5), 3).expect_err("times out");
         assert_eq!(err.attempts, 1, "timeouts are not retried");
         assert!(err.error.contains("timed out"), "{}", err.error);
+    }
+
+    /// Live threads whose name starts with the attempt-thread prefix
+    /// (`/proc` truncates thread names to 15 bytes, so match on that).
+    #[cfg(target_os = "linux")]
+    fn live_attempt_threads() -> usize {
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+            return 0;
+        };
+        tasks
+            .flatten()
+            .filter(|t| {
+                std::fs::read_to_string(t.path().join("comm"))
+                    .map(|comm| comm.trim_end().starts_with("nomad-serve-att"))
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// The point of cooperative cancellation: a timed-out attempt's
+    /// simulation thread must exit (be joined), not keep burning a CPU
+    /// detached in the background.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn timed_out_attempt_thread_is_joined_not_leaked() {
+        let before = live_attempt_threads();
+        let mut job = tiny_job();
+        job.instructions = 50_000_000;
+        let err = execute(&job, Duration::from_millis(10), 0).expect_err("times out");
+        assert!(err.error.contains("timed out"), "{}", err.error);
+        // Our attempt thread is joined by the time `execute` returns;
+        // sibling tests may spawn their own attempt threads
+        // concurrently, so wait (briefly) for the count to settle
+        // back instead of comparing an instantaneous snapshot.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let now = live_attempt_threads();
+            if now <= before {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed-out attempt thread leaked ({now} live, {before} before)"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 }

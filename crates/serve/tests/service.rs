@@ -31,6 +31,7 @@ fn test_server(workers: usize, queue_capacity: usize) -> nomad_serve::ServerHand
         queue_capacity,
         job_timeout: Duration::from_secs(60),
         retry_budget: 2,
+        cache_dir: None,
     })
     .expect("bind ephemeral port")
 }

@@ -6,19 +6,19 @@ use crate::report::RunReport;
 use crate::spec::SchemeSpec;
 use crate::system::System;
 use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+use nomad_types::CancelToken;
 
-/// Run one (scheme × workload) experiment: warm up for
-/// `warmup_instructions` per core, then measure
-/// `instructions_per_core`.
-pub fn run_one(
+/// Shared experiment body: build, prewarm, warm up, measure. With a
+/// cancel token, both phases poll it and a cancelled run yields `None`.
+fn run_session(
     cfg: &SystemConfig,
-    spec: &SchemeSpec,
+    scheme: Box<dyn nomad_dcache::DcScheme>,
     profile: &WorkloadProfile,
     instructions_per_core: u64,
     warmup_instructions: u64,
     seed: u64,
-) -> RunReport {
-    let scheme = spec.build(cfg);
+    cancel: Option<&CancelToken>,
+) -> Option<RunReport> {
     let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
         .map(|i| {
             Box::new(SyntheticTrace::with_scale(
@@ -32,10 +32,70 @@ pub fn run_one(
     let mut sys = System::new(cfg.clone(), scheme, traces);
     sys.prewarm();
     if warmup_instructions > 0 {
-        sys.warm_up(warmup_instructions);
+        match cancel {
+            Some(token) => {
+                if !sys.run_with_cancel(warmup_instructions, token) {
+                    return None;
+                }
+                sys.reset_stats();
+            }
+            None => sys.warm_up(warmup_instructions),
+        }
     }
-    sys.run(instructions_per_core);
-    sys.report(&profile.name)
+    match cancel {
+        Some(token) => {
+            if !sys.run_with_cancel(instructions_per_core, token) {
+                return None;
+            }
+        }
+        None => sys.run(instructions_per_core),
+    }
+    Some(sys.report(&profile.name))
+}
+
+/// Run one (scheme × workload) experiment: warm up for
+/// `warmup_instructions` per core, then measure
+/// `instructions_per_core`.
+pub fn run_one(
+    cfg: &SystemConfig,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+) -> RunReport {
+    run_session(
+        cfg,
+        spec.build(cfg),
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        None,
+    )
+    .expect("uncancellable run always completes")
+}
+
+/// [`run_one`] with cooperative cancellation: returns `None` promptly
+/// (without a report) once `cancel` is cancelled.
+pub fn run_one_cancellable(
+    cfg: &SystemConfig,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    run_session(
+        cfg,
+        spec.build(cfg),
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        Some(cancel),
+    )
 }
 
 /// Run one experiment with an explicitly constructed scheme (for
@@ -49,23 +109,37 @@ pub fn run_custom(
     warmup_instructions: u64,
     seed: u64,
 ) -> RunReport {
-    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
-        .map(|i| {
-            Box::new(SyntheticTrace::with_scale(
-                profile,
-                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
-                cfg.pages_per_gb,
-                cfg.l3_reach_pages(),
-            )) as Box<dyn TraceSource>
-        })
-        .collect();
-    let mut sys = System::new(cfg.clone(), scheme, traces);
-    sys.prewarm();
-    if warmup_instructions > 0 {
-        sys.warm_up(warmup_instructions);
-    }
-    sys.run(instructions_per_core);
-    sys.report(&profile.name)
+    run_session(
+        cfg,
+        scheme,
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        None,
+    )
+    .expect("uncancellable run always completes")
+}
+
+/// [`run_custom`] with cooperative cancellation.
+pub fn run_custom_cancellable(
+    cfg: &SystemConfig,
+    scheme: Box<dyn nomad_dcache::DcScheme>,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    run_session(
+        cfg,
+        scheme,
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        Some(cancel),
+    )
 }
 
 /// One experiment cell for [`run_grid`].

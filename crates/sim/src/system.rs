@@ -9,7 +9,8 @@ use nomad_dcache::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents};
 use nomad_dram::Dram;
 use nomad_trace::TraceSource;
 use nomad_types::{
-    AccessKind, BlockAddr, CoreId, Cycle, MemReq, MemTarget, ReqId, TrafficClass, VirtAddr,
+    AccessKind, BlockAddr, CancelToken, CoreId, Cycle, MemReq, MemTarget, NextActivity, ReqId,
+    TrafficClass, VirtAddr,
 };
 
 /// Per-core address-space namespacing: each core runs its own copy of
@@ -446,14 +447,194 @@ impl System {
         }
     }
 
+    /// Earliest cycle at which ticking the system again could do more
+    /// than constant-rate stat accounting, given the post-tick state,
+    /// or `None` when every component is quiescent (only the deadlock
+    /// horizon bounds the skip then). All results are `> self.cycle - 1`,
+    /// i.e. candidate cycles for the *next* tick.
+    fn next_event_at(&self) -> Option<Cycle> {
+        // `self.cycle` was already incremented by the tick we are
+        // summarizing; components speak the NextActivity contract
+        // relative to the cycle that just ran.
+        let now = self.cycle - 1;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+        for (c, core) in self.cores.iter().enumerate() {
+            if let Some(t) = core.next_activity_at(now) {
+                consider(t);
+            }
+            if core.dispatch_pending() {
+                consider(now + 1);
+            }
+            for w in &self.walking[c] {
+                consider(w.ready_at);
+            }
+            for e in &self.issue_q[c] {
+                consider(e.at);
+            }
+            // `blocked` ops are reactive: their cores sleep until a
+            // scheme wake, which the scheme's own activity covers.
+        }
+        for lvl in self.l1s.iter().chain(self.l2s.iter()) {
+            if let Some(t) = lvl.next_activity_at(now) {
+                consider(t);
+            }
+        }
+        if let Some(t) = self.l3.next_activity_at(now) {
+            consider(t);
+        }
+        if let Some(t) = self.scheme.next_activity_at(now) {
+            consider(t);
+        }
+        // Devices count tick invocations: post-tick their `cpu_cycle`
+        // is `self.cycle`, and a predicted edge at count `k` fires
+        // during the tick of system cycle `k - 1`.
+        for dev in [&self.hbm, &self.ddr] {
+            if let Some(t) = dev.next_activity_at(self.cycle) {
+                consider(t - 1);
+            }
+        }
+        next
+    }
+
+    /// Jump over `delta` cycles in which [`next_event_at`](Self::next_event_at)
+    /// guarantees dense ticking would only have done constant-rate stat
+    /// accounting, applying that accounting in bulk.
+    fn skip(&mut self, delta: Cycle) {
+        for core in &mut self.cores {
+            core.idle_advance(delta);
+        }
+        self.hbm.advance_idle(delta);
+        self.ddr.advance_idle(delta);
+        self.cycle += delta;
+        self.measured_cycles += delta;
+    }
+
     /// Run until every core has committed `instructions_per_core` more
-    /// instructions.
+    /// instructions, using next-event skipping between dense ticks.
     ///
     /// # Panics
     ///
     /// Panics if no core commits anything for 3 million cycles (a
     /// deadlock in the modeled system).
     pub fn run(&mut self, instructions_per_core: u64) {
+        self.run_inner(instructions_per_core, None);
+    }
+
+    /// [`run`](Self::run) with cooperative cancellation: `cancel` is
+    /// polled at event boundaries (roughly every thousand dense ticks)
+    /// and a cancelled token makes the run return `false` promptly,
+    /// leaving the system in a consistent (if unfinished) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same deadlock condition as [`run`](Self::run).
+    pub fn run_with_cancel(&mut self, instructions_per_core: u64, cancel: &CancelToken) -> bool {
+        self.run_inner(instructions_per_core, Some(cancel))
+    }
+
+    fn run_inner(&mut self, instructions_per_core: u64, cancel: Option<&CancelToken>) -> bool {
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.stats().instructions.get() + instructions_per_core)
+            .collect();
+        let mut last_progress = self.cycle;
+        let mut last_total = self.total_instructions();
+        let mut iters: u64 = 0;
+        // Query pacing: when next-event queries keep answering "no
+        // skip" (e.g. a busy DRAM device pins activity to every device
+        // edge), back off exponentially and tick densely in between —
+        // dense ticks are the reference semantics, so pacing can only
+        // trade away skip opportunities, never correctness.
+        let mut requery_in: u64 = 0;
+        let mut noskip_streak: u32 = 0;
+        loop {
+            let done = self
+                .cores
+                .iter()
+                .zip(&targets)
+                .all(|(c, t)| c.stats().instructions.get() >= *t);
+            if done {
+                return true;
+            }
+            if let Some(token) = cancel {
+                iters = iters.wrapping_add(1);
+                if iters & 1023 == 0 && token.is_cancelled() {
+                    return false;
+                }
+            }
+            self.tick();
+            let total = self.total_instructions();
+            if total != last_total {
+                last_total = total;
+                last_progress = self.cycle;
+                // Hot path: a committing system is almost always busy
+                // again next cycle, so skip the (read-only, but not
+                // free) next-event query and just tick. Ticking a
+                // skippable cycle densely is always parity-safe — the
+                // dense loop *is* the reference semantics.
+                requery_in = 0;
+                noskip_streak = 0;
+                continue;
+            } else if self.cycle - last_progress > 3_000_000 {
+                panic!(
+                    "system deadlock: no commit for 3M cycles (scheme {}, cycle {})",
+                    self.scheme.name(),
+                    self.cycle
+                );
+            }
+            // Next-event skip. The deadlock horizon is the last cycle a
+            // dense loop would still tick before its no-progress check
+            // fires, so a genuinely dead system panics at the identical
+            // cycle. Never skip past a completed run: re-check the
+            // targets first (the loop head would break without ticking).
+            let done = self
+                .cores
+                .iter()
+                .zip(&targets)
+                .all(|(c, t)| c.stats().instructions.get() >= *t);
+            if done {
+                continue;
+            }
+            if requery_in > 0 {
+                requery_in -= 1;
+                continue;
+            }
+            let horizon = last_progress + 3_000_000;
+            let target = match self.next_event_at() {
+                Some(t) => t.min(horizon),
+                None => horizon,
+            };
+            // A skip replaces `delta` dense ticks with one query plus
+            // one bulk advance; for tiny deltas (a busy DRAM device
+            // bounds skips to its next edge, 2-3 cycles away) the
+            // machinery costs more than the ticks it saves. Tick those
+            // densely instead — dense ticking is always parity-safe.
+            if target > self.cycle {
+                noskip_streak = 0;
+                self.skip(target - self.cycle);
+            } else {
+                // Nothing to skip right now; wait 1, 2, 4, … 32 dense
+                // ticks (any commit resets the pacing immediately)
+                // before paying for the next query.
+                noskip_streak = noskip_streak.saturating_add(1);
+                requery_in = 1u64 << (noskip_streak.min(6) - 1);
+            }
+        }
+    }
+
+    /// The pre-event-kernel reference loop: tick every cycle with no
+    /// skipping. Kept as the parity oracle — event-kernel runs must
+    /// produce byte-identical [`RunReport`]s to this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same deadlock condition as [`run`](Self::run).
+    pub fn run_dense(&mut self, instructions_per_core: u64) {
         let targets: Vec<u64> = self
             .cores
             .iter()

@@ -1,0 +1,129 @@
+//! Dense/event parity: the next-event kernel must be an invisible
+//! optimization. For every scheme, a fixed-seed run through
+//! [`System::run`] (event skipping) must produce a [`RunReport`] that
+//! is **byte-identical** (as serialized JSON) to the retained
+//! [`System::run_dense`] reference loop — same cycles, same stall
+//! breakdowns, same DRAM stats, same utilization denominators.
+
+use nomad_sim::spec::SchemeSpec;
+use nomad_sim::{System, SystemConfig};
+use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+use nomad_types::CancelToken;
+
+const WARMUP: u64 = 2_000;
+const INSTRUCTIONS: u64 = 20_000;
+
+fn parity_cfg(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::scaled(cores);
+    cfg.dc_capacity = 4 * 1024 * 1024;
+    cfg
+}
+
+fn build_system(
+    cfg: &SystemConfig,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    seed: u64,
+) -> System {
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| {
+            Box::new(SyntheticTrace::with_scale(
+                profile,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                cfg.pages_per_gb,
+                cfg.l3_reach_pages(),
+            )) as Box<dyn TraceSource>
+        })
+        .collect();
+    let mut sys = System::new(cfg.clone(), spec.build(cfg), traces);
+    sys.prewarm();
+    sys
+}
+
+fn assert_parity(cores: usize, spec: SchemeSpec, profile: WorkloadProfile, seed: u64) {
+    let cfg = parity_cfg(cores);
+
+    let mut dense = build_system(&cfg, &spec, &profile, seed);
+    dense.run_dense(WARMUP);
+    dense.reset_stats();
+    dense.run_dense(INSTRUCTIONS);
+    let dense_json = serde_json::to_string(&dense.report(&profile.name)).expect("serialize");
+
+    let mut event = build_system(&cfg, &spec, &profile, seed);
+    event.run(WARMUP);
+    event.reset_stats();
+    event.run(INSTRUCTIONS);
+    let event_json = serde_json::to_string(&event.report(&profile.name)).expect("serialize");
+
+    assert_eq!(
+        dense_json,
+        event_json,
+        "event kernel diverged from dense loop ({} / {})",
+        spec.label(),
+        profile.name
+    );
+    assert_eq!(dense.cycle(), event.cycle(), "final cycle diverged");
+}
+
+#[test]
+fn baseline_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Baseline, WorkloadProfile::tc(), 11);
+}
+
+#[test]
+fn tid_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Tid, WorkloadProfile::tc(), 12);
+}
+
+#[test]
+fn tdc_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Tdc, WorkloadProfile::tc(), 13);
+}
+
+#[test]
+fn nomad_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Nomad, WorkloadProfile::tc(), 14);
+}
+
+#[test]
+fn nomad_high_rmhb_parity() {
+    // mcf: high miss traffic keeps the OS handlers, backends and both
+    // DRAM devices busy — exercises the dense end of the spectrum.
+    assert_parity(1, SchemeSpec::Nomad, WorkloadProfile::mcf(), 15);
+}
+
+#[test]
+fn nomad_two_core_parity() {
+    let cfg = parity_cfg(2);
+    let spec = SchemeSpec::Nomad;
+    let profile = WorkloadProfile::tc();
+
+    let mut dense = build_system(&cfg, &spec, &profile, 16);
+    dense.run_dense(1_000);
+    dense.reset_stats();
+    dense.run_dense(8_000);
+    let dense_json = serde_json::to_string(&dense.report(&profile.name)).expect("serialize");
+
+    let mut event = build_system(&cfg, &spec, &profile, 16);
+    event.run(1_000);
+    event.reset_stats();
+    event.run(8_000);
+    let event_json = serde_json::to_string(&event.report(&profile.name)).expect("serialize");
+
+    assert_eq!(dense_json, event_json, "two-core event run diverged");
+}
+
+#[test]
+fn cancelled_run_stops_without_report() {
+    let cfg = parity_cfg(1);
+    let mut sys = build_system(&cfg, &SchemeSpec::Baseline, &WorkloadProfile::tc(), 9);
+    let token = CancelToken::new();
+    token.cancel();
+    assert!(
+        !sys.run_with_cancel(10_000_000, &token),
+        "pre-cancelled token must stop the run"
+    );
+    // The system is still usable: a fresh token lets it finish.
+    let fresh = CancelToken::new();
+    assert!(sys.run_with_cancel(1_000, &fresh));
+}

@@ -1,0 +1,99 @@
+//! Event-kernel primitives: next-activity queries and cooperative
+//! cancellation.
+//!
+//! The simulator's timing loop used to tick every component every CPU
+//! cycle. The event kernel instead asks each component when it could
+//! next *do* anything and jumps straight there. Two pieces live here so
+//! every timing crate can share them without depending on the system
+//! crate:
+//!
+//! * [`NextActivity`] — the "when are you next busy?" query.
+//! * [`CancelToken`] — a shared flag polled at event boundaries so a
+//!   long simulation can be abandoned cooperatively (e.g. a
+//!   `nomad-serve` job attempt that blew its wall-clock budget).
+
+use crate::Cycle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// When could this component next make progress on its own?
+///
+/// # Contract
+///
+/// `next_activity_at(now)` is called *after* the component has been
+/// ticked at `now` (so `now` itself is fully processed) and returns:
+///
+/// * `Some(t)` with `t > now` — ticking the component before `t` would
+///   do nothing beyond constant per-cycle accounting, and the component
+///   **must** be ticked again at `t` at the latest. Returning a `t`
+///   *earlier* than the component's true next activity is always safe
+///   (the kernel just ticks it and asks again); returning one *later*
+///   is a correctness bug — the skip-parity suite exists to catch it.
+/// * `None` — the component is purely reactive: it will not change
+///   state until someone pushes new work into it. The kernel may skip
+///   it indefinitely.
+///
+/// Components whose per-cycle work accrues statistics that appear in a
+/// `RunReport` (e.g. a core's stall-cycle breakdown) must provide a
+/// bulk "idle advance" so the kernel can account the skipped cycles
+/// identically to dense ticking.
+pub trait NextActivity {
+    /// Earliest cycle strictly after `now` at which this component
+    /// could make progress, or `None` if it is quiescent until poked.
+    fn next_activity_at(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// A shared cancellation flag for cooperative abandonment of a
+/// simulation.
+///
+/// Cloning the token clones the *handle*; all clones observe the same
+/// flag. The simulation loop polls [`is_cancelled`](Self::is_cancelled)
+/// at event boundaries (every few thousand cycles at worst), so a
+/// cancelled run returns promptly instead of burning CPU to completion.
+/// Relaxed ordering suffices: the flag is a latch, not a
+/// synchronization edge.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latch the token; every holder observes cancellation from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_latches_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -18,10 +18,12 @@
 //! transfers traced by a PCSHR's bit-vectors.
 
 pub mod addr;
+pub mod event;
 pub mod req;
 pub mod stats;
 
 pub use addr::{BlockAddr, CacheAddr, Cfn, PageOffset, Pfn, PhysAddr, SubBlockIdx, VirtAddr, Vpn};
+pub use event::{CancelToken, NextActivity};
 pub use req::{AccessKind, MemLevel, MemReq, MemResp, MemTarget, ReqId, TrafficClass};
 
 /// Simulation time, measured in CPU clock cycles.
