@@ -5,7 +5,7 @@
 // 3. FIFO fully-associative vs 16-way set-associative LRU DC miss
 //    rates (the paper claims ~23% fewer misses for FIFO+full-assoc);
 // 4. proactive batch eviction vs reactive (threshold-1) eviction.
-use nomad_bench::{save_json, Scale};
+use nomad_bench::{par, run_cell, save_json, Scale};
 use nomad_cache::CacheArray;
 use nomad_core::{NomadConfig, NomadScheme};
 use nomad_dcache::CacheFrames;
@@ -23,32 +23,33 @@ struct Ablation {
     metric: String,
 }
 
-fn run_spec(scale: &Scale, spec: &SchemeSpec, w: &WorkloadProfile) -> nomad_sim::RunReport {
-    runner::run_one(
-        &scale.config(),
-        spec,
-        w,
-        scale.instructions,
-        scale.warmup,
-        scale.seed,
-    )
-}
-
 /// Ablation 1 + 2: critical-data-first off (which also removes most
-/// buffer-hit servicing value for streaming workloads).
+/// buffer-hit servicing value for streaming workloads). Cells are
+/// (workload, spec) pairs run across the sweep worker pool and paired
+/// back up in submission order.
 fn ablate_cdf(scale: &Scale, out: &mut Vec<Ablation>) {
     println!("\nAblation: critical-data-first scheduling (cact, libq)");
-    for name in ["cact", "libq"] {
-        let w = WorkloadProfile::by_name(name).expect("known");
-        let on = run_spec(scale, &SchemeSpec::Nomad, &w);
-        let off = run_spec(
-            scale,
-            &SchemeSpec::NomadWith(NomadSpec {
-                critical_data_first: false,
-                ..NomadSpec::default()
-            }),
-            &w,
-        );
+    let cells: Vec<(WorkloadProfile, SchemeSpec)> = ["cact", "libq"]
+        .into_iter()
+        .flat_map(|name| {
+            let w = WorkloadProfile::by_name(name).expect("known");
+            [
+                SchemeSpec::Nomad,
+                SchemeSpec::NomadWith(NomadSpec {
+                    critical_data_first: false,
+                    ..NomadSpec::default()
+                }),
+            ]
+            .map(|spec| (w.clone(), spec))
+        })
+        .collect();
+    let scale_v = *scale;
+    let reports = par::run_cells_or_exit(scale.jobs, cells, |(w, spec), cancel| {
+        run_cell(&scale_v, spec, w, cancel)
+    });
+    for pair in reports.chunks_exact(2) {
+        let (on, off) = (&pair[0], &pair[1]);
+        let name = on.workload.clone();
         println!(
             "  {name}: IPC {:.3} (CDF on) vs {:.3} (off); DC access {:.0} vs {:.0} cycles; buffer hits {:.1}% vs {:.1}%",
             on.ipc(),
@@ -60,7 +61,7 @@ fn ablate_cdf(scale: &Scale, out: &mut Vec<Ablation>) {
         );
         out.push(Ablation {
             name: "critical_data_first".into(),
-            workload: name.into(),
+            workload: name,
             baseline_value: on.ipc(),
             ablated_value: off.ipc(),
             metric: "ipc".into(),
@@ -77,15 +78,24 @@ fn ablate_fifo(scale: &Scale, out: &mut Vec<Ablation>) {
     // A deliberately small page cache (1/8 of the DC) and a long trace
     // so capacity pressure, not cold misses, decides the outcome.
     let frames = (cfg.dc_frames() as usize / 8).max(512);
-    for name in ["cact", "mcf", "pr", "bfs"] {
+    let scale_v = *scale;
+    let cfg_v = cfg.clone();
+    let names = ["cact", "mcf", "pr", "bfs"];
+    let miss_rates = par::run_cells_or_exit(scale.jobs, names.to_vec(), |name, cancel| {
+        let cfg = &cfg_v;
         let w = WorkloadProfile::by_name(name).expect("known");
         let mut trace =
-            SyntheticTrace::with_scale(&w, scale.seed, cfg.pages_per_gb, cfg.l3_reach_pages());
+            SyntheticTrace::with_scale(&w, scale_v.seed, cfg.pages_per_gb, cfg.l3_reach_pages());
         let mut fifo = CacheFrames::new(frames);
         let mut fifo_map = std::collections::HashMap::new();
         let mut lru = CacheArray::new((frames / 16).next_power_of_two(), 16);
         let (mut fifo_miss, mut lru_miss, mut total) = (0u64, 0u64, 0u64);
-        for _ in 0..scale.instructions * 8 {
+        for i in 0..scale_v.instructions * 8 {
+            // The trace replay has no event loop to poll the token, so
+            // check it directly every ~64k records.
+            if i & 0xffff == 0 && cancel.is_cancelled() {
+                return None;
+            }
             let rec = trace.next_record();
             let page = rec.vaddr.raw() >> 12;
             total += 1;
@@ -106,8 +116,12 @@ fn ablate_fifo(scale: &Scale, out: &mut Vec<Ablation>) {
                 lru.insert(page, false);
             }
         }
-        let f = fifo_miss as f64 / total as f64;
-        let l = lru_miss as f64 / total as f64;
+        Some((
+            fifo_miss as f64 / total as f64,
+            lru_miss as f64 / total as f64,
+        ))
+    });
+    for (name, (f, l)) in names.into_iter().zip(miss_rates) {
         println!(
             "  {name}: FIFO full-assoc miss {:.3}%, 16-way LRU miss {:.3}% ({:+.1}% relative)",
             f * 100.0,
@@ -130,20 +144,39 @@ fn ablate_fifo(scale: &Scale, out: &mut Vec<Ablation>) {
 fn ablate_evict(scale: &Scale, out: &mut Vec<Ablation>) {
     println!("\nAblation: proactive batch eviction vs reactive (threshold-1) eviction");
     let cfg = scale.config();
-    for name in ["cact", "libq"] {
-        let w = WorkloadProfile::by_name(name).expect("known");
-        let pro = run_spec(scale, &SchemeSpec::Nomad, &w);
-        let mut reactive_cfg = NomadConfig::nomad(cfg.dc_capacity);
-        reactive_cfg.eviction_threshold = 1;
-        reactive_cfg.eviction_batch = 1;
-        let rea = runner::run_custom(
-            &cfg,
-            Box::new(NomadScheme::new(reactive_cfg)),
-            &w,
-            scale.instructions,
-            scale.warmup,
-            scale.seed,
-        );
+    // (workload, reactive?) cells; the reactive scheme needs knobs
+    // `SchemeSpec` does not expose, so each cell builds its own scheme
+    // inside the worker and goes through `run_custom_cancellable`.
+    let cells: Vec<(WorkloadProfile, bool)> = ["cact", "libq"]
+        .into_iter()
+        .flat_map(|name| {
+            let w = WorkloadProfile::by_name(name).expect("known");
+            [(w.clone(), false), (w, true)]
+        })
+        .collect();
+    let scale_v = *scale;
+    let cfg_v = cfg.clone();
+    let reports = par::run_cells_or_exit(scale.jobs, cells, |(w, reactive), cancel| {
+        if *reactive {
+            let mut reactive_cfg = NomadConfig::nomad(cfg_v.dc_capacity);
+            reactive_cfg.eviction_threshold = 1;
+            reactive_cfg.eviction_batch = 1;
+            runner::run_custom_cancellable(
+                &cfg_v,
+                Box::new(NomadScheme::new(reactive_cfg)),
+                w,
+                scale_v.instructions,
+                scale_v.warmup,
+                scale_v.seed,
+                cancel,
+            )
+        } else {
+            run_cell(&scale_v, &SchemeSpec::Nomad, w, cancel)
+        }
+    });
+    for pair in reports.chunks_exact(2) {
+        let (pro, rea) = (&pair[0], &pair[1]);
+        let name = pro.workload.clone();
         println!(
             "  {name}: IPC {:.3} (proactive) vs {:.3} (reactive); tag latency {:.0} vs {:.0}",
             pro.ipc(),
@@ -153,7 +186,7 @@ fn ablate_evict(scale: &Scale, out: &mut Vec<Ablation>) {
         );
         out.push(Ablation {
             name: "proactive_eviction".into(),
-            workload: name.into(),
+            workload: name,
             baseline_value: pro.ipc(),
             ablated_value: rea.ipc(),
             metric: "ipc".into(),

@@ -1,0 +1,6 @@
+//! Binary mirror of the `sweep_speed` bench target:
+//! `cargo run --release -p nomad-bench --bin sweep_speed`.
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/benches/sweep_speed.rs"
+));

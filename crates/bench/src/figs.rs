@@ -2,7 +2,8 @@
 //! exposes `run(&Scale)` returning serializable rows plus a
 //! `print(&rows)` that renders the table the paper reports.
 
-use crate::{geomean, hr, run, run_with_cfg, Scale};
+use crate::par;
+use crate::{geomean, hr, run_cell, run_with_cfg_cell, Scale};
 use nomad_sim::{RunReport, SchemeSpec};
 use nomad_trace::{WorkloadClass, WorkloadProfile};
 use serde::Serialize;
@@ -71,30 +72,35 @@ impl Row {
     }
 }
 
-/// Run `specs × workloads` and collect rows.
+/// Run `specs × workloads` and collect rows — across `scale.jobs`
+/// worker threads, with results in `workloads × specs` submission
+/// order, so the output is byte-identical at every job count (the
+/// `par_parity` suite holds this against the `jobs == 1` oracle).
 pub fn sweep(scale: &Scale, specs: &[SchemeSpec], workloads: &[WorkloadProfile]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        for spec in specs {
-            let r = run(scale, spec, w);
-            rows.push(Row::from_report(&r, w.class.label()));
-            eprintln!(
-                "  [{}/{}] ipc {:.3}",
-                w.name,
-                spec.label(),
-                rows.last().expect("just pushed").ipc
-            );
-        }
-    }
-    rows
+    let cells: Vec<(WorkloadProfile, SchemeSpec)> = workloads
+        .iter()
+        .flat_map(|w| specs.iter().map(move |spec| (w.clone(), spec.clone())))
+        .collect();
+    let scale = *scale;
+    par::run_cells_or_exit(scale.jobs, cells, |(w, spec), cancel| {
+        let r = run_cell(&scale, spec, w, cancel)?;
+        let row = Row::from_report(&r, w.class.label());
+        eprintln!("  [{}/{}] ipc {:.3}", w.name, spec.label(), row.ipc);
+        Some(row)
+    })
 }
 
 /// Like [`sweep`], but submits the whole grid through a running
 /// nomad-serve instance at `addr` (one cell per job, results in the
-/// same `workloads × specs` order). Repeated invocations against the
-/// same server reuse its content-addressed result cache, so
-/// regenerating a figure after a partial run only pays for the cells
-/// that changed.
+/// same `workloads × specs` order). `scale.jobs` bounds the number of
+/// concurrent client connections (the server's own `--workers` count
+/// still decides how many cells actually simulate at once), and the
+/// shared sweep cancellation token makes a serve-side failure — e.g. a
+/// job that blew the server's wall-clock budget — wind down the
+/// remaining submissions instead of pushing the rest of a doomed grid.
+/// Repeated invocations against the same server reuse its
+/// content-addressed result cache, so regenerating a figure after a
+/// partial run only pays for the cells that changed.
 pub fn sweep_via_service(
     addr: &str,
     scale: &Scale,
@@ -114,7 +120,7 @@ pub fn sweep_via_service(
             })
         })
         .collect();
-    let reports = nomad_serve::run_grid_via(addr, cells)
+    let reports = nomad_serve::run_grid_via_jobs(addr, cells, scale.jobs, par::sweep_token())
         .unwrap_or_else(|e| panic!("grid submission to nomad-serve at {addr} failed: {e}"));
     let mut rows = Vec::new();
     let mut it = reports.iter();
@@ -174,28 +180,27 @@ pub mod table1 {
         pub paper_footprint_gb: f64,
     }
 
-    /// Measure all 15 workloads under the Ideal scheme.
+    /// Measure all 15 workloads under the Ideal scheme (one parallel
+    /// cell per workload).
     pub fn run(scale: &Scale) -> Vec<T1Row> {
         let cfg = scale.config();
-        WorkloadProfile::all()
-            .iter()
-            .map(|w| {
-                let r = run_with_cfg(&cfg, scale, &SchemeSpec::Ideal, w);
-                eprintln!("  [{}] rmhb {:.1}", w.name, r.rmhb_gbps());
-                let d = w.derive(cfg.pages_per_gb, cfg.l3_reach_pages());
-                T1Row {
-                    class: w.class.label().to_string(),
-                    abbr: w.name.clone(),
-                    workload: w.full_name.clone(),
-                    rmhb_gbps: r.rmhb_gbps(),
-                    paper_rmhb: w.rmhb_gbps,
-                    llc_mpms: r.llc_mpms(),
-                    paper_mpms: w.llc_mpms,
-                    footprint_mb: d.footprint_pages as f64 * 4096.0 / 1e6,
-                    paper_footprint_gb: w.footprint_gb,
-                }
+        let scale = *scale;
+        par::run_cells_or_exit(scale.jobs, WorkloadProfile::all(), |w, cancel| {
+            let r = run_with_cfg_cell(&cfg, &scale, &SchemeSpec::Ideal, w, cancel)?;
+            eprintln!("  [{}] rmhb {:.1}", w.name, r.rmhb_gbps());
+            let d = w.derive(cfg.pages_per_gb, cfg.l3_reach_pages());
+            Some(T1Row {
+                class: w.class.label().to_string(),
+                abbr: w.name.clone(),
+                workload: w.full_name.clone(),
+                rmhb_gbps: r.rmhb_gbps(),
+                paper_rmhb: w.rmhb_gbps,
+                llc_mpms: r.llc_mpms(),
+                paper_mpms: w.llc_mpms,
+                footprint_mb: d.footprint_pages as f64 * 4096.0 / 1e6,
+                paper_footprint_gb: w.footprint_gb,
             })
-            .collect()
+        })
     }
 
     /// Print the table.
@@ -301,16 +306,26 @@ pub mod fig02 {
         pub rmhb_gbps: f64,
     }
 
-    /// Run the six-workload comparison.
+    /// Run the six-workload comparison (one parallel cell per
+    /// workload × scheme, paired back up in submission order).
     pub fn run(scale: &Scale) -> Vec<F2Row> {
-        WorkloadProfile::fig2_set()
+        let cells: Vec<(WorkloadProfile, SchemeSpec)> = WorkloadProfile::fig2_set()
             .iter()
-            .map(|w| {
-                let tdc = super::run(scale, &SchemeSpec::Tdc, w);
-                let tid = super::run(scale, &SchemeSpec::Tid, w);
-                eprintln!("  [{}] tdc/tid {:.2}", w.name, tdc.ipc() / tid.ipc());
+            .flat_map(|w| [SchemeSpec::Tdc, SchemeSpec::Tid].map(|spec| (w.clone(), spec)))
+            .collect();
+        let scale = *scale;
+        let reports = par::run_cells_or_exit(scale.jobs, cells, |(w, spec), cancel| {
+            let r = run_cell(&scale, spec, w, cancel)?;
+            eprintln!("  [{}/{}] ipc {:.3}", w.name, spec.label(), r.ipc());
+            Some(r)
+        });
+        reports
+            .chunks_exact(2)
+            .map(|pair| {
+                let (tdc, tid) = (&pair[0], &pair[1]);
+                eprintln!("  [{}] tdc/tid {:.2}", tdc.workload, tdc.ipc() / tid.ipc());
                 F2Row {
-                    workload: w.name.clone(),
+                    workload: tdc.workload.clone(),
                     tdc_over_tid: tdc.ipc() / tid.ipc(),
                     rmhb_gbps: tdc.rmhb_gbps(),
                 }
@@ -558,34 +573,50 @@ pub mod pcshr_sweeps {
     }
 
     /// Fig. 12: per-class average IPC and off-package bandwidth vs
-    /// PCSHR count.
+    /// PCSHR count. Cells are (class, count, workload) triples run in
+    /// parallel; class averages are folded afterwards in submission
+    /// order, so rows are identical at every job count.
     pub fn fig12(scale: &Scale, counts: &[usize]) -> Vec<SweepRow> {
-        let mut rows = Vec::new();
+        let mut groups: Vec<(WorkloadClass, usize, usize)> = Vec::new();
+        let mut cells: Vec<(usize, WorkloadProfile)> = Vec::new();
         for class in WorkloadClass::ALL {
+            let ws = WorkloadProfile::of_class(class);
             for &n in counts {
-                let mut ipcs = Vec::new();
-                let mut bw = Vec::new();
-                let mut stall = Vec::new();
-                let mut lat = Vec::new();
-                for w in WorkloadProfile::of_class(class) {
-                    let r = run(scale, &nomad_with(n), &w);
-                    ipcs.push(r.ipc());
-                    bw.push(r.ddr_total_gbps());
-                    stall.push(r.os_stall_ratio());
-                    lat.push(r.tag_mgmt_latency());
-                }
-                let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-                eprintln!("  [{class}/{n} PCSHRs] ipc {:.3}", avg(&ipcs));
-                rows.push(SweepRow {
-                    workload: class.label().to_string(),
-                    pcshrs: n,
-                    cores: scale.cores,
-                    ipc: avg(&ipcs),
-                    ddr_gbps: avg(&bw),
-                    os_stall_ratio: avg(&stall),
-                    tag_mgmt_latency: avg(&lat),
-                });
+                groups.push((class, n, ws.len()));
+                cells.extend(ws.iter().map(|w| (n, w.clone())));
             }
+        }
+        let scale = *scale;
+        let reports = par::run_cells_or_exit(scale.jobs, cells, |(n, w), cancel| {
+            let r = run_cell(&scale, &nomad_with(*n), w, cancel)?;
+            eprintln!("  [{}/{n} PCSHRs] ipc {:.3}", w.name, r.ipc());
+            Some((
+                r.ipc(),
+                r.ddr_total_gbps(),
+                r.os_stall_ratio(),
+                r.tag_mgmt_latency(),
+            ))
+        });
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let mut rows = Vec::new();
+        let mut rest = reports.as_slice();
+        for (class, n, len) in groups {
+            let (group, tail) = rest.split_at(len);
+            rest = tail;
+            let ipcs: Vec<f64> = group.iter().map(|g| g.0).collect();
+            let bw: Vec<f64> = group.iter().map(|g| g.1).collect();
+            let stall: Vec<f64> = group.iter().map(|g| g.2).collect();
+            let lat: Vec<f64> = group.iter().map(|g| g.3).collect();
+            eprintln!("  [{class}/{n} PCSHRs] ipc {:.3}", avg(&ipcs));
+            rows.push(SweepRow {
+                workload: class.label().to_string(),
+                pcshrs: n,
+                cores: scale.cores,
+                ipc: avg(&ipcs),
+                ddr_gbps: avg(&bw),
+                os_stall_ratio: avg(&stall),
+                tag_mgmt_latency: avg(&lat),
+            });
         }
         rows
     }
@@ -618,18 +649,33 @@ pub mod pcshr_sweeps {
     }
 
     /// Fig. 13: Excess-class average IPC vs PCSHRs for several core
-    /// counts, normalized to the 32-PCSHR setup.
+    /// counts, normalized to the 32-PCSHR setup. The core-count sweep
+    /// is flattened into (cores, count, workload) cells so even the
+    /// different-sized systems fill the worker pool together.
     pub fn fig13(scale: &Scale, counts: &[usize], cores: &[usize]) -> Vec<SweepRow> {
+        let excess = WorkloadProfile::of_class(WorkloadClass::Excess);
+        let cells: Vec<(usize, usize, WorkloadProfile)> = cores
+            .iter()
+            .flat_map(|&c| {
+                let excess = &excess;
+                counts
+                    .iter()
+                    .flat_map(move |&n| excess.iter().map(move |w| (c, n, w.clone())))
+            })
+            .collect();
+        let scale = *scale;
+        let ipcs = par::run_cells_or_exit(scale.jobs, cells, |(c, n, w), cancel| {
+            let r = run_cell(&scale.with_cores(*c), &nomad_with(*n), w, cancel)?;
+            eprintln!("  [{c} cores / {n} PCSHRs / {}] ipc {:.3}", w.name, r.ipc());
+            Some(r.ipc())
+        });
         let mut rows = Vec::new();
+        let mut rest = ipcs.as_slice();
         for &c in cores {
-            let s = scale.with_cores(c);
             for &n in counts {
-                let mut ipcs = Vec::new();
-                for w in WorkloadProfile::of_class(WorkloadClass::Excess) {
-                    let r = run(&s, &nomad_with(n), &w);
-                    ipcs.push(r.ipc());
-                }
-                let ipc = ipcs.iter().sum::<f64>() / ipcs.len().max(1) as f64;
+                let (group, tail) = rest.split_at(excess.len());
+                rest = tail;
+                let ipc = group.iter().sum::<f64>() / group.len().max(1) as f64;
                 eprintln!("  [{c} cores / {n} PCSHRs] ipc {ipc:.3}");
                 rows.push(SweepRow {
                     workload: "Excess".into(),
@@ -678,24 +724,31 @@ pub mod pcshr_sweeps {
     /// Fig. 14: stall rate + tag latency for cact (highest RMHB) and
     /// libq (bursty RMHB) vs PCSHRs.
     pub fn fig14(scale: &Scale, counts: &[usize]) -> Vec<SweepRow> {
-        let mut rows = Vec::new();
-        for name in ["cact", "libq"] {
-            let w = WorkloadProfile::by_name(name).expect("known");
-            for &n in counts {
-                let r = run(scale, &nomad_with(n), &w);
-                eprintln!("  [{name}/{n}] stall {:.1}%", 100.0 * r.os_stall_ratio());
-                rows.push(SweepRow {
-                    workload: name.into(),
-                    pcshrs: n,
-                    cores: scale.cores,
-                    ipc: r.ipc(),
-                    ddr_gbps: r.ddr_total_gbps(),
-                    os_stall_ratio: r.os_stall_ratio(),
-                    tag_mgmt_latency: r.tag_mgmt_latency(),
-                });
-            }
-        }
-        rows
+        let cells: Vec<(WorkloadProfile, usize)> = ["cact", "libq"]
+            .into_iter()
+            .flat_map(|name| {
+                let w = WorkloadProfile::by_name(name).expect("known");
+                counts.iter().map(move |&n| (w.clone(), n))
+            })
+            .collect();
+        let scale = *scale;
+        par::run_cells_or_exit(scale.jobs, cells, |(w, n), cancel| {
+            let r = run_cell(&scale, &nomad_with(*n), w, cancel)?;
+            eprintln!(
+                "  [{}/{n}] stall {:.1}%",
+                w.name,
+                100.0 * r.os_stall_ratio()
+            );
+            Some(SweepRow {
+                workload: w.name.clone(),
+                pcshrs: *n,
+                cores: scale.cores,
+                ipc: r.ipc(),
+                ddr_gbps: r.ddr_total_gbps(),
+                os_stall_ratio: r.os_stall_ratio(),
+                tag_mgmt_latency: r.tag_mgmt_latency(),
+            })
+        })
     }
 
     /// Print Fig. 14.
@@ -751,27 +804,30 @@ pub mod fig15 {
 
     /// Run the (n, m) grid on libq and gems.
     pub fn run(scale: &Scale, grid: &[(usize, usize)]) -> Vec<F15Row> {
-        let mut rows = Vec::new();
-        for name in ["libq", "gems"] {
-            let w = WorkloadProfile::by_name(name).expect("known");
-            for &(n, m) in grid {
-                let spec = SchemeSpec::NomadWith(NomadSpec {
-                    pcshrs: n,
-                    buffers: Some(m),
-                    ..NomadSpec::default()
-                });
-                let r = super::run(scale, &spec, &w);
-                eprintln!("  [{name} ({n},{m})] ipc {:.3}", r.ipc());
-                rows.push(F15Row {
-                    workload: name.into(),
-                    pcshrs: n,
-                    buffers: m,
-                    ipc: r.ipc(),
-                    tag_mgmt_latency: r.tag_mgmt_latency(),
-                });
-            }
-        }
-        rows
+        let cells: Vec<(WorkloadProfile, usize, usize)> = ["libq", "gems"]
+            .into_iter()
+            .flat_map(|name| {
+                let w = WorkloadProfile::by_name(name).expect("known");
+                grid.iter().map(move |&(n, m)| (w.clone(), n, m))
+            })
+            .collect();
+        let scale = *scale;
+        par::run_cells_or_exit(scale.jobs, cells, |(w, n, m), cancel| {
+            let spec = SchemeSpec::NomadWith(NomadSpec {
+                pcshrs: *n,
+                buffers: Some(*m),
+                ..NomadSpec::default()
+            });
+            let r = run_cell(&scale, &spec, w, cancel)?;
+            eprintln!("  [{} ({n},{m})] ipc {:.3}", w.name, r.ipc());
+            Some(F15Row {
+                workload: w.name.clone(),
+                pcshrs: *n,
+                buffers: *m,
+                ipc: r.ipc(),
+                tag_mgmt_latency: r.tag_mgmt_latency(),
+            })
+        })
     }
 
     /// Print the grid.
@@ -828,34 +884,53 @@ pub mod fig16 {
 
     /// Sweep total PCSHRs for centralized (1 back-end) and distributed
     /// (4 back-ends) organizations over class-representative workloads.
+    /// Cells are (backends, total, workload) triples; the per-point
+    /// averages fold afterwards in submission order.
     pub fn run(scale: &Scale, totals: &[usize]) -> Vec<F16Row> {
         let set = ["cact", "libq", "mcf", "pr"];
-        let mut rows = Vec::new();
-        for &backends in &[1usize, 4] {
-            for &total in totals {
-                let per = (total / backends).max(1);
-                let spec = SchemeSpec::NomadWith(NomadSpec {
-                    pcshrs: per,
-                    backends,
-                    ..NomadSpec::default()
-                });
-                let mut ipcs = Vec::new();
-                let mut lats = Vec::new();
-                for name in set {
+        let points: Vec<(usize, usize)> = [1usize, 4]
+            .iter()
+            .flat_map(|&backends| totals.iter().map(move |&total| (backends, total)))
+            .collect();
+        let cells: Vec<(usize, usize, WorkloadProfile)> = points
+            .iter()
+            .flat_map(|&(backends, total)| {
+                set.iter().map(move |name| {
                     let w = WorkloadProfile::by_name(name).expect("known");
-                    let r = super::run(scale, &spec, &w);
-                    ipcs.push(r.ipc());
-                    lats.push(r.tag_mgmt_latency());
-                }
-                let ipc = ipcs.iter().sum::<f64>() / ipcs.len() as f64;
-                eprintln!("  [{backends} BE x {per} PCSHRs] ipc {ipc:.3}");
-                rows.push(F16Row {
-                    backends,
-                    total_pcshrs: per * backends,
-                    ipc,
-                    tag_mgmt_latency: lats.iter().sum::<f64>() / lats.len() as f64,
-                });
-            }
+                    (backends, total, w)
+                })
+            })
+            .collect();
+        let scale = *scale;
+        let measured = par::run_cells_or_exit(scale.jobs, cells, |(backends, total, w), cancel| {
+            let per = (total / backends).max(1);
+            let spec = SchemeSpec::NomadWith(NomadSpec {
+                pcshrs: per,
+                backends: *backends,
+                ..NomadSpec::default()
+            });
+            let r = run_cell(&scale, &spec, w, cancel)?;
+            eprintln!(
+                "  [{backends} BE x {per} PCSHRs / {}] ipc {:.3}",
+                w.name,
+                r.ipc()
+            );
+            Some((r.ipc(), r.tag_mgmt_latency()))
+        });
+        let mut rows = Vec::new();
+        let mut rest = measured.as_slice();
+        for (backends, total) in points {
+            let (group, tail) = rest.split_at(set.len());
+            rest = tail;
+            let per = (total / backends).max(1);
+            let ipc = group.iter().map(|g| g.0).sum::<f64>() / group.len() as f64;
+            eprintln!("  [{backends} BE x {per} PCSHRs] ipc {ipc:.3}");
+            rows.push(F16Row {
+                backends,
+                total_pcshrs: per * backends,
+                ipc,
+                tag_mgmt_latency: group.iter().map(|g| g.1).sum::<f64>() / group.len() as f64,
+            });
         }
         rows
     }

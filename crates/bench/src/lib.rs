@@ -13,12 +13,18 @@
 //! * `NOMAD_INSTR` — measured instructions per core (default 150 000);
 //! * `NOMAD_WARMUP` — warm-up instructions per core (default 120 000);
 //! * `NOMAD_CORES` — CPU cores (default 8, the paper's count);
-//! * `NOMAD_SEED` — RNG seed (default 42).
+//! * `NOMAD_SEED` — RNG seed (default 42);
+//! * `NOMAD_JOBS` — sweep worker threads (default: the host's
+//!   available parallelism; 0 or garbage clamp to 1). Results are
+//!   collected in submission order, so every table and JSON artifact
+//!   is byte-identical at any job count — see [`par`].
 
 pub mod figs;
+pub mod par;
 
 use nomad_sim::{runner, RunReport, SchemeSpec, SystemConfig};
 use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
 use serde::Serialize;
 use std::io::Write as _;
 
@@ -34,6 +40,8 @@ pub struct Scale {
     pub cores: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Sweep worker threads (1 = the sequential oracle path).
+    pub jobs: usize,
 }
 
 impl Default for Scale {
@@ -43,6 +51,7 @@ impl Default for Scale {
             warmup: 120_000,
             cores: 8,
             seed: 42,
+            jobs: par::default_jobs(),
         }
     }
 }
@@ -62,6 +71,16 @@ impl Scale {
             warmup: get("NOMAD_WARMUP", d.warmup),
             cores: get("NOMAD_CORES", d.cores as u64) as usize,
             seed: get("NOMAD_SEED", d.seed),
+            jobs: par::jobs_from_env(),
+        }
+    }
+
+    /// A scale with an explicit worker count (tests pin this instead
+    /// of racing on the `NOMAD_JOBS` environment variable).
+    pub fn with_jobs(&self, jobs: usize) -> Self {
+        Scale {
+            jobs: jobs.max(1),
+            ..*self
         }
     }
 
@@ -99,6 +118,38 @@ pub fn run_with_cfg(
     )
 }
 
+/// [`run`] with cooperative cancellation — the per-cell body the
+/// parallel executor ([`par::run_cells`]) drives. Returns `None` once
+/// `cancel` is latched; an uncancelled run is byte-identical to
+/// [`run`].
+pub fn run_cell(
+    scale: &Scale,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    run_with_cfg_cell(&scale.config(), scale, spec, profile, cancel)
+}
+
+/// [`run_with_cfg`] with cooperative cancellation.
+pub fn run_with_cfg_cell(
+    cfg: &SystemConfig,
+    scale: &Scale,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    runner::run_one_cancellable(
+        cfg,
+        spec,
+        profile,
+        scale.instructions,
+        scale.warmup,
+        scale.seed,
+        cancel,
+    )
+}
+
 /// Write a JSON artifact under `results/` (best effort: failures are
 /// reported but do not abort the harness).
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
@@ -114,7 +165,18 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = if dir.exists() || std::fs::create_dir_all(dir).is_ok() {
         dir.join(format!("{name}.json"))
     } else {
-        std::path::PathBuf::from(format!("{name}.json"))
+        // Still save the artifact, but loudly: a silent fallback left
+        // stray `crates/*/results/` files behind in the past.
+        let fallback = std::path::PathBuf::from(format!("{name}.json"));
+        let cwd = std::env::current_dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|_| "<unknown cwd>".to_string());
+        eprintln!(
+            "warning: could not create {}; falling back to {} in the current directory ({cwd})",
+            dir.display(),
+            fallback.display(),
+        );
+        fallback
     };
     match std::fs::File::create(&path) {
         Ok(mut f) => {
@@ -168,8 +230,30 @@ mod tests {
         let d = Scale::default();
         assert_eq!(d.cores, 8);
         assert!(d.instructions > 0);
+        assert!(d.jobs >= 1);
         let cfg = d.config();
         assert_eq!(cfg.cores, 8);
         assert_eq!(d.with_cores(2).cores, 2);
+        assert_eq!(d.with_jobs(3).jobs, 3);
+        assert_eq!(d.with_jobs(0).jobs, 1, "with_jobs clamps to >= 1");
+    }
+
+    /// `from_env` picks up `NOMAD_JOBS`, clamping invalid and zero
+    /// values to 1. This is the only test mutating `NOMAD_JOBS`, so it
+    /// cannot race with the other tests in this binary.
+    #[test]
+    fn scale_from_env_reads_nomad_jobs() {
+        std::env::set_var("NOMAD_JOBS", "6");
+        assert_eq!(Scale::from_env().jobs, 6);
+        std::env::set_var("NOMAD_JOBS", "0");
+        assert_eq!(Scale::from_env().jobs, 1, "zero clamps to 1");
+        std::env::set_var("NOMAD_JOBS", "not-a-number");
+        assert_eq!(Scale::from_env().jobs, 1, "garbage clamps to 1");
+        std::env::remove_var("NOMAD_JOBS");
+        assert_eq!(
+            Scale::from_env().jobs,
+            par::default_jobs(),
+            "unset falls back to available parallelism"
+        );
     }
 }

@@ -1,0 +1,256 @@
+//! Deterministic parallel sweep executor.
+//!
+//! Every figure/table harness reproduces a grid of independent
+//! (workload × scheme × config) simulation cells. Each cell is a pure
+//! function of its inputs (the determinism suite proves byte-identical
+//! `RunReport`s per cell), so the grid is embarrassingly parallel —
+//! but the *artifacts* must not change: printed tables and
+//! `results/*.json` files are diffed against previous runs, so results
+//! must come back **in submission order** no matter how many workers
+//! raced to produce them.
+//!
+//! [`run_cells`] provides exactly that: a scoped worker pool
+//! (`std::thread`, no extra dependencies) where workers claim cells
+//! from a shared cursor and write each result into its submission slot.
+//! With `jobs == 1` no thread is spawned at all — the caller's thread
+//! runs the cells in order, byte-for-byte the pre-executor sequential
+//! path, kept as the oracle the parity suite compares against.
+//!
+//! Worker count comes from `NOMAD_JOBS` (default: the host's available
+//! parallelism; invalid or zero values clamp to 1) via
+//! [`jobs_from_env`], and is carried on [`Scale`](crate::Scale) so
+//! tests can pin it without racing on the process environment.
+//!
+//! Cancellation: every cell closure receives a [`CancelToken`]
+//! (threaded into the simulator's event loop via
+//! `runner::run_one_cancellable`), and workers re-check the token
+//! before claiming the next cell. Latching the token — from an
+//! embedder, from a failed nomad-serve job, or from a panicking
+//! sibling cell — makes in-flight cells return promptly instead of
+//! burning CPU to completion.
+
+use nomad_types::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The host's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Interpret an explicit `NOMAD_JOBS` value: positive integers pass
+/// through, zero and garbage clamp to 1 (with a warning for garbage).
+fn jobs_override(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(n) => n.max(1),
+        Err(_) => {
+            eprintln!("warning: NOMAD_JOBS={raw:?} is not a non-negative integer; using 1");
+            1
+        }
+    }
+}
+
+/// Worker count for sweep execution: `NOMAD_JOBS` when set (clamped
+/// ≥ 1), otherwise the host's available parallelism.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("NOMAD_JOBS") {
+        Ok(v) if !v.trim().is_empty() => jobs_override(&v),
+        _ => default_jobs(),
+    }
+}
+
+/// The process-wide sweep cancellation token. Every harness grid runs
+/// under (a clone of) this token, so an embedder — or a failing cell —
+/// can wind down all in-flight sweep work with one latch.
+pub fn sweep_token() -> &'static CancelToken {
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    TOKEN.get_or_init(CancelToken::new)
+}
+
+/// Evaluate `cells` across `jobs` worker threads and return the
+/// results **in submission order**, or `None` if the sweep was
+/// cancelled before every cell finished.
+///
+/// The closure runs once per cell; returning `None` signals that the
+/// cell observed cancellation (as `runner::run_one_cancellable` does)
+/// and aborts the sweep. A panicking cell latches `cancel` so its
+/// siblings stop claiming work, then the panic is propagated to the
+/// caller once the pool has wound down.
+///
+/// Determinism: each cell's result depends only on the cell itself, so
+/// the output vector is identical for every `jobs` value — the
+/// `par_parity` suite asserts byte-identical serialized rows for
+/// `jobs` ∈ {1, 2, 8} against the `jobs == 1` sequential oracle.
+pub fn run_cells<C, R, F>(jobs: usize, cancel: &CancelToken, cells: Vec<C>, f: F) -> Option<Vec<R>>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C, &CancelToken) -> Option<R> + Sync,
+{
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    if jobs == 1 {
+        // Sequential oracle: no pool, no claiming, no reordering —
+        // exactly the pre-executor nested-loop behavior.
+        let mut out = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            out.push(f(cell, cancel)?);
+        }
+        return Some(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                loop {
+                    if cancel.is_cancelled() {
+                        return;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= cells.len() {
+                        return;
+                    }
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        f(&cells[idx], cancel)
+                    }));
+                    match result {
+                        Ok(Some(r)) => *slots[idx].lock().expect("slot lock") = Some(r),
+                        // Cancelled mid-cell: the token is already
+                        // latched (or an embedder latched it); stop.
+                        Ok(None) => return,
+                        Err(payload) => {
+                            // Wind the pool down before the panic
+                            // escapes the scope, so no sibling keeps
+                            // simulating a doomed sweep.
+                            cancel.cancel();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if cancel.is_cancelled() {
+        return None;
+    }
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("uncancelled sweep fills every slot")
+        })
+        .collect();
+    Some(out)
+}
+
+/// [`run_cells`] under the process-wide [`sweep_token`], exiting the
+/// process (status 130, the conventional SIGINT status) when the sweep
+/// is cancelled — the behavior every harness binary wants, since a
+/// partial grid cannot print a meaningful table.
+pub fn run_cells_or_exit<C, R, F>(jobs: usize, cells: Vec<C>, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C, &CancelToken) -> Option<R> + Sync,
+{
+    match run_cells(jobs, sweep_token(), cells, f) {
+        Some(out) => out,
+        None => {
+            eprintln!("sweep cancelled; discarding partial grid");
+            std::process::exit(130);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order_at_any_width() {
+        let cells: Vec<usize> = (0..64).collect();
+        for jobs in [1usize, 2, 3, 8, 64, 100] {
+            let out = run_cells(jobs, &CancelToken::new(), cells.clone(), |&c, _| {
+                // Stagger the early cells so later ones finish first
+                // under real parallelism.
+                if c < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Some(c * 10)
+            })
+            .expect("not cancelled");
+            assert_eq!(out, cells.iter().map(|c| c * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_none() {
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1usize, 4] {
+            let ran = AtomicUsize::new(0);
+            let out = run_cells(jobs, &token, vec![1, 2, 3], |&c, _| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Some(c)
+            });
+            assert!(out.is_none());
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "no cell should start");
+        }
+    }
+
+    #[test]
+    fn cell_observing_cancellation_aborts_the_sweep() {
+        let token = CancelToken::new();
+        let out = run_cells(2, &token, (0..32).collect::<Vec<_>>(), |&c, cancel| {
+            if c == 5 {
+                cancel.cancel();
+                return None;
+            }
+            if cancel.is_cancelled() {
+                return None;
+            }
+            Some(c)
+        });
+        assert!(out.is_none());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn panicking_cell_latches_the_token_and_propagates() {
+        let token = CancelToken::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cells(4, &token, (0..16).collect::<Vec<_>>(), |&c, _| {
+                if c == 3 {
+                    panic!("boom");
+                }
+                Some(c)
+            })
+        }));
+        assert!(result.is_err(), "the cell panic must propagate");
+        assert!(token.is_cancelled(), "siblings must be told to stop");
+    }
+
+    #[test]
+    fn jobs_override_clamps_garbage_and_zero() {
+        assert_eq!(jobs_override("0"), 1);
+        assert_eq!(jobs_override("banana"), 1);
+        assert_eq!(jobs_override(" 6 "), 6);
+        assert_eq!(jobs_override("-2"), 1);
+        assert_eq!(jobs_override("1"), 1);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Option<Vec<u32>> =
+            run_cells(8, &CancelToken::new(), Vec::<u32>::new(), |&c, _| Some(c));
+        assert_eq!(out, Some(vec![]));
+    }
+}

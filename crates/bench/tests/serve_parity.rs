@@ -14,6 +14,7 @@ fn sweep_rows_match_through_the_service() {
         warmup: 500,
         cores: 2,
         seed: 13,
+        jobs: 2,
     };
     let specs = [SchemeSpec::Baseline, SchemeSpec::Nomad];
     let workloads = [WorkloadProfile::tc(), WorkloadProfile::libq()];

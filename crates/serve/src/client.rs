@@ -3,6 +3,7 @@
 use crate::proto::{self, JobSpec, Request, Response, StatsSnapshot};
 use nomad_sim::runner::Cell;
 use nomad_sim::RunReport;
+use nomad_types::CancelToken;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -98,8 +99,25 @@ fn unexpected(wanted: &str, got: &Response) -> io::Error {
 pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cells.len().max(1));
+        .unwrap_or(4);
+    run_grid_via_jobs(addr, cells, threads, &CancelToken::new())
+}
+
+/// [`run_grid_via`] with an explicit client-connection count and a
+/// cancellation token. `jobs` (clamped ≥ 1) bounds how many
+/// connections — and therefore in-flight submissions — the client
+/// opens; the server's own worker pool still decides how many cells
+/// simulate concurrently. The first job the service reports as failed
+/// (e.g. a serve-side wall-clock timeout) latches `cancel`, so sibling
+/// threads stop submitting the rest of a doomed grid; cells never
+/// submitted surface as `cancelled` errors in the returned result.
+pub fn run_grid_via_jobs(
+    addr: &str,
+    cells: Vec<Cell>,
+    jobs: usize,
+    cancel: &CancelToken,
+) -> io::Result<Vec<RunReport>> {
+    let threads = jobs.max(1).min(cells.len().max(1));
     let work: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(work);
     let results = std::sync::Mutex::new(Vec::new());
@@ -112,7 +130,9 @@ pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> 
                         let msg = e.to_string();
                         // Without a connection this thread can do
                         // nothing; record the error for every cell it
-                        // would have claimed as they come up.
+                        // would have claimed as they come up, and tell
+                        // the siblings the grid is doomed.
+                        cancel.cancel();
                         loop {
                             let item = queue.lock().expect("work lock").pop();
                             let Some((idx, _)) = item else { return };
@@ -126,6 +146,13 @@ pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> 
                 loop {
                     let item = queue.lock().expect("work lock").pop();
                     let Some((idx, cell)) = item else { return };
+                    if cancel.is_cancelled() {
+                        results
+                            .lock()
+                            .expect("results lock")
+                            .push((idx, Err("cancelled before submission".to_string())));
+                        continue;
+                    }
                     let job = JobSpec::from_cell(&cell);
                     let outcome = match client.submit_retrying(&job, 1000) {
                         Ok(Response::Report { report, .. }) => Ok(report),
@@ -138,6 +165,11 @@ pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> 
                         Ok(other) => Err(format!("unexpected response: {other:?}")),
                         Err(e) => Err(format!("transport error: {e}")),
                     };
+                    if outcome.is_err() {
+                        // Fail fast: one lost cell dooms the whole
+                        // grid, so stop feeding the server.
+                        cancel.cancel();
+                    }
                     results.lock().expect("results lock").push((idx, outcome));
                 }
             });

@@ -46,6 +46,6 @@ pub mod stats;
 pub mod worker;
 
 pub use cache::{JobFailure, ResultCache};
-pub use client::{run_grid_via, Client};
+pub use client::{run_grid_via, run_grid_via_jobs, Client};
 pub use proto::{JobSpec, Request, Response, StatsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};
