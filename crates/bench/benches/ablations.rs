@@ -195,6 +195,7 @@ fn ablate_evict(scale: &Scale, out: &mut Vec<Ablation>) {
 }
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!("ablations ({scale:?})");
     let mut out = Vec::new();

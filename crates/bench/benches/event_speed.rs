@@ -84,6 +84,7 @@ fn timed_run(sys: &mut System, dense: bool, warmup: u64, instructions: u64) -> (
 }
 
 fn main() {
+    nomad_bench::harness_init();
     let instructions = env_u64("NOMAD_INSTR", 200_000);
     let warmup = env_u64("NOMAD_WARMUP", 20_000);
     let seed = env_u64("NOMAD_SEED", 42);

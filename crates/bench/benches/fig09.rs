@@ -3,6 +3,7 @@
 use nomad_bench::{figs::fig09, save_json, Scale};
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!("fig09: 15 workloads × 5 schemes ({:?})", scale);
     let rows = fig09::run(&scale);

@@ -2,6 +2,7 @@
 use nomad_bench::{figs::fig10, save_json, Scale};
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!("fig10: 15 workloads × 3 schemes ({:?})", scale);
     let rows = fig10::run(&scale);

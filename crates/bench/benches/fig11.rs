@@ -2,6 +2,7 @@
 use nomad_bench::{figs::fig11, save_json, Scale};
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!("fig11: 15 workloads × 2 schemes ({:?})", scale);
     let rows = fig11::run(&scale);

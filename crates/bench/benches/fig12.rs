@@ -4,6 +4,7 @@ use nomad_bench::{figs::pcshr_sweeps, save_json, Scale};
 const COUNTS: &[usize] = &[1, 2, 4, 8, 16, 32];
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!(
         "fig12: 4 classes × {} PCSHR counts ({:?})",

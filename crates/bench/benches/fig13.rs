@@ -5,6 +5,7 @@ const COUNTS: &[usize] = &[2, 4, 8, 16, 32];
 const CORES: &[usize] = &[2, 4, 8];
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!(
         "fig13: {} core counts × {} PCSHR counts ({:?})",

@@ -4,6 +4,7 @@ use nomad_bench::{figs::fig15, save_json, Scale};
 const GRID: &[(usize, usize)] = &[(8, 8), (16, 8), (32, 8), (16, 16), (32, 16), (32, 32)];
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!(
         "fig15: 2 workloads × {} (n,m) points ({:?})",

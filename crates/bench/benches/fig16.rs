@@ -4,6 +4,7 @@ use nomad_bench::{figs::fig16, save_json, Scale};
 const TOTALS: &[usize] = &[4, 8, 16, 32];
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!(
         "fig16: 2 organizations × {} PCSHR totals ({:?})",

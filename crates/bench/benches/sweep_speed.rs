@@ -49,6 +49,7 @@ fn env_u64(key: &str, default: u64) -> u64 {
 }
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale {
         instructions: env_u64("NOMAD_INSTR", 12_000),
         warmup: env_u64("NOMAD_WARMUP", 3_000),

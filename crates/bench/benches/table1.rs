@@ -2,6 +2,7 @@
 use nomad_bench::{figs::table1, save_json, Scale};
 
 fn main() {
+    nomad_bench::harness_init();
     let scale = Scale::from_env();
     eprintln!("table1: 15 workloads × Ideal ({:?})", scale);
     let rows = table1::run(&scale);

@@ -2,6 +2,7 @@
 use nomad_bench::{figs::table2, save_json, Scale};
 
 fn main() {
+    nomad_bench::harness_init();
     let cfg = Scale::from_env().config();
     table2::print(&cfg);
     save_json("table2", &cfg);

@@ -1,0 +1,6 @@
+//! Binary mirror of the `obs_overhead` bench target:
+//! `cargo run --release -p nomad-bench --bin obs_overhead`.
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/benches/obs_overhead.rs"
+));

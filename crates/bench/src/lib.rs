@@ -21,6 +21,7 @@
 
 pub mod figs;
 pub mod par;
+pub mod signal;
 
 use nomad_sim::{runner, RunReport, SchemeSpec, SystemConfig};
 use nomad_trace::WorkloadProfile;
@@ -92,6 +93,60 @@ impl Scale {
     /// A scale with a different core count (Fig. 13 sweeps cores).
     pub fn with_cores(&self, cores: usize) -> Self {
         Scale { cores, ..*self }
+    }
+}
+
+/// Common harness prologue; every bench `main` calls this first.
+///
+/// * `--obs` anywhere on the command line force-enables the
+///   observability layer ([`nomad_obs::set_enabled`]) for this
+///   process, exactly like `NOMAD_OBS=1` (the environment variable
+///   still wins when set — it is the explicit override).
+/// * Installs the `SIGINT` handler ([`signal::install_sigint`]) so
+///   Ctrl-C latches the sweep token and the harness exits 130 after
+///   in-flight cells wind down, instead of dying mid-write.
+pub fn harness_init() {
+    if std::env::args().any(|a| a == "--obs") {
+        nomad_obs::set_enabled(true);
+    }
+    signal::install_sigint();
+}
+
+/// Write a report's observability series (interval snapshots + Chrome
+/// trace) under `results/`, as `results/<name>.obs.json` and
+/// `results/traces/<name>.trace.json`. No-op (with a note) when the
+/// report carries no series (observability was off for the run).
+///
+/// The trace file is the raw pre-serialized Trace Event JSON — load it
+/// directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn save_obs_artifacts(name: &str, report: &RunReport) {
+    let Some(obs) = &report.obs else {
+        eprintln!("[{name}: no obs series on report; run with --obs or NOMAD_OBS=1]");
+        return;
+    };
+    save_raw(&format!("{name}.obs.json"), &obs.snapshots);
+    save_raw(&format!("traces/{name}.trace.json"), &obs.trace);
+}
+
+/// Write a pre-serialized JSON document under `results/` (same root
+/// anchoring as [`save_json`], but the payload is already a string —
+/// obs exporters serialize themselves).
+pub fn save_raw(rel: &str, contents: &str) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let path = root.join("results").join(rel);
+    if let Some(dir) = path.parent() {
+        if !dir.exists() && std::fs::create_dir_all(dir).is_err() {
+            eprintln!("warning: could not create {}", dir.display());
+            return;
+        }
+    }
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 

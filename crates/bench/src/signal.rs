@@ -1,0 +1,117 @@
+//! Ctrl-C handling for the sweep harnesses.
+//!
+//! [`install_sigint`] registers a real `SIGINT` handler (via a
+//! hand-declared `sigaction` shim — no `libc` crate) that latches the
+//! process-wide [`sweep_token`](crate::par::sweep_token). Workers
+//! observe the latch cooperatively: in-flight cells return at their
+//! next cancellation check, no further cells are claimed, and
+//! [`run_cells_or_exit`](crate::par::run_cells_or_exit) exits with the
+//! conventional status 130 instead of printing a partial grid.
+//!
+//! The handler is installed with `SA_RESETHAND`, so the disposition
+//! reverts to the default after the first delivery — a second Ctrl-C
+//! kills the process immediately if the cooperative wind-down is not
+//! fast enough.
+//!
+//! # Async-signal-safety
+//!
+//! The handler body is a single relaxed atomic store through a
+//! pre-resolved `&'static CancelToken`; [`install_sigint`] forces the
+//! token's one-time initialization *before* registering the handler,
+//! so the signal context never allocates, locks, or initializes
+//! anything.
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use nomad_types::CancelToken;
+    use std::sync::OnceLock;
+
+    const SIGINT: i32 = 2;
+    /// Reset to the default disposition after the first delivery.
+    const SA_RESETHAND: i32 = 0x8000_0000u32 as i32;
+    /// Restart interruptible syscalls instead of failing with `EINTR`.
+    const SA_RESTART: i32 = 0x1000_0000;
+
+    /// glibc's userspace `struct sigaction` on Linux: handler pointer,
+    /// 1024-bit signal mask, flags, restorer. (`repr(C)` inserts the
+    /// same 4-byte pad between `flags` and `restorer` the C struct
+    /// has.)
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        restorer: usize,
+    }
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+    }
+
+    /// Resolved before handler registration so the signal context only
+    /// performs a `OnceLock::get` (one acquire load) and an atomic
+    /// store.
+    static HANDLER_TOKEN: OnceLock<&'static CancelToken> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = HANDLER_TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install() -> bool {
+        // Force the token's lazy init on this (normal) thread; the
+        // handler must never be the one to initialize it.
+        let _ = HANDLER_TOKEN.set(crate::par::sweep_token());
+        let act = SigAction {
+            handler: on_sigint as *const () as usize,
+            mask: [0; 16],
+            flags: SA_RESETHAND | SA_RESTART,
+            restorer: 0,
+        };
+        unsafe { sigaction(SIGINT, &act, std::ptr::null_mut()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    /// No signal shim off Linux; Ctrl-C falls back to the default
+    /// (immediate) termination.
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Latch [`sweep_token`](crate::par::sweep_token) on Ctrl-C so
+/// harnesses wind down cleanly (finish nothing new, exit 130). Safe to
+/// call more than once; returns `false` where no handler could be
+/// installed (non-Linux targets, or a failing `sigaction`).
+pub fn install_sigint() -> bool {
+    imp::install()
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// Deliver a real SIGINT to this process and verify the handler
+    /// latches the sweep token instead of killing us. (Runs in its own
+    /// test process — `cargo test` spawns one binary per integration
+    /// test, and unit tests here share only this signal test.)
+    #[test]
+    fn sigint_latches_the_sweep_token() {
+        assert!(install_sigint(), "sigaction must succeed");
+        assert!(!crate::par::sweep_token().is_cancelled());
+        unsafe {
+            raise(2);
+        }
+        assert!(
+            crate::par::sweep_token().is_cancelled(),
+            "SIGINT must latch the sweep token"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! METRICS.md must document exactly the metric names the registries
+//! export — no stale rows, no undocumented counters.
+//!
+//! Runs in its own test process because it force-enables observability
+//! ([`nomad_obs::set_enabled`]), which is process-global state.
+//!
+//! Names with per-instance indices (`cpu.0.instructions`,
+//! `serve.worker.3.busy_ns`) are normalized by replacing every
+//! all-digit dot-segment with `<i>`, which is how the reference table
+//! writes them. Non-numeric segments (`l1`, `l2`, `ddr`) pass through
+//! untouched.
+
+use nomad_serve::ServiceStats;
+use nomad_sim::{SchemeSpec, System, SystemConfig};
+use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
+use std::collections::BTreeSet;
+
+/// Replace all-digit dot-segments with `<i>`.
+fn normalize(name: &str) -> String {
+    name.split('.')
+        .map(|seg| {
+            if !seg.is_empty() && seg.bytes().all(|b| b.is_ascii_digit()) {
+                "<i>"
+            } else {
+                seg
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Every name the simulator's registry exports, for `spec`.
+fn sim_names(spec: &SchemeSpec) -> Vec<String> {
+    let cfg = SystemConfig::scaled(2);
+    let profile = WorkloadProfile::mcf();
+    let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+        .map(|i| {
+            Box::new(SyntheticTrace::with_scale(
+                &profile,
+                42 + i as u64,
+                cfg.pages_per_gb,
+                cfg.l3_reach_pages(),
+            )) as Box<dyn TraceSource>
+        })
+        .collect();
+    let scheme = spec.build(&cfg);
+    let sys = System::new(cfg, scheme, traces);
+    sys.obs_metric_names()
+        .expect("obs enabled => registry attached")
+}
+
+/// Metric names documented in METRICS.md: the first backtick-quoted
+/// token of every table row.
+fn documented_names() -> BTreeSet<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS.md");
+    let text = std::fs::read_to_string(path).expect("METRICS.md exists at the workspace root");
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(end) = rest.find('`') else {
+            continue;
+        };
+        names.insert(rest[..end].to_string());
+    }
+    names
+}
+
+#[test]
+fn metrics_md_matches_the_registries() {
+    if std::env::var_os("NOMAD_OBS").is_some_and(|v| v == "0") {
+        eprintln!("NOMAD_OBS=0 overrides set_enabled; skipping");
+        return;
+    }
+    nomad_obs::set_enabled(true);
+
+    let mut exported: BTreeSet<String> = BTreeSet::new();
+    // Union across schemes: the OS-managed schemes register PCSHR and
+    // daemon instrumentation the hardware schemes do not.
+    for spec in [
+        SchemeSpec::Baseline,
+        SchemeSpec::Tid,
+        SchemeSpec::Tdc,
+        SchemeSpec::Nomad,
+        SchemeSpec::Ideal,
+    ] {
+        for name in sim_names(&spec) {
+            exported.insert(normalize(&name));
+        }
+    }
+    for name in ServiceStats::new(2).metric_names() {
+        exported.insert(normalize(&name));
+    }
+    nomad_obs::set_enabled(false);
+
+    let documented = documented_names();
+    assert!(
+        !documented.is_empty(),
+        "METRICS.md has no parseable `| `name`` rows"
+    );
+
+    let undocumented: Vec<_> = exported.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&exported).collect();
+    assert!(
+        undocumented.is_empty() && stale.is_empty(),
+        "METRICS.md out of sync with the registries.\n\
+         Exported but undocumented: {undocumented:#?}\n\
+         Documented but not exported: {stale:#?}"
+    );
+}
+
+#[test]
+fn normalization_only_touches_all_digit_segments() {
+    assert_eq!(normalize("cpu.0.instructions"), "cpu.<i>.instructions");
+    assert_eq!(normalize("cache.l1.3.hits"), "cache.l1.<i>.hits");
+    assert_eq!(
+        normalize("dram.ddr.ch.12.queue_depth"),
+        "dram.ddr.ch.<i>.queue_depth"
+    );
+    assert_eq!(
+        normalize("cache.l3.mshr_occupancy"),
+        "cache.l3.mshr_occupancy"
+    );
+    assert_eq!(
+        normalize("serve.worker.7.busy_ns"),
+        "serve.worker.<i>.busy_ns"
+    );
+}

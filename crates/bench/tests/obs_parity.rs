@@ -1,0 +1,89 @@
+//! Observability must not weaken the sweep determinism contract.
+//!
+//! Two halves:
+//!
+//! 1. With observability **on**, a grid run at `NOMAD_JOBS=4`
+//!    serializes byte-identically — obs series included — to the
+//!    `jobs = 1` sequential oracle. Registries are per-`System` and
+//!    snapshot timing is simulated-cycle-driven, so a cell's series is
+//!    a pure function of the cell no matter which worker ran it.
+//! 2. With observability **off**, reports are byte-identical to an
+//!    enabled run with the series stripped: instrumentation may
+//!    observe, never perturb, and the `obs` field vanishes from the
+//!    JSON entirely when absent.
+//!
+//! Lives in its own integration-test binary because it drives the
+//! process-global [`nomad_obs::set_enabled`] toggle.
+
+use nomad_bench::{par, run_cell, Scale};
+use nomad_sim::SchemeSpec;
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+
+fn grid() -> Vec<(WorkloadProfile, SchemeSpec)> {
+    [SchemeSpec::Tdc, SchemeSpec::Nomad]
+        .into_iter()
+        .flat_map(|spec| {
+            [WorkloadProfile::tc(), WorkloadProfile::mcf()]
+                .into_iter()
+                .map(move |w| (w, spec.clone()))
+        })
+        .collect()
+}
+
+fn run_grid(scale: &Scale) -> Vec<String> {
+    let token = CancelToken::new();
+    par::run_cells(scale.jobs, &token, grid(), |(w, spec), cancel| {
+        run_cell(scale, spec, w, cancel).map(|r| r.to_json())
+    })
+    .expect("uncancelled sweep completes")
+}
+
+#[test]
+fn obs_series_survive_parallel_sweeps_and_strip_to_disabled_reports() {
+    if std::env::var_os("NOMAD_OBS").is_some() {
+        eprintln!("NOMAD_OBS is set; skipping (this test drives the toggle itself)");
+        return;
+    }
+    let scale = Scale {
+        instructions: 6_000,
+        warmup: 1_000,
+        cores: 2,
+        seed: 11,
+        jobs: 1,
+    };
+
+    nomad_obs::set_enabled(false);
+    let disabled = run_grid(&scale);
+    for json in &disabled {
+        assert!(
+            !json.contains("\"obs\""),
+            "disabled reports must not mention obs at all"
+        );
+    }
+
+    nomad_obs::set_enabled(true);
+    let seq = run_grid(&scale);
+    let par4 = run_grid(&scale.with_jobs(4));
+    nomad_obs::set_enabled(false);
+
+    assert_eq!(
+        seq, par4,
+        "obs-enabled sweeps must serialize identically at any job count"
+    );
+
+    for (enabled_json, disabled_json) in seq.iter().zip(&disabled) {
+        assert!(
+            enabled_json.contains("\"obs\""),
+            "enabled reports must carry a series"
+        );
+        let mut report: nomad_sim::RunReport =
+            serde_json::from_str(enabled_json).expect("round-trip");
+        report.obs = None;
+        assert_eq!(
+            &report.to_json(),
+            disabled_json,
+            "stripping the series must reproduce the disabled report byte-for-byte"
+        );
+    }
+}

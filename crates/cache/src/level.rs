@@ -17,12 +17,13 @@
 
 use crate::array::CacheArray;
 use crate::mshr::{MshrAlloc, MshrFile, MshrToken};
+use nomad_obs::{Gauge, Histo, Registry, Span, SpanRing};
 use nomad_types::stats::Counter;
 use nomad_types::{
     AccessKind, Cycle, MemReq, MemResp, MemTarget, NextActivity, ReqId, TrafficClass,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Configuration of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,6 +143,52 @@ fn unkey(key: u64) -> (nomad_types::BlockAddr, MemTarget) {
     (nomad_types::BlockAddr(key >> 1), target)
 }
 
+/// Observability handles for one cache level. The gauges are refreshed
+/// from the existing counters at sample points; only the optional
+/// miss-latency histogram and MSHR-stall spans touch the request path,
+/// and both sit behind the `obs: Option<_>` gate so a run with obs
+/// disabled executes the pre-instrumentation code byte-for-byte.
+#[derive(Debug)]
+struct LevelObs {
+    mshr_occupancy: Gauge,
+    hits: Gauge,
+    misses: Gauge,
+    stall_cycles: Gauge,
+    /// Completed-miss latency (primary misses only); `None` unless
+    /// attached with [`CacheLevel::attach_obs_full`].
+    miss_latency: Option<Histo>,
+    /// Issue cycle of each in-flight primary miss, keyed by MSHR slot.
+    miss_start: HashMap<usize, Cycle>,
+    /// Span sink + track id for head-of-line MSHR-stall spans.
+    ring: Option<(SpanRing, u32)>,
+    /// Start of the currently open stall span, if any.
+    stall_open: Option<Cycle>,
+}
+
+impl LevelObs {
+    /// Merge consecutive stalled cycles into one span: opened on the
+    /// first stalled tick, closed (and pushed) on the first tick that
+    /// makes progress again. A stalled level is ticked densely (its
+    /// head is ready), so the span is exact.
+    fn note_stall_state(&mut self, stalled: bool, now: Cycle) {
+        if stalled {
+            if self.stall_open.is_none() {
+                self.stall_open = Some(now);
+            }
+        } else if let Some(start) = self.stall_open.take() {
+            if let Some((ring, track)) = &self.ring {
+                ring.push(Span::complete(
+                    "mshr_stall",
+                    "cache",
+                    start,
+                    now.saturating_sub(start),
+                    *track,
+                ));
+            }
+        }
+    }
+}
+
 /// One timed cache level.
 #[derive(Debug)]
 pub struct CacheLevel {
@@ -153,6 +200,7 @@ pub struct CacheLevel {
     to_lower: VecDeque<MemReq>,
     to_upper: VecDeque<(Cycle, MemResp)>,
     stats: CacheLevelStats,
+    obs: Option<LevelObs>,
 }
 
 impl CacheLevel {
@@ -169,12 +217,79 @@ impl CacheLevel {
             to_lower: VecDeque::new(),
             to_upper: VecDeque::new(),
             stats: CacheLevelStats::default(),
+            obs: None,
         }
     }
 
     /// Configuration of this level.
     pub fn cfg(&self) -> &CacheLevelConfig {
         &self.cfg
+    }
+
+    /// Register this level's sampled metrics under `prefix` (e.g.
+    /// `cache.l2.0`). Gauges only — the request path stays untouched.
+    pub fn attach_obs(&mut self, reg: &Registry, prefix: &str) {
+        self.obs = Some(Self::make_obs(reg, prefix, None));
+    }
+
+    /// [`attach_obs`](Self::attach_obs) plus the per-miss latency
+    /// histogram and MSHR head-of-line stall spans pushed to `ring` on
+    /// `track` — the full instrumentation the shared LLC gets.
+    pub fn attach_obs_full(&mut self, reg: &Registry, prefix: &str, ring: SpanRing, track: u32) {
+        let mut obs = Self::make_obs(reg, prefix, Some((reg, prefix)));
+        obs.ring = Some((ring, track));
+        self.obs = Some(obs);
+    }
+
+    fn make_obs(reg: &Registry, prefix: &str, histo: Option<(&Registry, &str)>) -> LevelObs {
+        LevelObs {
+            mshr_occupancy: reg.gauge(
+                format!("{prefix}.mshr_occupancy"),
+                "entries",
+                "cache",
+                "MSHR entries allocated at the sample point",
+            ),
+            hits: reg.gauge(
+                format!("{prefix}.hits"),
+                "requests",
+                "cache",
+                "Lookups that hit since the measurement reset",
+            ),
+            misses: reg.gauge(
+                format!("{prefix}.misses"),
+                "requests",
+                "cache",
+                "Primary + secondary misses since the measurement reset",
+            ),
+            stall_cycles: reg.gauge(
+                format!("{prefix}.mshr_stall_cycles"),
+                "cycles",
+                "cache",
+                "Cycles the incoming-queue head stalled on a full MSHR file",
+            ),
+            miss_latency: histo.map(|(reg, prefix)| {
+                reg.histogram(
+                    format!("{prefix}.miss_latency"),
+                    "cycles",
+                    "cache",
+                    "Completion latency of primary misses (fetch issue to fill)",
+                )
+            }),
+            miss_start: HashMap::new(),
+            ring: None,
+            stall_open: None,
+        }
+    }
+
+    /// Refresh the attached gauges from the live counters; no-op when
+    /// obs is not attached.
+    pub fn obs_sample(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.mshr_occupancy.set(self.mshrs.in_use() as u64);
+        obs.hits.set(self.stats.hits.get());
+        obs.misses
+            .set(self.stats.primary_misses.get() + self.stats.secondary_misses.get());
+        obs.stall_cycles.set(self.stats.mshr_stall_cycles.get());
     }
 
     /// Whether the incoming queue has room for one more request.
@@ -232,6 +347,7 @@ impl CacheLevel {
 
         // 2. Lookups.
         let mut budget = self.cfg.ports;
+        let mut stalled = false;
         while budget > 0 {
             let ready = matches!(self.incoming.front(), Some(&(ready, _)) if ready <= now);
             if !ready {
@@ -244,8 +360,12 @@ impl CacheLevel {
             } else {
                 // Structural hazard: head-of-line stall, retry next cycle.
                 self.stats.mshr_stall_cycles.inc();
+                stalled = true;
                 break;
             }
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.note_stall_state(stalled, now);
         }
     }
 
@@ -269,6 +389,11 @@ impl CacheLevel {
         match self.mshrs.allocate_or_merge(key, req) {
             Ok(MshrAlloc::Primary(token)) => {
                 self.stats.primary_misses.inc();
+                if let Some(obs) = &mut self.obs {
+                    if obs.miss_latency.is_some() {
+                        obs.miss_start.insert(token.0, now);
+                    }
+                }
                 self.to_lower.push_back(MemReq {
                     token: token.into(),
                     addr: req.addr,
@@ -295,6 +420,13 @@ impl CacheLevel {
     fn apply_fill(&mut self, resp: MemResp, now: Cycle) {
         let token = MshrToken(resp.token.0 as usize);
         let (key, targets, fills_dirty) = self.mshrs.complete(token);
+        if let Some(obs) = &mut self.obs {
+            if let Some(start) = obs.miss_start.remove(&token.0) {
+                if let Some(h) = &obs.miss_latency {
+                    h.record(now.saturating_sub(start));
+                }
+            }
+        }
         if let Some(victim) = self.array.insert(key, fills_dirty) {
             if victim.dirty {
                 self.stats.writebacks.inc();

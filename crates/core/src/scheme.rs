@@ -13,6 +13,7 @@ use nomad_dcache::{
     CacheFlush, DcAccessReq, DcScheme, DemandPath, SchemeEvents, SchemeStats, WalkOutcome,
 };
 use nomad_dram::Dram;
+use nomad_obs::{Gauge, Registry, Span, SpanRing, TRACK_EVICT, TRACK_FILL, TRACK_WRITEBACK};
 use nomad_types::{
     AccessKind, Cfn, CoreId, Cycle, MemResp, MemTarget, SubBlockIdx, TrafficClass, Vpn, PAGE_SIZE,
 };
@@ -23,23 +24,49 @@ const DDR_DEMAND_TAG: u64 = 2 << 56;
 
 /// Routes interface commands to back-ends: by CFN in the distributed
 /// organization, trivially in the centralized one.
-struct BackendsView<'a>(&'a mut [Backend]);
+struct BackendsView<'a> {
+    backends: &'a mut [Backend],
+    /// Copy commands accepted this tick, logged for the tracing layer
+    /// (`None` unless obs is attached).
+    issued: Option<&'a mut Vec<CopyCommand>>,
+}
 
 impl BackendsView<'_> {
     fn index(&self, cfn: Cfn) -> usize {
-        (cfn.raw() % self.0.len() as u64) as usize
+        (cfn.raw() % self.backends.len() as u64) as usize
     }
 }
 
 impl BackendCtl for BackendsView<'_> {
     fn try_send(&mut self, cmd: CopyCommand) -> bool {
         let idx = self.index(cmd.cfn);
-        self.0[idx].try_send(cmd)
+        let sent = self.backends[idx].try_send(cmd);
+        if sent {
+            if let Some(issued) = self.issued.as_deref_mut() {
+                issued.push(cmd);
+            }
+        }
+        sent
     }
 
     fn busy_cfn(&self, cfn: Cfn) -> bool {
-        self.0[self.index(cfn)].busy_cfn(cfn)
+        self.backends[self.index(cfn)].busy_cfn(cfn)
     }
+}
+
+/// Observability state for the scheme: gauges over the PCSHR back-end
+/// plus fill/writeback/eviction spans for the Chrome-trace exporter.
+struct SchemeObs {
+    pcshr_occupancy: Gauge,
+    free_frames: Gauge,
+    retry_depth: Gauge,
+    ring: SpanRing,
+    /// Issue cycle of each in-flight copy, keyed by
+    /// `(is_writeback, cfn)` — unique while the copy is active because
+    /// a back-end refuses a second command for a busy CFN.
+    copy_started: HashMap<(bool, u64), Cycle>,
+    /// Scratch for commands accepted during the current front-end tick.
+    issued: Vec<CopyCommand>,
 }
 
 /// The NOMAD non-blocking OS-managed DRAM cache — or, with
@@ -68,6 +95,7 @@ pub struct NomadScheme {
     dram_scratch: Vec<nomad_dram::DramCompletion>,
     stats: SchemeStats,
     name: &'static str,
+    obs: Option<SchemeObs>,
 }
 
 impl core::fmt::Debug for NomadScheme {
@@ -103,6 +131,7 @@ impl NomadScheme {
             dram_scratch: Vec::new(),
             stats: SchemeStats::default(),
             name: if cfg.blocking { "TDC" } else { "NOMAD" },
+            obs: None,
             cfg,
         }
     }
@@ -345,9 +374,24 @@ impl DcScheme for NomadScheme {
         // 2. Front-end OS routines (handlers + eviction daemon).
         self.fe_events.clear();
         {
-            let mut view = BackendsView(&mut self.backends);
+            let mut view = BackendsView {
+                backends: &mut self.backends,
+                issued: self.obs.as_mut().map(|o| &mut o.issued),
+            };
             self.frontend
                 .tick(now, &mut view, flush, &mut self.fe_events);
+        }
+        if let Some(obs) = &mut self.obs {
+            for cmd in obs.issued.drain(..) {
+                obs.copy_started
+                    .insert((cmd.kind == CopyKind::Writeback, cmd.cfn.raw()), now);
+            }
+            if self.fe_events.evicted > 0 {
+                obs.ring.push(
+                    Span::instant("evict_batch", "dcache", now, TRACK_EVICT)
+                        .with_arg("pages", self.fe_events.evicted as u64),
+                );
+            }
         }
         self.stats.evictions.add(self.fe_events.evicted as u64);
         events.shootdowns.append(&mut self.fe_events.shootdowns);
@@ -440,6 +484,19 @@ impl DcScheme for NomadScheme {
             events.responses.push(r);
         }
         for c in completed.drain(..) {
+            if let Some(obs) = &mut self.obs {
+                let key = (c.kind == CopyKind::Writeback, c.cfn.raw());
+                if let Some(start) = obs.copy_started.remove(&key) {
+                    let (label, track) = match c.kind {
+                        CopyKind::Fill => ("fill", TRACK_FILL),
+                        CopyKind::Writeback => ("writeback", TRACK_WRITEBACK),
+                    };
+                    obs.ring.push(
+                        Span::complete(label, "dcache", start, now.saturating_sub(start), track)
+                            .with_arg("cfn", c.cfn.raw()),
+                    );
+                }
+            }
             match c.kind {
                 CopyKind::Fill => {
                     self.stats.fills.inc();
@@ -505,6 +562,41 @@ impl DcScheme for NomadScheme {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    fn attach_obs(&mut self, reg: &Registry, ring: &SpanRing) {
+        self.obs = Some(SchemeObs {
+            pcshr_occupancy: reg.gauge(
+                "dcache.pcshr_occupancy",
+                "entries",
+                "dcache",
+                "PCSHR entries tracking in-flight page copies across all back-ends",
+            ),
+            free_frames: reg.gauge(
+                "dcache.free_frames",
+                "frames",
+                "dcache",
+                "Cache frames on the free queue at the sample point",
+            ),
+            retry_depth: reg.gauge(
+                "dcache.retry_depth",
+                "requests",
+                "dcache",
+                "Demand accesses queued for retry after a PCSHR sub-entry refusal",
+            ),
+            ring: ring.clone(),
+            copy_started: HashMap::new(),
+            issued: Vec::new(),
+        });
+    }
+
+    fn obs_sample(&mut self) {
+        let Some(obs) = &self.obs else { return };
+        obs.pcshr_occupancy
+            .set(self.backends.iter().map(|b| b.active() as u64).sum());
+        obs.free_frames
+            .set(self.frontend.frames().num_free() as u64);
+        obs.retry_depth.set(self.retry.len() as u64);
     }
 }
 

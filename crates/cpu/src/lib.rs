@@ -22,6 +22,7 @@
 //! memory operations from [`Core::pop_dispatch`] when the TLB/L1 can
 //! take them and reports completions back with [`Core::mem_done`].
 
+use nomad_obs::{Gauge, Registry};
 use nomad_trace::TraceSource;
 use nomad_types::stats::Counter;
 use nomad_types::{AccessKind, CoreId, Cycle, NextActivity, VirtAddr};
@@ -134,6 +135,19 @@ enum RobEntry {
     Mem { slot: u64 },
 }
 
+/// Observability handles for one core: sampled gauges mirroring the
+/// [`CoreStats`] counters plus the instantaneous pipeline occupancies.
+/// Attached only when the `nomad-obs` layer is enabled, so the core's
+/// per-cycle path never touches them.
+#[derive(Debug)]
+struct CoreObs {
+    instructions: Gauge,
+    stall_mem: Gauge,
+    stall_os: Gauge,
+    rob_occupancy: Gauge,
+    outstanding_mem: Gauge,
+}
+
 /// One trace-driven core.
 pub struct Core {
     cfg: CoreConfig,
@@ -154,6 +168,8 @@ pub struct Core {
     /// OS suspension deadline and reason.
     os_stall: Option<(Cycle, OsStallReason)>,
     stats: CoreStats,
+    /// Sampled observability gauges (`None` unless the obs layer is on).
+    obs: Option<CoreObs>,
 }
 
 impl core::fmt::Debug for Core {
@@ -182,7 +198,59 @@ impl Core {
             mem_pending: None,
             os_stall: None,
             stats: CoreStats::default(),
+            obs: None,
         }
+    }
+
+    /// Register this core's sampled metrics (`cpu.<id>.*`) in `reg`.
+    /// The gauges are refreshed only by [`obs_sample`](Self::obs_sample)
+    /// — the timing path is untouched whether or not obs is attached.
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        let p = |suffix: &str| format!("cpu.{}.{suffix}", self.id);
+        self.obs = Some(CoreObs {
+            instructions: reg.gauge(
+                p("instructions"),
+                "instructions",
+                "cpu",
+                "Instructions committed since the measurement reset",
+            ),
+            stall_mem: reg.gauge(
+                p("stall_mem_cycles"),
+                "cycles",
+                "cpu",
+                "Cycles with zero commits while the ROB head waited on memory",
+            ),
+            stall_os: reg.gauge(
+                p("stall_os_cycles"),
+                "cycles",
+                "cpu",
+                "Cycles suspended in OS routines (tag management + blocking fills)",
+            ),
+            rob_occupancy: reg.gauge(
+                p("rob_occupancy"),
+                "instructions",
+                "cpu",
+                "Instructions occupying the reorder buffer at the sample point",
+            ),
+            outstanding_mem: reg.gauge(
+                p("outstanding_mem"),
+                "requests",
+                "cpu",
+                "In-flight memory operations at the sample point",
+            ),
+        });
+    }
+
+    /// Refresh the attached gauges from the live counters; no-op when
+    /// obs is not attached.
+    pub fn obs_sample(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.instructions.set(self.stats.instructions.get());
+        obs.stall_mem.set(self.stats.stall_mem.get());
+        obs.stall_os
+            .set(self.stats.stall_os_tag.get() + self.stats.stall_os_fill.get());
+        obs.rob_occupancy.set(self.rob_occupancy as u64);
+        obs.outstanding_mem.set(self.outstanding_mem() as u64);
     }
 
     /// Core identifier.
@@ -391,7 +459,7 @@ impl Core {
 
     /// Bulk-account `delta` skipped cycles exactly as dense ticking
     /// would: the core must be OS-stalled past the whole window or
-    /// [`quiescent`](Self::quiescent) (zero commits, head waiting on
+    /// `quiescent` (zero commits, head waiting on
     /// memory), so each skipped cycle increments `cycles` plus exactly
     /// one stall counter.
     pub fn idle_advance(&mut self, delta: Cycle) {
@@ -422,7 +490,7 @@ impl NextActivity for Core {
     /// * OS-stalled past `now + 1` — the stall-expiry cycle (or `None`
     ///   for an open-ended stall ended only by `wake_os`).
     /// * Otherwise `Some(now + 1)` unless the core is
-    ///   [`quiescent`](Core::quiescent), which only `mem_done` /
+    ///   `quiescent`, which only `mem_done` /
     ///   `wake_os` can end — then `None`.
     ///
     /// Query *after* all of a cycle's completions and wakes have been

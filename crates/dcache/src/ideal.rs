@@ -31,6 +31,9 @@ pub struct Ideal {
     /// Evicted frames whose SRAM lines still need flushing (applied on
     /// the next tick, when the flusher is available).
     pending_flush: Vec<u64>,
+    /// TLB shootdowns owed for force-evicted frames (reported through
+    /// [`SchemeEvents`] on the next tick).
+    pending_shootdown: Vec<Vpn>,
 }
 
 impl Ideal {
@@ -47,6 +50,7 @@ impl Ideal {
             eviction_threshold: (frames / 32).max(8),
             eviction_batch: 64,
             pending_flush: Vec::new(),
+            pending_shootdown: Vec::new(),
         }
     }
 
@@ -62,6 +66,24 @@ impl Ideal {
                 break;
             }
             for e in evicted {
+                self.page_table.uncache_all(e.cpd.pfn);
+                self.pending_flush.push(e.cfn.raw());
+                self.stats.evictions.inc();
+            }
+        }
+        // Last resort: every frame's translation is TLB-resident (the
+        // cache is smaller than the combined TLB reach), so
+        // shootdown-avoiding eviction made no progress. Force-evict
+        // and owe the shootdowns — free here, like everything else in
+        // the ideal scheme, but the TLB directory must stay coherent.
+        if self.frames.num_free() == 0 {
+            let evicted = self
+                .frames
+                .evict_batch_force(self.eviction_batch, |_| false);
+            for e in evicted {
+                for &vpn in self.page_table.reverse_map(e.cpd.pfn) {
+                    self.pending_shootdown.push(Vpn(vpn));
+                }
                 self.page_table.uncache_all(e.cpd.pfn);
                 self.pending_flush.push(e.cfn.raw());
                 self.stats.evictions.inc();
@@ -174,6 +196,7 @@ impl DcScheme for Ideal {
         for page in self.pending_flush.drain(..) {
             flush.flush_dc_page(page);
         }
+        events.shootdowns.append(&mut self.pending_shootdown);
         self.hbm_demand.drain(hbm);
         self.ddr_demand.drain(ddr);
         let mut done = Vec::new();
@@ -212,6 +235,7 @@ impl DcScheme for Ideal {
         // in-flight reads complete on device edges the system already
         // watches.
         if !self.pending_flush.is_empty()
+            || !self.pending_shootdown.is_empty()
             || self.hbm_demand.has_queued()
             || self.ddr_demand.has_queued()
         {
@@ -310,6 +334,38 @@ mod tests {
         assert_eq!(ev.responses.len(), 1);
         assert!(hbm.stats().total_bytes() > 0);
         assert_eq!(ddr.stats().total_bytes(), 0);
+    }
+
+    /// A cache smaller than the combined TLB reach: shootdown-avoiding
+    /// eviction can free nothing, so the force path must kick in (and
+    /// owe shootdowns) instead of panicking on allocation.
+    #[test]
+    fn tlb_saturated_cache_force_evicts_instead_of_panicking() {
+        let mut s = Ideal::new(16 * PAGE_SIZE); // 16 frames
+        for v in 0..16u64 {
+            s.walk(0, Vpn(v), nomad_types::SubBlockIdx(0), AccessKind::Read, v);
+            s.tlb_inserted(0, Vpn(v));
+        }
+        // Every frame is pinned; the next distinct page must still walk.
+        match s.walk(
+            0,
+            Vpn(99),
+            nomad_types::SubBlockIdx(0),
+            AccessKind::Read,
+            99,
+        ) {
+            WalkOutcome::Ready { entry } => {
+                assert!(matches!(entry.frame, FrameKind::Cache(_)));
+            }
+            _ => panic!("ideal never blocks"),
+        }
+        assert!(s.stats().evictions.get() > 0, "forced eviction happened");
+        // The owed shootdowns surface on the next tick.
+        let mut hbm = Dram::new(DramConfig::hbm());
+        let mut ddr = Dram::new(DramConfig::ddr4_2ch());
+        let mut ev = SchemeEvents::default();
+        s.tick(0, &mut hbm, &mut ddr, &mut NoFlush, &mut ev);
+        assert!(!ev.shootdowns.is_empty(), "forced eviction owes shootdowns");
     }
 
     #[test]

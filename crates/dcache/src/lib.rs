@@ -35,5 +35,5 @@ pub use demand::DemandPath;
 pub use frames::{CacheFrames, Cpd, EvictCandidate};
 pub use ideal::Ideal;
 pub use scheme::{CacheFlush, DcAccessReq, DcScheme, NoFlush, SchemeEvents, WalkOutcome};
-pub use stats::SchemeStats;
+pub use stats::{SchemeStats, SchemeStatsObs};
 pub use tid::{Tid, TidConfig};

@@ -172,4 +172,19 @@ pub trait DcScheme {
 
     /// Reset statistics (end of warm-up).
     fn reset_stats(&mut self);
+
+    /// Register scheme-specific metrics in `reg` and adopt `ring` as
+    /// the span sink for copy/eviction traces. The system registers the
+    /// generic [`SchemeStats`] gauges itself (see
+    /// [`crate::SchemeStatsObs`]), so only schemes with extra internal
+    /// state (e.g. NOMAD's PCSHR back-end) override this. The default
+    /// does nothing.
+    fn attach_obs(&mut self, reg: &nomad_obs::Registry, ring: &nomad_obs::SpanRing) {
+        let _ = (reg, ring);
+    }
+
+    /// Refresh any gauges registered by
+    /// [`attach_obs`](DcScheme::attach_obs); called at snapshot points.
+    /// The default does nothing.
+    fn obs_sample(&mut self) {}
 }

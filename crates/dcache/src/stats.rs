@@ -1,6 +1,7 @@
 //! Per-scheme statistics: everything Figs. 9–16 need from the
 //! DRAM-cache controller's point of view.
 
+use nomad_obs::{Gauge, Registry};
 use nomad_types::stats::{gbps, Counter, RunningMean};
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +84,109 @@ impl SchemeStats {
     /// Reset every counter.
     pub fn reset(&mut self) {
         *self = SchemeStats::default();
+    }
+}
+
+/// Sampled gauges mirroring the [`SchemeStats`] counters every scheme
+/// maintains. The system assembly registers one of these and refreshes
+/// it from [`crate::DcScheme::stats`] at snapshot points, so all four
+/// comparison schemes export the same `dcache.*` series without any
+/// per-scheme instrumentation.
+#[derive(Debug)]
+pub struct SchemeStatsObs {
+    demand_reads: Gauge,
+    demand_writes: Gauge,
+    tag_misses: Gauge,
+    data_misses: Gauge,
+    buffer_hits: Gauge,
+    dc_data_hits: Gauge,
+    offpkg_demand: Gauge,
+    fills: Gauge,
+    fill_bytes: Gauge,
+    writebacks: Gauge,
+    writeback_bytes: Gauge,
+    evictions: Gauge,
+    interface_wait_cycles: Gauge,
+    pcshr_full_events: Gauge,
+}
+
+impl SchemeStatsObs {
+    /// Register the `dcache.*` gauge set in `reg`.
+    pub fn register(reg: &Registry) -> Self {
+        let g = |name: &str, unit: &'static str, help: &'static str| {
+            reg.gauge(format!("dcache.{name}"), unit, "dcache", help)
+        };
+        SchemeStatsObs {
+            demand_reads: g(
+                "demand_reads",
+                "requests",
+                "Demand reads serviced by the DC controller",
+            ),
+            demand_writes: g(
+                "demand_writes",
+                "requests",
+                "Demand writes serviced by the DC controller",
+            ),
+            tag_misses: g("tag_misses", "misses", "DC tag misses handled"),
+            data_misses: g(
+                "data_misses",
+                "misses",
+                "Accesses whose tag hit while the page data was still in transfer",
+            ),
+            buffer_hits: g(
+                "buffer_hits",
+                "requests",
+                "Data misses serviced from a page copy buffer",
+            ),
+            dc_data_hits: g(
+                "dc_data_hits",
+                "requests",
+                "Demand accesses served from the DRAM cache",
+            ),
+            offpkg_demand: g(
+                "offpkg_demand",
+                "requests",
+                "Demand accesses routed to off-package memory",
+            ),
+            fills: g("fills", "pages", "Completed cache fills"),
+            fill_bytes: g("fill_bytes", "bytes", "Bytes fetched for fills"),
+            writebacks: g(
+                "writebacks",
+                "pages",
+                "Dirty evictions written back off-package",
+            ),
+            writeback_bytes: g("writeback_bytes", "bytes", "Bytes written back"),
+            evictions: g("evictions", "pages", "Cache frames (or lines) evicted"),
+            interface_wait_cycles: g(
+                "interface_wait_cycles",
+                "cycles",
+                "Tag-miss handler cycles spent waiting for an idle back-end interface",
+            ),
+            pcshr_full_events: g(
+                "pcshr_full_events",
+                "events",
+                "Page-copy commands rejected because no PCSHR was free",
+            ),
+        }
+    }
+
+    /// Refresh every gauge from `stats`.
+    pub fn sample(&self, stats: &SchemeStats) {
+        self.demand_reads.set(stats.demand_reads.get());
+        self.demand_writes.set(stats.demand_writes.get());
+        self.tag_misses.set(stats.tag_misses.get());
+        self.data_misses.set(stats.data_misses.get());
+        self.buffer_hits.set(stats.buffer_hits.get());
+        self.dc_data_hits.set(stats.dc_data_hits.get());
+        self.offpkg_demand.set(stats.offpkg_demand.get());
+        self.fills.set(stats.fills.get());
+        self.fill_bytes.set(stats.fill_bytes.get());
+        self.writebacks.set(stats.writebacks.get());
+        self.writeback_bytes.set(stats.writeback_bytes.get());
+        self.evictions.set(stats.evictions.get());
+        self.interface_wait_cycles
+            .set(stats.interface_wait_cycles.get());
+        self.pcshr_full_events.set(stats.pcshr_full_events.get());
     }
 }
 

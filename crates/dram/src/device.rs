@@ -4,6 +4,7 @@
 use crate::channel::{Channel, ChannelCompletion};
 use crate::config::{AddrMap, DramConfig};
 use crate::stats::DramStats;
+use nomad_obs::{Gauge, Registry};
 use nomad_types::{AccessKind, Cycle, ReqId, TrafficClass};
 
 /// A request submitted to a DRAM device. `addr` is a byte address in the
@@ -56,6 +57,20 @@ pub struct Dram {
     /// Completions waiting for their device-cycle deadline.
     pending: Vec<ChannelCompletion>,
     scratch: Vec<ChannelCompletion>,
+    obs: Option<DramObs>,
+}
+
+/// Sampled observability gauges for one DRAM device: traffic totals
+/// mirrored from [`DramStats`] plus the instantaneous per-channel queue
+/// depth. Refreshed only at sample points — the timing path never
+/// touches them.
+#[derive(Debug)]
+struct DramObs {
+    bytes_total: Gauge,
+    row_hits: Gauge,
+    row_misses: Gauge,
+    refreshes: Gauge,
+    queue_depth: Vec<Gauge>,
 }
 
 impl Dram {
@@ -74,12 +89,68 @@ impl Dram {
             cpu_cycle: 0,
             pending: Vec::new(),
             scratch: Vec::new(),
+            obs: None,
         }
     }
 
     /// Device configuration.
     pub fn cfg(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Register this device's sampled metrics under `prefix` (e.g.
+    /// `dram.hbm`): cumulative traffic/row-buffer totals and one queue
+    /// depth gauge per channel (`<prefix>.ch.<i>.queue_depth`).
+    pub fn attach_obs(&mut self, reg: &Registry, prefix: &str) {
+        self.obs = Some(DramObs {
+            bytes_total: reg.gauge(
+                format!("{prefix}.bytes_total"),
+                "bytes",
+                "dram",
+                "Bytes transferred (all traffic classes) since the measurement reset",
+            ),
+            row_hits: reg.gauge(
+                format!("{prefix}.row_hits"),
+                "accesses",
+                "dram",
+                "Column accesses that hit an open row buffer",
+            ),
+            row_misses: reg.gauge(
+                format!("{prefix}.row_misses"),
+                "accesses",
+                "dram",
+                "Column accesses that required activating a row",
+            ),
+            refreshes: reg.gauge(
+                format!("{prefix}.refreshes"),
+                "operations",
+                "dram",
+                "Refresh operations issued",
+            ),
+            queue_depth: (0..self.channels.len())
+                .map(|i| {
+                    reg.gauge(
+                        format!("{prefix}.ch.{i}.queue_depth"),
+                        "requests",
+                        "dram",
+                        "Requests queued in this channel at the sample point",
+                    )
+                })
+                .collect(),
+        });
+    }
+
+    /// Refresh the attached gauges from the live counters; no-op when
+    /// obs is not attached.
+    pub fn obs_sample(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.bytes_total.set(self.stats.total_bytes());
+        obs.row_hits.set(self.stats.row_hits.get());
+        obs.row_misses.set(self.stats.row_misses.get());
+        obs.refreshes.set(self.stats.refreshes.get());
+        for (g, ch) in obs.queue_depth.iter().zip(&self.channels) {
+            g.set(ch.queue_len() as u64);
+        }
     }
 
     /// Whether the channel serving `addr` can accept one more request.

@@ -1,0 +1,130 @@
+//! Snapshot-JSON exporter: interval snapshots keyed by cycle.
+//!
+//! The output is a single JSON object with metric metadata and a
+//! row-per-snapshot time series, written next to the harness's
+//! `results/*.json`:
+//!
+//! ```json
+//! {
+//!   "interval": 5000,
+//!   "metrics": [{"name": "...", "unit": "...", "component": "...", "kind": "...", "help": "..."}],
+//!   "snapshots": [{"cycle": 5000, "values": [["name", 42], ...]}]
+//! }
+//! ```
+//!
+//! Values are `[name, value]` pairs (sorted by name) rather than an
+//! object, so the same name ordering guarantees byte-identical output
+//! for identical runs — the property the `obs_parity` suite asserts
+//! across `NOMAD_JOBS` settings.
+
+use crate::json::Ctx;
+use crate::registry::{MetricDesc, MetricKind, SnapshotLog};
+
+fn kind_str(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+/// Serialize `log` plus the registry metadata in `descs` into the
+/// snapshot-JSON document described in the module docs.
+pub fn snapshot_json(interval: u64, descs: &[MetricDesc], log: &SnapshotLog) -> String {
+    let mut out = String::new();
+    let mut root = Ctx::object(&mut out);
+    root.key("interval").u64(interval);
+
+    root.key("metrics");
+    let mut metrics = String::new();
+    {
+        let mut arr = Ctx::array(&mut metrics);
+        for d in descs {
+            arr.elem();
+            let mut row = String::new();
+            let mut m = Ctx::object(&mut row);
+            m.key("name").str(&d.name);
+            m.key("unit").str(d.unit);
+            m.key("component").str(d.component);
+            m.key("kind").str(kind_str(d.kind));
+            m.key("help").str(d.help);
+            m.finish();
+            arr.raw(&row);
+        }
+        arr.finish();
+    }
+    root.raw(&metrics);
+
+    root.key("snapshots");
+    let mut snaps = String::new();
+    {
+        let mut arr = Ctx::array(&mut snaps);
+        for snap in log.rows() {
+            arr.elem();
+            let mut row = String::new();
+            let mut s = Ctx::object(&mut row);
+            s.key("cycle").u64(snap.cycle);
+            s.key("values");
+            let mut vals = String::new();
+            {
+                let mut varr = Ctx::array(&mut vals);
+                for (name, value) in &snap.values {
+                    varr.elem();
+                    let mut pair = String::new();
+                    let mut p = Ctx::array(&mut pair);
+                    p.elem().str(name);
+                    p.elem().u64(*value);
+                    p.finish();
+                    varr.raw(&pair);
+                }
+                varr.finish();
+            }
+            s.raw(&vals);
+            s.finish();
+            arr.raw(&row);
+        }
+        arr.finish();
+    }
+    root.raw(&snaps);
+    root.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn snapshot_json_round_shape() {
+        let reg = Registry::new();
+        let c = reg.counter("a.hits", "count", "test", "hits");
+        let mut log = SnapshotLog::new();
+        c.add(2);
+        log.push(reg.snapshot(5000));
+        c.add(1);
+        log.push(reg.snapshot(10000));
+
+        let json = snapshot_json(5000, &reg.descs(), &log);
+        assert!(json.starts_with("{\"interval\":5000,\"metrics\":["));
+        assert!(json.contains("\"name\":\"a.hits\""));
+        assert!(json.contains("\"kind\":\"counter\""));
+        assert!(json.contains("{\"cycle\":5000,\"values\":[[\"a.hits\",2]]}"));
+        assert!(json.contains("{\"cycle\":10000,\"values\":[[\"a.hits\",3]]}"));
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let build = || {
+            let reg = Registry::new();
+            let c = reg.counter("x", "count", "test", "x");
+            let g = reg.gauge("y", "entries", "test", "y");
+            let mut log = SnapshotLog::new();
+            c.add(4);
+            g.set(9);
+            log.push(reg.snapshot(100));
+            snapshot_json(100, &reg.descs(), &log)
+        };
+        assert_eq!(build(), build());
+    }
+}

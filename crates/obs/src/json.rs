@@ -1,0 +1,140 @@
+//! Minimal JSON writer used by both exporters.
+//!
+//! nomad-obs is deliberately dependency-free (it sits below every other
+//! workspace crate), so instead of pulling in the vendored serde it
+//! emits JSON through this small push-style writer. Only the shapes the
+//! exporters need are supported: objects, arrays, strings, and u64/f64
+//! numbers.
+
+/// Append `s` to `out` as a JSON string literal, escaping quotes,
+/// backslashes and control characters.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A comma-managing helper for building one JSON object or array.
+///
+/// ```
+/// let mut out = String::new();
+/// let mut obj = nomad_obs::json::Ctx::object(&mut out);
+/// obj.key("cycle").u64(100);
+/// obj.key("name").str("fig09");
+/// obj.finish();
+/// assert_eq!(out, r#"{"cycle":100,"name":"fig09"}"#);
+/// ```
+pub struct Ctx<'a> {
+    out: &'a mut String,
+    close: char,
+    first: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// Open a JSON object (`{`).
+    pub fn object(out: &'a mut String) -> Self {
+        out.push('{');
+        Ctx {
+            out,
+            close: '}',
+            first: true,
+        }
+    }
+
+    /// Open a JSON array (`[`).
+    pub fn array(out: &'a mut String) -> Self {
+        out.push('[');
+        Ctx {
+            out,
+            close: ']',
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    /// Write an object key (with its separating comma/colon) and
+    /// return `self` for the value call.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        write_str(self.out, k);
+        self.out.push(':');
+        self
+    }
+
+    /// Begin a new array element (emits the separating comma only).
+    pub fn elem(&mut self) -> &mut Self {
+        self.sep();
+        self
+    }
+
+    /// Write a string value.
+    pub fn str(&mut self, v: &str) {
+        write_str(self.out, v);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Write a raw, pre-serialized JSON fragment.
+    pub fn raw(&mut self, v: &str) {
+        self.out.push_str(v);
+    }
+
+    /// Close the object/array.
+    pub fn finish(self) {
+        self.out.push(self.close);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures() {
+        let mut out = String::new();
+        {
+            let mut obj = Ctx::object(&mut out);
+            obj.key("xs");
+            {
+                let mut inner = String::new();
+                let mut arr = Ctx::array(&mut inner);
+                arr.elem().u64(1);
+                arr.elem().u64(2);
+                arr.finish();
+                obj.raw(&inner);
+            }
+            obj.key("s").str("hi");
+            obj.finish();
+        }
+        assert_eq!(out, r#"{"xs":[1,2],"s":"hi"}"#);
+    }
+}

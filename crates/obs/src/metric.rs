@@ -1,0 +1,192 @@
+//! Metric primitives: atomic counters, gauges and log2 histograms.
+//!
+//! All handles are cheap `Arc` clones of shared atomic state, so a
+//! component can keep a handle while the owning
+//! [`Registry`](crate::registry::Registry) snapshots the same cells. Relaxed
+//! ordering is used throughout: metrics are monotone accumulators and
+//! point samples, never synchronization edges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (end of warm-up).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time value, overwritten on every sample.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the gauge with `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Last value set.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge (end of warm-up).
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histo`]: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` (bucket 0 counts 0 and 1), which covers
+/// any plausible cycle or millisecond magnitude.
+pub const HISTO_BUCKETS: usize = 48;
+
+#[derive(Debug)]
+pub(crate) struct HistoCore {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+/// A log2-bucketed histogram for latency/size distributions.
+///
+/// Mirrors `nomad_types::stats::LogHistogram` but is atomic so clones
+/// of one handle can record from instrumentation sites while the
+/// registry reads quantiles.
+#[derive(Debug, Clone)]
+pub struct Histo(Arc<HistoCore>);
+
+impl Default for Histo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histo {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histo(Arc::new(HistoCore {
+            buckets: [ZERO; HISTO_BUCKETS],
+        }))
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, sample: u64) {
+        let idx = (64 - sample.max(1).leading_zeros() as usize - 1).min(HISTO_BUCKETS - 1);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, reported as the lower
+    /// bound of the bucket containing it. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= threshold.max(1) {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HISTO_BUCKETS - 1)
+    }
+
+    /// Forget all samples (end of warm-up).
+    pub fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clones_share_state() {
+        let c = Counter::new();
+        let d = c.clone();
+        c.inc();
+        d.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(d.get(), 0);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histo_buckets_and_quantiles() {
+        let h = Histo::new();
+        for s in [0u64, 1, 2, 3, 1024] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.quantile(0.1) <= h.quantile(0.99));
+        assert_eq!(h.quantile(1.0), 1024);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

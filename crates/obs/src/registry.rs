@@ -1,0 +1,315 @@
+//! The [`Registry`]: named metric registration and interval snapshots.
+
+use crate::metric::{Counter, Gauge, Histo};
+use std::sync::Mutex;
+
+/// Metadata recorded at registration time; `METRICS.md` documents one
+/// row per (normalized) name.
+#[derive(Debug, Clone)]
+pub struct MetricDesc {
+    /// Dot-separated metric name. Instance indices (core number,
+    /// channel number) appear as their own all-digit segments, e.g.
+    /// `cpu.0.instructions`, so docs and tests can normalize them to
+    /// `cpu.<i>.instructions`.
+    pub name: String,
+    /// Unit of the exported value (`count`, `cycles`, `bytes`, `ns`,
+    /// `ms`, `entries`, …).
+    pub unit: &'static str,
+    /// Owning component (`cpu`, `cache`, `dcache`, `dram`, `sim`,
+    /// `serve`).
+    pub component: &'static str,
+    /// What the metric measures, one line.
+    pub help: &'static str,
+    /// Kind of metric registered under this name.
+    pub kind: MetricKind,
+}
+
+/// The shape of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter ([`Counter`]).
+    Counter,
+    /// Point-in-time value ([`Gauge`]).
+    Gauge,
+    /// Log2 histogram ([`Histo`]); snapshots expand it into
+    /// `<name>.count`, `<name>.p50` and `<name>.p99`.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histo(Histo),
+}
+
+/// A point-in-time reading of every registered metric, keyed by the
+/// simulation cycle (or, for the serve registry, a wall-clock stamp).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Cycle (or timestamp) the snapshot was taken at.
+    pub cycle: u64,
+    /// `(name, value)` pairs, sorted by name. Histograms contribute
+    /// three derived entries (`.count`, `.p50`, `.p99`).
+    pub values: Vec<(String, u64)>,
+}
+
+/// An append-only sequence of [`Snapshot`]s — the backing store of the
+/// snapshot-JSON exporter ([`crate::export::snapshot_json`]).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotLog {
+    rows: Vec<Snapshot>,
+}
+
+impl SnapshotLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one snapshot.
+    pub fn push(&mut self, snap: Snapshot) {
+        self.rows.push(snap);
+    }
+
+    /// All snapshots, in append order.
+    pub fn rows(&self) -> &[Snapshot] {
+        &self.rows
+    }
+
+    /// Forget every snapshot (end of warm-up).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// The time series of one metric: `(cycle, value)` per snapshot
+    /// that contains `name`.
+    pub fn series(&self, name: &str) -> Vec<(u64, u64)> {
+        self.rows
+            .iter()
+            .filter_map(|s| {
+                s.values
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| (s.cycle, *v))
+            })
+            .collect()
+    }
+}
+
+/// A named collection of metrics, shared by every instrumented
+/// component of one simulated system (or one serve process).
+///
+/// Registration returns a cheap handle; the registry keeps a clone of
+/// the same atomic cell, so [`snapshot`](Registry::snapshot) reads
+/// exactly what the component wrote. Names must be unique — a
+/// duplicate registration panics, because it means two components
+/// would silently share a cell.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(MetricDesc, Handle)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, desc: MetricDesc, handle: Handle) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        assert!(
+            !inner.iter().any(|(d, _)| d.name == desc.name),
+            "duplicate metric name {:?}",
+            desc.name
+        );
+        inner.push((desc, handle));
+    }
+
+    /// Register a monotonic counter under `name`.
+    pub fn counter(
+        &self,
+        name: impl Into<String>,
+        unit: &'static str,
+        component: &'static str,
+        help: &'static str,
+    ) -> Counter {
+        let c = Counter::new();
+        self.register(
+            MetricDesc {
+                name: name.into(),
+                unit,
+                component,
+                help,
+                kind: MetricKind::Counter,
+            },
+            Handle::Counter(c.clone()),
+        );
+        c
+    }
+
+    /// Register a gauge under `name`.
+    pub fn gauge(
+        &self,
+        name: impl Into<String>,
+        unit: &'static str,
+        component: &'static str,
+        help: &'static str,
+    ) -> Gauge {
+        let g = Gauge::new();
+        self.register(
+            MetricDesc {
+                name: name.into(),
+                unit,
+                component,
+                help,
+                kind: MetricKind::Gauge,
+            },
+            Handle::Gauge(g.clone()),
+        );
+        g
+    }
+
+    /// Register a log2 histogram under `name`.
+    pub fn histogram(
+        &self,
+        name: impl Into<String>,
+        unit: &'static str,
+        component: &'static str,
+        help: &'static str,
+    ) -> Histo {
+        let h = Histo::new();
+        self.register(
+            MetricDesc {
+                name: name.into(),
+                unit,
+                component,
+                help,
+                kind: MetricKind::Histogram,
+            },
+            Handle::Histo(h.clone()),
+        );
+        h
+    }
+
+    /// Sorted list of registered base names (histograms appear once,
+    /// without their derived `.count`/`.p50`/`.p99` suffixes).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(d, _)| d.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Metadata of every registered metric, sorted by name.
+    pub fn descs(&self) -> Vec<MetricDesc> {
+        let mut descs: Vec<MetricDesc> = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(d, _)| d.clone())
+            .collect();
+        descs.sort_by(|a, b| a.name.cmp(&b.name));
+        descs
+    }
+
+    /// Read every metric into a [`Snapshot`] keyed by `cycle`.
+    pub fn snapshot(&self, cycle: u64) -> Snapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut values = Vec::with_capacity(inner.len());
+        for (desc, handle) in inner.iter() {
+            match handle {
+                Handle::Counter(c) => values.push((desc.name.clone(), c.get())),
+                Handle::Gauge(g) => values.push((desc.name.clone(), g.get())),
+                Handle::Histo(h) => {
+                    values.push((format!("{}.count", desc.name), h.count()));
+                    values.push((format!("{}.p50", desc.name), h.quantile(0.5)));
+                    values.push((format!("{}.p99", desc.name), h.quantile(0.99)));
+                }
+            }
+        }
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { cycle, values }
+    }
+
+    /// Zero every registered metric (end of warm-up); registrations
+    /// are preserved.
+    pub fn reset_values(&self) {
+        for (_, handle) in self.inner.lock().expect("registry lock").iter() {
+            match handle {
+                Handle::Counter(c) => c.reset(),
+                Handle::Gauge(g) => g.reset(),
+                Handle::Histo(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        let c = reg.counter("b.count", "count", "test", "a counter");
+        let g = reg.gauge("a.depth", "entries", "test", "a gauge");
+        let h = reg.histogram("c.lat", "cycles", "test", "a histogram");
+        c.add(3);
+        g.set(9);
+        h.record(100);
+        let snap = reg.snapshot(42);
+        assert_eq!(snap.cycle, 42);
+        let names: Vec<&str> = snap.values.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "a.depth",
+                "b.count",
+                "c.lat.count",
+                "c.lat.p50",
+                "c.lat.p99"
+            ]
+        );
+        assert_eq!(snap.values[0].1, 9);
+        assert_eq!(snap.values[1].1, 3);
+        assert_eq!(snap.values[2].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_panic() {
+        let reg = Registry::new();
+        let _ = reg.counter("x", "count", "test", "first");
+        let _ = reg.counter("x", "count", "test", "second");
+    }
+
+    #[test]
+    fn reset_preserves_registrations() {
+        let reg = Registry::new();
+        let c = reg.counter("x", "count", "test", "c");
+        c.add(5);
+        reg.reset_values();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.names(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn log_series_extracts_one_metric() {
+        let reg = Registry::new();
+        let c = reg.counter("x", "count", "test", "c");
+        let mut log = SnapshotLog::new();
+        c.add(1);
+        log.push(reg.snapshot(10));
+        c.add(2);
+        log.push(reg.snapshot(20));
+        assert_eq!(log.series("x"), vec![(10, 1), (20, 3)]);
+        assert!(log.series("missing").is_empty());
+    }
+}

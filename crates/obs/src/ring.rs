@@ -1,0 +1,183 @@
+//! Fixed-capacity ring of timed spans feeding the Chrome-trace exporter.
+
+use std::sync::{Arc, Mutex};
+
+/// Default span capacity: enough for every page copy and eviction of a
+/// bench-scale run, small enough (≈1.5 MB) to never matter.
+pub const DEFAULT_SPAN_CAPACITY: usize = 32_768;
+
+/// How a span renders in the Trace Event Format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A duration event (`ph:"X"`): something that started at `ts` and
+    /// took `dur` cycles (page copy, MSHR stall, serve job).
+    Complete,
+    /// A point event (`ph:"i"`): something that happened at `ts`
+    /// (eviction, TLB shootdown).
+    Instant,
+}
+
+/// One timed event. Names and categories are `&'static str` so pushing
+/// a span never allocates.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Event name shown on the timeline slice.
+    pub name: &'static str,
+    /// Comma-free category string (Trace Event `cat` field).
+    pub cat: &'static str,
+    /// Duration vs instant.
+    pub kind: SpanKind,
+    /// Start cycle (exported as microseconds, 1 cycle = 1 µs).
+    pub ts: u64,
+    /// Duration in cycles; ignored for [`SpanKind::Instant`].
+    pub dur: u64,
+    /// Track (exported as `tid`) grouping related spans into one row.
+    pub track: u32,
+    /// Optional argument key shown in the event detail pane.
+    pub arg_name: Option<&'static str>,
+    /// Argument value for `arg_name`.
+    pub arg: u64,
+}
+
+impl Span {
+    /// A duration span on `track` covering `[ts, ts + dur)`.
+    pub fn complete(name: &'static str, cat: &'static str, ts: u64, dur: u64, track: u32) -> Self {
+        Span {
+            name,
+            cat,
+            kind: SpanKind::Complete,
+            ts,
+            dur,
+            track,
+            arg_name: None,
+            arg: 0,
+        }
+    }
+
+    /// An instant event on `track` at `ts`.
+    pub fn instant(name: &'static str, cat: &'static str, ts: u64, track: u32) -> Self {
+        Span {
+            name,
+            cat,
+            kind: SpanKind::Instant,
+            ts,
+            dur: 0,
+            track,
+            arg_name: None,
+            arg: 0,
+        }
+    }
+
+    /// Attach a `key: value` argument shown in the detail pane.
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
+        self.arg_name = Some(key);
+        self.arg = value;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct RingInner {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded, shared buffer of [`Span`]s.
+///
+/// Once `capacity` spans are held, further pushes are counted in
+/// [`dropped`](SpanRing::dropped) and discarded — a long run degrades
+/// to a truncated trace, never to unbounded memory. Handles are `Arc`
+/// clones of one buffer, so instrumentation sites and the exporter see
+/// the same spans.
+#[derive(Debug, Clone)]
+pub struct SpanRing(Arc<Mutex<RingInner>>);
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing(Arc::new(Mutex::new(RingInner {
+            spans: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        })))
+    }
+
+    /// Record a span; silently counted as dropped once full.
+    pub fn push(&self, span: Span) {
+        let mut inner = self.0.lock().expect("span ring lock");
+        if inner.spans.len() < inner.capacity {
+            inner.spans.push(span);
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("span ring lock").spans.len()
+    }
+
+    /// Whether no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spans discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().expect("span ring lock").dropped
+    }
+
+    /// Discard all held spans and the drop counter (end of warm-up).
+    pub fn clear(&self) {
+        let mut inner = self.0.lock().expect("span ring lock");
+        inner.spans.clear();
+        inner.dropped = 0;
+    }
+
+    /// Copy out every held span, sorted by `(ts, track)` so exports are
+    /// deterministic regardless of instrumentation interleaving.
+    pub fn sorted_spans(&self) -> Vec<Span> {
+        let mut spans = self.0.lock().expect("span ring lock").spans.clone();
+        spans.sort_by(|a, b| {
+            a.ts.cmp(&b.ts)
+                .then(a.track.cmp(&b.track))
+                .then(a.name.cmp(b.name))
+        });
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_past_capacity() {
+        let ring = SpanRing::new(2);
+        ring.push(Span::complete("a", "t", 5, 1, 0));
+        ring.push(Span::instant("b", "t", 3, 0));
+        ring.push(Span::instant("c", "t", 1, 0));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let spans = ring.sorted_spans();
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(spans[1].name, "a");
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn with_arg_sets_detail() {
+        let s = Span::complete("copy", "dcache", 0, 10, 1).with_arg("bytes", 4096);
+        assert_eq!(s.arg_name, Some("bytes"));
+        assert_eq!(s.arg, 4096);
+    }
+}

@@ -1,0 +1,206 @@
+//! Chrome Trace Event Format exporter.
+//!
+//! Produces the JSON object format (`{"traceEvents":[…]}`) consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev). One
+//! simulated cycle is exported as one microsecond, so the timeline
+//! ruler reads directly in cycles.
+
+use crate::json::{write_str, Ctx};
+use crate::registry::SnapshotLog;
+use crate::ring::{Span, SpanKind, SpanRing};
+
+/// A named track (Trace Event `tid`) with a human-readable label shown
+/// on the left edge of the timeline.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Track id; matches [`Span::track`].
+    pub id: u32,
+    /// Label rendered by the viewer (`thread_name` metadata).
+    pub label: &'static str,
+}
+
+/// Track for DRAM-cache page-fill copy spans.
+pub const TRACK_FILL: u32 = 0;
+/// Track for DRAM-cache writeback copy spans.
+pub const TRACK_WRITEBACK: u32 = 1;
+/// Track for eviction-daemon instant events.
+pub const TRACK_EVICT: u32 = 2;
+/// Track for LLC MSHR structural-stall spans.
+pub const TRACK_LLC_MSHR: u32 = 3;
+
+/// The simulator's standard track set (shared by every harness so
+/// traces from different cells line up row-for-row in the viewer).
+pub const SIM_TRACKS: &[Track] = &[
+    Track {
+        id: TRACK_FILL,
+        label: "DC fills",
+    },
+    Track {
+        id: TRACK_WRITEBACK,
+        label: "DC writebacks",
+    },
+    Track {
+        id: TRACK_EVICT,
+        label: "eviction daemon",
+    },
+    Track {
+        id: TRACK_LLC_MSHR,
+        label: "LLC MSHR stalls",
+    },
+];
+
+fn push_event(out: &mut String, pid: u32, span: &Span) {
+    let mut ev = Ctx::object(out);
+    ev.key("name").str(span.name);
+    ev.key("cat").str(span.cat);
+    match span.kind {
+        SpanKind::Complete => {
+            ev.key("ph").str("X");
+            ev.key("ts").u64(span.ts);
+            ev.key("dur").u64(span.dur);
+        }
+        SpanKind::Instant => {
+            ev.key("ph").str("i");
+            ev.key("ts").u64(span.ts);
+            ev.key("s").str("t");
+        }
+    }
+    ev.key("pid").u64(pid as u64);
+    ev.key("tid").u64(span.track as u64);
+    if let Some(arg_name) = span.arg_name {
+        ev.key("args");
+        let mut args = String::new();
+        let mut a = Ctx::object(&mut args);
+        a.key(arg_name).u64(span.arg);
+        a.finish();
+        ev.raw(&args);
+    }
+    ev.finish();
+}
+
+fn push_meta(out: &mut String, pid: u32, name: &str, key: &str, label: &str) {
+    let mut ev = Ctx::object(out);
+    ev.key("name").str(name);
+    ev.key("ph").str("M");
+    ev.key("pid").u64(pid as u64);
+    if name == "thread_name" {
+        // `key` carries the tid for thread metadata.
+        ev.key("tid").raw(key);
+    }
+    ev.key("args");
+    let mut args = String::new();
+    let mut a = Ctx::object(&mut args);
+    a.key("name").str(label);
+    a.finish();
+    ev.raw(&args);
+    ev.finish();
+}
+
+/// Serialize `ring` (and optional `"C"` counter events derived from
+/// `snapshots`) into a Trace Event Format JSON string.
+///
+/// * `process_name` labels the single exported process (e.g.
+///   `"fig09 mix nomad"`).
+/// * `tracks` provides `thread_name` metadata so span rows have
+///   readable labels; spans on tracks not listed still render, with a
+///   numeric label.
+/// * `counter_names`: for each of these metric names present in
+///   `snapshots`, a Trace Event counter series (`ph:"C"`) is emitted,
+///   which Perfetto renders as a stacked area chart above the spans.
+pub fn chrome_trace(
+    process_name: &str,
+    tracks: &[Track],
+    ring: &SpanRing,
+    snapshots: Option<&SnapshotLog>,
+    counter_names: &[&str],
+) -> String {
+    const PID: u32 = 1;
+    let mut events: Vec<String> = Vec::new();
+
+    let mut pn = String::new();
+    push_meta(&mut pn, PID, "process_name", "0", process_name);
+    events.push(pn);
+    for t in tracks {
+        let mut tn = String::new();
+        push_meta(&mut tn, PID, "thread_name", &t.id.to_string(), t.label);
+        events.push(tn);
+    }
+
+    for span in ring.sorted_spans() {
+        let mut ev = String::new();
+        push_event(&mut ev, PID, &span);
+        events.push(ev);
+    }
+
+    if let Some(log) = snapshots {
+        for name in counter_names {
+            for (cycle, value) in log.series(name) {
+                let mut ev = String::new();
+                let mut c = Ctx::object(&mut ev);
+                c.key("name").str(name);
+                c.key("ph").str("C");
+                c.key("ts").u64(cycle);
+                c.key("pid").u64(PID as u64);
+                c.key("args");
+                let mut args = String::new();
+                let mut a = Ctx::object(&mut args);
+                a.key("value").u64(value);
+                a.finish();
+                c.raw(&args);
+                c.finish();
+                events.push(ev);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(ev);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":");
+    write_str(&mut out, "1 cycle = 1 us");
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, SnapshotLog};
+
+    #[test]
+    fn trace_contains_spans_and_counters() {
+        let ring = SpanRing::new(16);
+        ring.push(Span::complete("fill", "dcache", 10, 5, 0).with_arg("page", 7));
+        ring.push(Span::instant("evict", "dcache", 12, 2));
+
+        let reg = Registry::new();
+        let g = reg.gauge("dcache.pcshr_occupancy", "entries", "dcache", "t");
+        let mut log = SnapshotLog::new();
+        g.set(3);
+        log.push(reg.snapshot(100));
+
+        let json = chrome_trace(
+            "test run",
+            &[Track {
+                id: 0,
+                label: "fills",
+            }],
+            &ring,
+            Some(&log),
+            &["dcache.pcshr_occupancy"],
+        );
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"page\":7"));
+        assert!(json.contains("\"value\":3"));
+        assert!(json.ends_with("}}"));
+    }
+}

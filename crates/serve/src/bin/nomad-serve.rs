@@ -11,6 +11,9 @@
 //! spilled to `results/cache/` by default (override with
 //! `--cache-dir`, disable with `--no-cache-dir`) so a restarted
 //! daemon keeps serving hits for experiments it already ran.
+//!
+//! With observability enabled (`NOMAD_OBS=1`), a Chrome trace of every
+//! executed job is written to `results/serve.trace.json` on shutdown.
 
 use nomad_serve::{serve, ServerConfig};
 use std::path::PathBuf;
@@ -60,7 +63,16 @@ fn main() {
         handle.local_addr(),
         workers
     );
+    let stats = handle.stats();
     handle.join();
+    if nomad_obs::enabled() {
+        let path = "results/serve.trace.json";
+        let _ = std::fs::create_dir_all("results");
+        match std::fs::write(path, stats.trace_json()) {
+            Ok(()) => println!("nomad-serve: job trace written to {path}"),
+            Err(e) => eprintln!("nomad-serve: failed to write {path}: {e}"),
+        }
+    }
     println!("nomad-serve: shut down");
 }
 

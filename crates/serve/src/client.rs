@@ -91,8 +91,8 @@ fn unexpected(wanted: &str, got: &Response) -> io::Error {
     )
 }
 
-/// Drop-in replacement for [`runner::run_grid`]
-/// (`nomad_sim::runner::run_grid`) that submits the grid through a
+/// Drop-in replacement for [`nomad_sim::runner::run_grid`]
+/// that submits the grid through a
 /// running nomad-serve instance: one connection per client thread,
 /// results in input order. Fails on the first job the service reports
 /// as failed.

@@ -20,7 +20,11 @@
 //!   hash of the job's canonical JSON, with single-flight coalescing:
 //!   identical concurrent submissions ride on one execution.
 //! * **Stats** ([`stats`], `Request::Stats`) — queue depth, cache hit
-//!   rate, per-worker utilization, p50/p99 job latency.
+//!   rate, per-worker utilization, p50/p99 job latency. Backed by a
+//!   [`nomad_obs::Registry`], so responses carry the same `serve.*`
+//!   metric names the snapshot-JSON exporter uses (documented in
+//!   `METRICS.md`), and executed jobs leave Chrome-trace spans
+//!   ([`ServerHandle::trace_json`]).
 //!
 //! Simulations are deterministic, so cached reports never go stale and
 //! a cache hit is byte-identical to re-running the job.
@@ -47,5 +51,6 @@ pub mod worker;
 
 pub use cache::{JobFailure, ResultCache};
 pub use client::{run_grid_via, run_grid_via_jobs, Client};
-pub use proto::{JobSpec, Request, Response, StatsSnapshot};
+pub use proto::{JobSpec, MetricRow, Request, Response, StatsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::ServiceStats;

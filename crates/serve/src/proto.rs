@@ -148,6 +148,17 @@ pub enum Response {
     Error(String),
 }
 
+/// One `(name, value)` row of a [`StatsSnapshot`]'s registry dump.
+/// A struct rather than a tuple so the vendored serde can derive it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Registry metric name (e.g. `serve.jobs.submitted`); histogram
+    /// rows carry derived `.count`/`.p50`/`.p99` suffixes.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
 /// A point-in-time view of the service counters, as returned by
 /// [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -182,6 +193,21 @@ pub struct StatsSnapshot {
     /// 99th-percentile submit-to-completion latency (ms, log-bucket
     /// lower bound).
     pub latency_p99_ms: u64,
+    /// Full name-sorted dump of the service's metric registry — the
+    /// same names (`serve.*`) the simulator's snapshot-JSON exporter
+    /// uses, documented in `METRICS.md`. The convenience fields above
+    /// are projections of these rows.
+    pub counters: Vec<MetricRow>,
+}
+
+impl StatsSnapshot {
+    /// Look up one registry row by metric name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.value)
+    }
 }
 
 /// Write one message as a JSON line and flush it.

@@ -78,20 +78,28 @@ impl Shared {
 
     fn snapshot(&self) -> StatsSnapshot {
         let (latency_p50_ms, latency_p99_ms) = self.stats.latency_quantiles_ms();
+        let queue_depth = self.queue.depth();
+        let counters = self.stats.counter_rows(
+            queue_depth,
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.entries(),
+        );
         StatsSnapshot {
-            queue_depth: self.queue.depth(),
+            queue_depth,
             queue_capacity: self.queue.capacity(),
             workers: self.workers,
-            jobs_submitted: self.stats.submitted.load(Ordering::Relaxed),
-            jobs_completed: self.stats.completed.load(Ordering::Relaxed),
-            jobs_failed: self.stats.failed.load(Ordering::Relaxed),
-            jobs_rejected: self.stats.rejected.load(Ordering::Relaxed),
+            jobs_submitted: self.stats.submitted.get(),
+            jobs_completed: self.stats.completed.get(),
+            jobs_failed: self.stats.failed.get(),
+            jobs_rejected: self.stats.rejected.get(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.entries(),
             worker_utilization: self.stats.worker_utilization(),
             latency_p50_ms,
             latency_p99_ms,
+            counters,
         }
     }
 
@@ -149,6 +157,21 @@ impl ServerHandle {
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
+    }
+
+    /// Chrome Trace Event JSON of every job the workers executed so
+    /// far (one track per worker, microseconds since server start).
+    /// Valid before and after shutdown; the daemon writes it to
+    /// `results/serve.trace.json` at exit when observability is on.
+    pub fn trace_json(&self) -> String {
+        self.shared.stats.trace_json()
+    }
+
+    /// A handle to the live service counters that outlives this
+    /// server handle ([`join`](Self::join) consumes it), so callers
+    /// can export stats or traces after shutdown.
+    pub fn stats(&self) -> Arc<ServiceStats> {
+        Arc::clone(&self.shared.stats)
     }
 }
 
@@ -241,7 +264,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
 }
 
 fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
-    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.stats.submitted.inc();
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Failed {
             error: "server shutting down".to_string(),
@@ -288,7 +311,7 @@ fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
                     // behind a job that never ran.
                     let (reason, response) = match &push_err {
                         PushError::Full(_) => {
-                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.rejected.inc();
                             (
                                 "queue full; job was rejected",
                                 Response::Rejected {
@@ -336,7 +359,7 @@ fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
                     },
                 },
                 Err(PushError::Full(_)) => {
-                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.rejected.inc();
                     Response::Rejected {
                         retry_after_ms: shared.retry_after_ms(),
                     }

@@ -16,7 +16,6 @@ use crate::queue::BoundedQueue;
 use crate::stats::ServiceStats;
 use nomad_types::CancelToken;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -69,9 +68,10 @@ impl WorkerPool {
                             let t0 = Instant::now();
                             let result = execute(&job.spec, job_timeout, retry_budget);
                             stats.add_worker_busy(id, t0.elapsed());
+                            stats.record_job_span(id, t0, result.is_ok());
                             match &result {
-                                Ok(_) => stats.completed.fetch_add(1, Ordering::Relaxed),
-                                Err(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+                                Ok(_) => stats.completed.inc(),
+                                Err(_) => stats.failed.inc(),
                             };
                             stats.record_latency(job.submitted.elapsed());
                             match job.resolve {

@@ -86,6 +86,23 @@ fn concurrent_identical_submissions_run_once_and_match_in_process() {
     assert_eq!(stats.jobs_completed, 1);
     assert_eq!(stats.cache_entries, 1);
     assert_eq!(stats.worker_utilization.len(), 2);
+
+    // The registry-backed rows agree with the convenience fields and
+    // use the documented `serve.*` names.
+    assert_eq!(stats.counter("serve.jobs.submitted"), Some(8));
+    assert_eq!(stats.counter("serve.jobs.completed"), Some(1));
+    assert_eq!(stats.counter("serve.cache.hits"), Some(7));
+    assert_eq!(stats.counter("serve.cache.misses"), Some(1));
+    assert_eq!(stats.counter("serve.cache.entries"), Some(1));
+    assert!(
+        stats.counter("serve.job.latency_ms.count").is_some(),
+        "histogram rows expand into .count/.p50/.p99"
+    );
+
+    // The executed job left a span exportable as a Chrome trace.
+    let trace = handle.trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"name\":\"job\""));
     handle.shutdown();
 }
 

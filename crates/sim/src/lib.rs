@@ -39,6 +39,6 @@ pub mod spec;
 mod system;
 
 pub use config::SystemConfig;
-pub use report::RunReport;
+pub use report::{ObsSeries, RunReport};
 pub use spec::{NomadSpec, SchemeSpec, TidSpec};
 pub use system::System;

@@ -7,10 +7,36 @@ use nomad_dcache::SchemeStats;
 use nomad_dram::DramStats;
 use nomad_types::stats::ratio;
 use nomad_types::TrafficClass;
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Serialize, Value};
+
+/// Pre-rendered observability artifacts attached to a [`RunReport`]
+/// when the run was observed (`NOMAD_OBS=1` or a harness `--obs` flag).
+///
+/// Both members are fully serialized JSON documents — the snapshot
+/// time series ([`nomad_obs::export::snapshot_json`]) and the Chrome
+/// Trace Event stream ([`nomad_obs::trace::chrome_trace`]) — kept as
+/// strings so the report itself stays a plain-data struct and the
+/// artifacts can be written straight to disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsSeries {
+    /// Snapshot cadence in cycles ([`nomad_obs::sample_interval`]).
+    pub interval: u64,
+    /// Snapshot-JSON document: metric metadata plus one row per
+    /// sampling point.
+    pub snapshots: String,
+    /// Trace Event Format JSON (page copies, evictions, MSHR stalls),
+    /// viewable in Perfetto.
+    pub trace: String,
+}
 
 /// Snapshot of one (scheme × workload) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization note: `Serialize`/`Deserialize` are implemented by
+/// hand rather than derived so that `obs` is *omitted* (not emitted as
+/// `null`) when absent — un-observed runs must serialize byte-for-byte
+/// identically to reports produced before observability existed (the
+/// `obs_parity` suite in `nomad-bench` holds this).
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Workload name (Table I abbreviation).
     pub workload: String,
@@ -32,6 +58,47 @@ pub struct RunReport {
     pub hbm: DramStats,
     /// Off-package DRAM statistics.
     pub ddr: DramStats,
+    /// Observability artifacts (`None` unless the run was observed).
+    pub obs: Option<ObsSeries>,
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("workload".to_string(), self.workload.to_value()),
+            ("scheme".to_string(), self.scheme.to_value()),
+            ("clock_ghz".to_string(), self.clock_ghz.to_value()),
+            ("cycles".to_string(), self.cycles.to_value()),
+            ("cores".to_string(), self.cores.to_value()),
+            ("l3_accesses".to_string(), self.l3_accesses.to_value()),
+            ("l3_misses".to_string(), self.l3_misses.to_value()),
+            ("scheme_stats".to_string(), self.scheme_stats.to_value()),
+            ("hbm".to_string(), self.hbm.to_value()),
+            ("ddr".to_string(), self.ddr.to_value()),
+        ];
+        if let Some(obs) = &self.obs {
+            fields.push(("obs".to_string(), obs.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RunReport {
+            workload: de_field(v, "workload")?,
+            scheme: de_field(v, "scheme")?,
+            clock_ghz: de_field(v, "clock_ghz")?,
+            cycles: de_field(v, "cycles")?,
+            cores: de_field(v, "cores")?,
+            l3_accesses: de_field(v, "l3_accesses")?,
+            l3_misses: de_field(v, "l3_misses")?,
+            scheme_stats: de_field(v, "scheme_stats")?,
+            hbm: de_field(v, "hbm")?,
+            ddr: de_field(v, "ddr")?,
+            obs: de_field(v, "obs")?,
+        })
+    }
 }
 
 impl RunReport {
@@ -59,6 +126,7 @@ impl RunReport {
             scheme_stats: scheme_stats.clone(),
             hbm: hbm.clone(),
             ddr: ddr.clone(),
+            obs: None,
         }
     }
 
@@ -186,6 +254,7 @@ mod tests {
             scheme_stats,
             hbm: DramStats::new(&nomad_dram::DramConfig::hbm()),
             ddr: DramStats::new(&nomad_dram::DramConfig::ddr4_2ch()),
+            obs: None,
         }
     }
 
@@ -198,6 +267,27 @@ mod tests {
         assert_eq!(r.instructions(), 1600);
         // 1000 cycles at 3.2 GHz = 0.3125 µs → 320 misses = 1024 MPMS.
         assert!((r.llc_mpms() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs_field_omitted_when_absent_and_round_trips_when_present() {
+        let r = synthetic_report();
+        assert!(
+            !r.to_json().contains("\"obs\""),
+            "un-observed reports must not mention obs at all"
+        );
+        let mut observed = r.clone();
+        observed.obs = Some(ObsSeries {
+            interval: 5000,
+            snapshots: "{\"interval\":5000}".into(),
+            trace: "{\"traceEvents\":[]}".into(),
+        });
+        let s = observed.to_json();
+        assert!(s.contains("\"obs\""));
+        let back: RunReport = serde_json::from_str(&s).expect("round trip");
+        let obs = back.obs.expect("obs survives the round trip");
+        assert_eq!(obs.interval, 5000);
+        assert!(obs.trace.contains("traceEvents"));
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! DRAM devices wired into one cycle-level simulation.
 
 use crate::config::SystemConfig;
-use crate::report::RunReport;
+use crate::report::{ObsSeries, RunReport};
 use nomad_cache::{CacheLevel, TlbHierarchy, TlbLookup};
 use nomad_cpu::{Core, PendingMemOp};
-use nomad_dcache::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents};
+use nomad_dcache::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents, SchemeStatsObs};
 use nomad_dram::Dram;
+use nomad_obs::{Histo, Registry, SnapshotLog, SpanRing, SIM_TRACKS, TRACK_LLC_MSHR};
 use nomad_trace::TraceSource;
 use nomad_types::{
     AccessKind, BlockAddr, CancelToken, CoreId, Cycle, MemReq, MemTarget, NextActivity, ReqId,
@@ -56,6 +57,33 @@ impl CacheFlush for HierFlush<'_> {
     }
 }
 
+/// Metric names exported as `ph:"C"` counter series in the Chrome
+/// trace — the occupancy signals that make TDC's blocking vs NOMAD's
+/// non-blocking behaviour visible above the span rows.
+const TRACE_COUNTERS: &[&str] = &[
+    "dcache.pcshr_occupancy",
+    "dcache.free_frames",
+    "cache.l3.mshr_occupancy",
+];
+
+/// Observability state of one system: the per-system [`Registry`] every
+/// component registered into, the shared span ring, and the snapshot
+/// schedule. Per-system (never global) so `NOMAD_JOBS=4` sweeps stay
+/// deterministic — parallel cells never share a metric cell.
+struct SysObs {
+    registry: Registry,
+    ring: SpanRing,
+    log: SnapshotLog,
+    /// Snapshot cadence in cycles ([`nomad_obs::sample_interval`]).
+    interval: u64,
+    /// Next cycle at (or after) which a snapshot is due.
+    next_sample: Cycle,
+    /// Cycles jumped per event-kernel skip.
+    skip_span: Histo,
+    /// Sampled mirrors of the generic [`nomad_dcache::SchemeStats`].
+    scheme_gauges: SchemeStatsObs,
+}
+
 /// A complete simulated system.
 pub struct System {
     cfg: SystemConfig,
@@ -77,6 +105,9 @@ pub struct System {
     ev: SchemeEvents,
     /// Cycles measured since the last stats reset.
     measured_cycles: Cycle,
+    /// Observability state; `None` (the common case) is the exact
+    /// pre-instrumentation code path.
+    obs: Option<SysObs>,
 }
 
 impl core::fmt::Debug for System {
@@ -106,7 +137,7 @@ impl System {
             .enumerate()
             .map(|(i, t)| Core::new(i, cfg.core, t))
             .collect();
-        System {
+        let mut sys = System {
             tlbs: (0..cfg.cores).map(|_| TlbHierarchy::new(cfg.tlb)).collect(),
             l1s: (0..cfg.cores)
                 .map(|_| CacheLevel::new(cfg.l1.clone()))
@@ -124,9 +155,105 @@ impl System {
             issue_q: (0..cfg.cores).map(|_| Vec::new()).collect(),
             ev: SchemeEvents::default(),
             measured_cycles: 0,
+            obs: None,
             cores,
             cfg,
+        };
+        if nomad_obs::enabled() {
+            sys.install_obs();
         }
+        sys
+    }
+
+    /// Build the per-system [`Registry`], attach every component's
+    /// metrics to it, and start the snapshot schedule. Called once from
+    /// [`System::new`] when [`nomad_obs::enabled`] — an un-observed
+    /// system never holds any obs state at all.
+    fn install_obs(&mut self) {
+        let registry = Registry::new();
+        let ring = SpanRing::default();
+        for core in &mut self.cores {
+            core.attach_obs(&registry);
+        }
+        for (i, l1) in self.l1s.iter_mut().enumerate() {
+            l1.attach_obs(&registry, &format!("cache.l1.{i}"));
+        }
+        for (i, l2) in self.l2s.iter_mut().enumerate() {
+            l2.attach_obs(&registry, &format!("cache.l2.{i}"));
+        }
+        self.l3
+            .attach_obs_full(&registry, "cache.l3", ring.clone(), TRACK_LLC_MSHR);
+        self.hbm.attach_obs(&registry, "dram.hbm");
+        self.ddr.attach_obs(&registry, "dram.ddr");
+        self.scheme.attach_obs(&registry, &ring);
+        let skip_span = registry.histogram(
+            "sim.kernel.skip_span",
+            "cycles",
+            "sim",
+            "Cycles jumped per event-kernel skip",
+        );
+        let scheme_gauges = SchemeStatsObs::register(&registry);
+        let interval = nomad_obs::sample_interval();
+        self.obs = Some(SysObs {
+            registry,
+            ring,
+            log: SnapshotLog::new(),
+            interval,
+            next_sample: self.cycle - self.cycle % interval + interval,
+            skip_span,
+            scheme_gauges,
+        });
+    }
+
+    /// Refresh every registered gauge from live component state and
+    /// append one snapshot keyed by `now`; reschedules the next sample
+    /// at the following `interval` boundary.
+    fn obs_sample(&mut self, now: Cycle) {
+        let Some(obs) = self.obs.as_mut() else {
+            return;
+        };
+        for core in &self.cores {
+            core.obs_sample();
+        }
+        for lvl in self.l1s.iter().chain(self.l2s.iter()) {
+            lvl.obs_sample();
+        }
+        self.l3.obs_sample();
+        self.hbm.obs_sample();
+        self.ddr.obs_sample();
+        self.scheme.obs_sample();
+        obs.scheme_gauges.sample(self.scheme.stats());
+        obs.log.push(obs.registry.snapshot(now));
+        obs.next_sample = now - now % obs.interval + obs.interval;
+    }
+
+    /// Render the observed run into serialized artifacts, or `None`
+    /// when the system is un-observed. `label` names the trace process
+    /// (e.g. `"mcf NOMAD"`).
+    pub fn obs_series(&self, label: &str) -> Option<ObsSeries> {
+        let obs = self.obs.as_ref()?;
+        Some(ObsSeries {
+            interval: obs.interval,
+            snapshots: nomad_obs::export::snapshot_json(
+                obs.interval,
+                &obs.registry.descs(),
+                &obs.log,
+            ),
+            trace: nomad_obs::trace::chrome_trace(
+                label,
+                SIM_TRACKS,
+                &obs.ring,
+                Some(&obs.log),
+                TRACE_COUNTERS,
+            ),
+        })
+    }
+
+    /// Sorted base names of every metric this system's registry
+    /// exports, or `None` when un-observed. The `metrics_doc` test in
+    /// `nomad-bench` diffs this list against `METRICS.md`.
+    pub fn obs_metric_names(&self) -> Option<Vec<String>> {
+        self.obs.as_ref().map(|o| o.registry.names())
     }
 
     /// Current cycle.
@@ -282,6 +409,9 @@ impl System {
             }
         }
 
+        if self.obs.as_ref().is_some_and(|o| now >= o.next_sample) {
+            self.obs_sample(now);
+        }
         self.cycle += 1;
         self.measured_cycles += 1;
     }
@@ -511,6 +641,19 @@ impl System {
         self.ddr.advance_idle(delta);
         self.cycle += delta;
         self.measured_cycles += delta;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.skip_span.record(delta);
+        }
+        // A skip can jump over one or more sample points; take one
+        // catch-up snapshot at the landing cycle (series timestamps are
+        // real cycles, so an off-boundary row is fine).
+        if self
+            .obs
+            .as_ref()
+            .is_some_and(|o| self.cycle >= o.next_sample)
+        {
+            self.obs_sample(self.cycle);
+        }
     }
 
     /// Run until every core has committed `instructions_per_core` more
@@ -687,11 +830,19 @@ impl System {
         self.ddr.reset_stats();
         self.scheme.reset_stats();
         self.measured_cycles = 0;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.registry.reset_values();
+            obs.ring.clear();
+            obs.log.clear();
+            obs.next_sample = self.cycle - self.cycle % obs.interval + obs.interval;
+        }
     }
 
-    /// Snapshot a report of the measured window.
+    /// Snapshot a report of the measured window. Observed systems get
+    /// their rendered [`ObsSeries`] attached; un-observed reports are
+    /// byte-identical to pre-instrumentation ones.
     pub fn report(&self, workload: &str) -> RunReport {
-        RunReport::collect(
+        let mut report = RunReport::collect(
             workload,
             self.scheme.name(),
             self.cfg.clock_ghz,
@@ -701,7 +852,9 @@ impl System {
             self.scheme.stats(),
             self.hbm.stats(),
             self.ddr.stats(),
-        )
+        );
+        report.obs = self.obs_series(&format!("{workload} {}", self.scheme.name()));
+        report
     }
 }
 

@@ -17,6 +17,8 @@
 //! (one DRAM burst each), so a page copy consists of 64 sub-block
 //! transfers traced by a PCSHR's bit-vectors.
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod event;
 pub mod req;

@@ -55,7 +55,7 @@ pub trait Rng: RngCore {
         sample_unit_f64(self.next_u64()) < p
     }
 
-    /// Sample a value of a [`Standard`]-distributed type.
+    /// Sample a value of a [`StandardDist`]-distributed type.
     fn gen<T: StandardDist>(&mut self) -> T
     where
         Self: Sized,
