@@ -2,15 +2,33 @@
 //! exposes `run(&Scale)` returning serializable rows plus a
 //! `print(&rows)` that renders the table the paper reports.
 
+use crate::journal::run_cells_journaled_or_exit;
 use crate::par;
 use crate::{geomean, hr, run_cell, run_with_cfg_cell, Scale};
 use nomad_sim::{RunReport, SchemeSpec};
 use nomad_trace::{WorkloadClass, WorkloadProfile};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// A content-derived journal key for a sweep grid: everything that
+/// determines the rows — the harness tag, the scale parameters, and a
+/// descriptor of the grid axes (scheme labels, workload names, sweep
+/// parameters) — goes in, so a changed grid never resumes from a stale
+/// journal. `scale.jobs` deliberately stays out: an interrupted wide
+/// sweep may resume at any width (results are width-independent).
+fn grid_key(tag: &str, scale: &Scale, axes: &[String]) -> String {
+    format!(
+        "{tag}:i{}w{}c{}s{}:{}",
+        scale.instructions,
+        scale.warmup,
+        scale.cores,
+        scale.seed,
+        axes.join(",")
+    )
+}
 
 /// A generic result row: one (workload × scheme) measurement with the
 /// metrics every figure draws from.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Row {
     /// Workload abbreviation.
     pub workload: String,
@@ -81,8 +99,14 @@ pub fn sweep(scale: &Scale, specs: &[SchemeSpec], workloads: &[WorkloadProfile])
         .iter()
         .flat_map(|w| specs.iter().map(move |spec| (w.clone(), spec.clone())))
         .collect();
+    let axes: Vec<String> = specs
+        .iter()
+        .map(|s| s.label().to_string())
+        .chain(workloads.iter().map(|w| w.name.clone()))
+        .collect();
+    let key = grid_key("sweep", scale, &axes);
     let scale = *scale;
-    par::run_cells_or_exit(scale.jobs, cells, |(w, spec), cancel| {
+    run_cells_journaled_or_exit(scale.jobs, &key, cells, |(w, spec), cancel| {
         let r = run_cell(&scale, spec, w, cancel)?;
         let row = Row::from_report(&r, w.class.label());
         eprintln!("  [{}/{}] ipc {:.3}", w.name, spec.label(), row.ipc);
@@ -100,7 +124,13 @@ pub fn sweep(scale: &Scale, specs: &[SchemeSpec], workloads: &[WorkloadProfile])
 /// remaining submissions instead of pushing the rest of a doomed grid.
 /// Repeated invocations against the same server reuse its
 /// content-addressed result cache, so regenerating a figure after a
-/// partial run only pays for the cells that changed.
+/// partial run only pays for the cells that changed — the service-side
+/// analogue of the local sweep journal, which is why this path does
+/// not journal locally. An unreachable or mid-grid-dying server is
+/// not fatal: the client reconnects with backoff and, past its budget,
+/// degrades to local in-process execution (see
+/// `nomad_serve::ClientConfig`), so the rows still come back
+/// byte-identical.
 pub fn sweep_via_service(
     addr: &str,
     scale: &Scale,
@@ -120,8 +150,15 @@ pub fn sweep_via_service(
             })
         })
         .collect();
-    let reports = nomad_serve::run_grid_via_jobs(addr, cells, scale.jobs, par::sweep_token())
-        .unwrap_or_else(|e| panic!("grid submission to nomad-serve at {addr} failed: {e}"));
+    let reports = match nomad_serve::run_grid_via_jobs(addr, cells, scale.jobs, par::sweep_token())
+    {
+        Ok(reports) => reports,
+        Err(e) if par::sweep_token().is_cancelled() => {
+            eprintln!("sweep cancelled during service submission ({e}); discarding partial grid");
+            std::process::exit(130);
+        }
+        Err(e) => panic!("grid submission to nomad-serve at {addr} failed: {e}"),
+    };
     let mut rows = Vec::new();
     let mut it = reports.iter();
     for w in workloads {
@@ -158,7 +195,7 @@ pub mod table1 {
     use super::*;
 
     /// One Table I row.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct T1Row {
         /// Class label.
         pub class: String,
@@ -184,8 +221,11 @@ pub mod table1 {
     /// cell per workload).
     pub fn run(scale: &Scale) -> Vec<T1Row> {
         let cfg = scale.config();
+        let workloads = WorkloadProfile::all();
+        let axes: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+        let key = grid_key("table1", scale, &axes);
         let scale = *scale;
-        par::run_cells_or_exit(scale.jobs, WorkloadProfile::all(), |w, cancel| {
+        run_cells_journaled_or_exit(scale.jobs, &key, workloads, |w, cancel| {
             let r = run_with_cfg_cell(&cfg, &scale, &SchemeSpec::Ideal, w, cancel)?;
             eprintln!("  [{}] rmhb {:.1}", w.name, r.rmhb_gbps());
             let d = w.derive(cfg.pages_per_gb, cfg.l3_reach_pages());
@@ -296,7 +336,7 @@ pub mod fig02 {
     use super::*;
 
     /// One Fig. 2 point.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct F2Row {
         /// Workload.
         pub workload: String,
@@ -307,27 +347,34 @@ pub mod fig02 {
     }
 
     /// Run the six-workload comparison (one parallel cell per
-    /// workload × scheme, paired back up in submission order).
+    /// workload × scheme, paired back up in submission order). Each
+    /// cell journals only the `[ipc, rmhb]` pair it contributes — the
+    /// full `RunReport` is not serializable, and the pairing below
+    /// needs nothing more.
     pub fn run(scale: &Scale) -> Vec<F2Row> {
-        let cells: Vec<(WorkloadProfile, SchemeSpec)> = WorkloadProfile::fig2_set()
+        let set = WorkloadProfile::fig2_set();
+        let cells: Vec<(WorkloadProfile, SchemeSpec)> = set
             .iter()
             .flat_map(|w| [SchemeSpec::Tdc, SchemeSpec::Tid].map(|spec| (w.clone(), spec)))
             .collect();
+        let axes: Vec<String> = set.iter().map(|w| w.name.clone()).collect();
+        let key = grid_key("fig02", scale, &axes);
         let scale = *scale;
-        let reports = par::run_cells_or_exit(scale.jobs, cells, |(w, spec), cancel| {
-            let r = run_cell(&scale, spec, w, cancel)?;
-            eprintln!("  [{}/{}] ipc {:.3}", w.name, spec.label(), r.ipc());
-            Some(r)
-        });
-        reports
-            .chunks_exact(2)
-            .map(|pair| {
+        let measured: Vec<[f64; 2]> =
+            run_cells_journaled_or_exit(scale.jobs, &key, cells, |(w, spec), cancel| {
+                let r = run_cell(&scale, spec, w, cancel)?;
+                eprintln!("  [{}/{}] ipc {:.3}", w.name, spec.label(), r.ipc());
+                Some([r.ipc(), r.rmhb_gbps()])
+            });
+        set.iter()
+            .zip(measured.chunks_exact(2))
+            .map(|(w, pair)| {
                 let (tdc, tid) = (&pair[0], &pair[1]);
-                eprintln!("  [{}] tdc/tid {:.2}", tdc.workload, tdc.ipc() / tid.ipc());
+                eprintln!("  [{}] tdc/tid {:.2}", w.name, tdc[0] / tid[0]);
                 F2Row {
-                    workload: tdc.workload.clone(),
-                    tdc_over_tid: tdc.ipc() / tid.ipc(),
-                    rmhb_gbps: tdc.rmhb_gbps(),
+                    workload: w.name.clone(),
+                    tdc_over_tid: tdc[0] / tid[0],
+                    rmhb_gbps: tdc[1],
                 }
             })
             .collect()
@@ -547,7 +594,7 @@ pub mod pcshr_sweeps {
     use nomad_sim::spec::NomadSpec;
 
     /// One sensitivity point.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct SweepRow {
         /// Workload (or class-average label).
         pub workload: String,
@@ -586,27 +633,34 @@ pub mod pcshr_sweeps {
                 cells.extend(ws.iter().map(|w| (n, w.clone())));
             }
         }
+        let axes: Vec<String> = counts
+            .iter()
+            .map(|n| n.to_string())
+            .chain(cells.iter().map(|(_, w)| w.name.clone()))
+            .collect();
+        let key = grid_key("fig12", scale, &axes);
         let scale = *scale;
-        let reports = par::run_cells_or_exit(scale.jobs, cells, |(n, w), cancel| {
-            let r = run_cell(&scale, &nomad_with(*n), w, cancel)?;
-            eprintln!("  [{}/{n} PCSHRs] ipc {:.3}", w.name, r.ipc());
-            Some((
-                r.ipc(),
-                r.ddr_total_gbps(),
-                r.os_stall_ratio(),
-                r.tag_mgmt_latency(),
-            ))
-        });
+        let reports: Vec<[f64; 4]> =
+            run_cells_journaled_or_exit(scale.jobs, &key, cells, |(n, w), cancel| {
+                let r = run_cell(&scale, &nomad_with(*n), w, cancel)?;
+                eprintln!("  [{}/{n} PCSHRs] ipc {:.3}", w.name, r.ipc());
+                Some([
+                    r.ipc(),
+                    r.ddr_total_gbps(),
+                    r.os_stall_ratio(),
+                    r.tag_mgmt_latency(),
+                ])
+            });
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         let mut rows = Vec::new();
         let mut rest = reports.as_slice();
         for (class, n, len) in groups {
             let (group, tail) = rest.split_at(len);
             rest = tail;
-            let ipcs: Vec<f64> = group.iter().map(|g| g.0).collect();
-            let bw: Vec<f64> = group.iter().map(|g| g.1).collect();
-            let stall: Vec<f64> = group.iter().map(|g| g.2).collect();
-            let lat: Vec<f64> = group.iter().map(|g| g.3).collect();
+            let ipcs: Vec<f64> = group.iter().map(|g| g[0]).collect();
+            let bw: Vec<f64> = group.iter().map(|g| g[1]).collect();
+            let stall: Vec<f64> = group.iter().map(|g| g[2]).collect();
+            let lat: Vec<f64> = group.iter().map(|g| g[3]).collect();
             eprintln!("  [{class}/{n} PCSHRs] ipc {:.3}", avg(&ipcs));
             rows.push(SweepRow {
                 workload: class.label().to_string(),
@@ -663,12 +717,20 @@ pub mod pcshr_sweeps {
                     .flat_map(move |&n| excess.iter().map(move |w| (c, n, w.clone())))
             })
             .collect();
+        let axes: Vec<String> = cores
+            .iter()
+            .map(|c| format!("{c}c"))
+            .chain(counts.iter().map(|n| n.to_string()))
+            .chain(excess.iter().map(|w| w.name.clone()))
+            .collect();
+        let key = grid_key("fig13", scale, &axes);
         let scale = *scale;
-        let ipcs = par::run_cells_or_exit(scale.jobs, cells, |(c, n, w), cancel| {
-            let r = run_cell(&scale.with_cores(*c), &nomad_with(*n), w, cancel)?;
-            eprintln!("  [{c} cores / {n} PCSHRs / {}] ipc {:.3}", w.name, r.ipc());
-            Some(r.ipc())
-        });
+        let ipcs: Vec<f64> =
+            run_cells_journaled_or_exit(scale.jobs, &key, cells, |(c, n, w), cancel| {
+                let r = run_cell(&scale.with_cores(*c), &nomad_with(*n), w, cancel)?;
+                eprintln!("  [{c} cores / {n} PCSHRs / {}] ipc {:.3}", w.name, r.ipc());
+                Some(r.ipc())
+            });
         let mut rows = Vec::new();
         let mut rest = ipcs.as_slice();
         for &c in cores {
@@ -731,8 +793,14 @@ pub mod pcshr_sweeps {
                 counts.iter().map(move |&n| (w.clone(), n))
             })
             .collect();
+        let axes: Vec<String> = counts
+            .iter()
+            .map(|n| n.to_string())
+            .chain(["cact".to_string(), "libq".to_string()])
+            .collect();
+        let key = grid_key("fig14", scale, &axes);
         let scale = *scale;
-        par::run_cells_or_exit(scale.jobs, cells, |(w, n), cancel| {
+        run_cells_journaled_or_exit(scale.jobs, &key, cells, |(w, n), cancel| {
             let r = run_cell(&scale, &nomad_with(*n), w, cancel)?;
             eprintln!(
                 "  [{}/{n}] stall {:.1}%",
@@ -788,7 +856,7 @@ pub mod fig15 {
     use nomad_sim::spec::NomadSpec;
 
     /// One (n, m) point.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct F15Row {
         /// Workload.
         pub workload: String,
@@ -811,8 +879,14 @@ pub mod fig15 {
                 grid.iter().map(move |&(n, m)| (w.clone(), n, m))
             })
             .collect();
+        let axes: Vec<String> = grid
+            .iter()
+            .map(|(n, m)| format!("{n}x{m}"))
+            .chain(["libq".to_string(), "gems".to_string()])
+            .collect();
+        let key = grid_key("fig15", scale, &axes);
         let scale = *scale;
-        par::run_cells_or_exit(scale.jobs, cells, |(w, n, m), cancel| {
+        run_cells_journaled_or_exit(scale.jobs, &key, cells, |(w, n, m), cancel| {
             let spec = SchemeSpec::NomadWith(NomadSpec {
                 pcshrs: *n,
                 buffers: Some(*m),
@@ -870,7 +944,7 @@ pub mod fig16 {
     use nomad_sim::spec::NomadSpec;
 
     /// One point.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct F16Row {
         /// Back-end count (1 = centralized).
         pub backends: usize,
@@ -901,35 +975,42 @@ pub mod fig16 {
                 })
             })
             .collect();
+        let axes: Vec<String> = points
+            .iter()
+            .map(|(b, t)| format!("{b}be{t}"))
+            .chain(set.iter().map(|s| s.to_string()))
+            .collect();
+        let key = grid_key("fig16", scale, &axes);
         let scale = *scale;
-        let measured = par::run_cells_or_exit(scale.jobs, cells, |(backends, total, w), cancel| {
-            let per = (total / backends).max(1);
-            let spec = SchemeSpec::NomadWith(NomadSpec {
-                pcshrs: per,
-                backends: *backends,
-                ..NomadSpec::default()
+        let measured: Vec<[f64; 2]> =
+            run_cells_journaled_or_exit(scale.jobs, &key, cells, |(backends, total, w), cancel| {
+                let per = (total / backends).max(1);
+                let spec = SchemeSpec::NomadWith(NomadSpec {
+                    pcshrs: per,
+                    backends: *backends,
+                    ..NomadSpec::default()
+                });
+                let r = run_cell(&scale, &spec, w, cancel)?;
+                eprintln!(
+                    "  [{backends} BE x {per} PCSHRs / {}] ipc {:.3}",
+                    w.name,
+                    r.ipc()
+                );
+                Some([r.ipc(), r.tag_mgmt_latency()])
             });
-            let r = run_cell(&scale, &spec, w, cancel)?;
-            eprintln!(
-                "  [{backends} BE x {per} PCSHRs / {}] ipc {:.3}",
-                w.name,
-                r.ipc()
-            );
-            Some((r.ipc(), r.tag_mgmt_latency()))
-        });
         let mut rows = Vec::new();
         let mut rest = measured.as_slice();
         for (backends, total) in points {
             let (group, tail) = rest.split_at(set.len());
             rest = tail;
             let per = (total / backends).max(1);
-            let ipc = group.iter().map(|g| g.0).sum::<f64>() / group.len() as f64;
+            let ipc = group.iter().map(|g| g[0]).sum::<f64>() / group.len() as f64;
             eprintln!("  [{backends} BE x {per} PCSHRs] ipc {ipc:.3}");
             rows.push(F16Row {
                 backends,
                 total_pcshrs: per * backends,
                 ipc,
-                tag_mgmt_latency: group.iter().map(|g| g.1).sum::<f64>() / group.len() as f64,
+                tag_mgmt_latency: group.iter().map(|g| g[1]).sum::<f64>() / group.len() as f64,
             });
         }
         rows

@@ -18,8 +18,21 @@
 //!   available parallelism; 0 or garbage clamp to 1). Results are
 //!   collected in submission order, so every table and JSON artifact
 //!   is byte-identical at any job count — see [`par`].
+//!
+//! Resilience knobs (see DESIGN.md §12):
+//!
+//! * `NOMAD_CELL_RETRIES` — re-runs granted to a panicking sweep cell
+//!   before the panic propagates (default 2);
+//! * `NOMAD_JOURNAL=0` — disable the crash-safe sweep [`journal`];
+//!   `--resume` / `NOMAD_RESUME=1` restores an interrupted sweep's
+//!   completed cells from it;
+//! * `NOMAD_FAULTS` — arm a deterministic fault-injection plan
+//!   (`nomad_faults`; chaos testing only, unset = zero overhead);
+//! * `NOMAD_SERVE_*` — serve-client recovery budgets, documented on
+//!   `nomad_serve::ClientConfig`.
 
 pub mod figs;
+pub mod journal;
 pub mod par;
 pub mod signal;
 
@@ -105,11 +118,32 @@ impl Scale {
 /// * Installs the `SIGINT` handler ([`signal::install_sigint`]) so
 ///   Ctrl-C latches the sweep token and the harness exits 130 after
 ///   in-flight cells wind down, instead of dying mid-write.
+/// * Enables the crash-safe sweep [`journal`] (force off with
+///   `NOMAD_JOURNAL=0`); `--resume` or `NOMAD_RESUME=1` restores the
+///   completed cells of an interrupted sweep instead of re-running
+///   them.
+/// * Arms the deterministic fault plan from `NOMAD_FAULTS`
+///   ([`nomad_faults::init_from_env`]; a no-op when unset) and mirrors
+///   injections into the `resilience.*` observability counters.
 pub fn harness_init() {
     if std::env::args().any(|a| a == "--obs") {
         nomad_obs::set_enabled(true);
     }
     signal::install_sigint();
+    journal::set_enabled(!matches!(
+        std::env::var("NOMAD_JOURNAL").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    ));
+    if std::env::args().any(|a| a == "--resume")
+        || matches!(
+            std::env::var("NOMAD_RESUME").as_deref(),
+            Ok("1") | Ok("on") | Ok("true")
+        )
+    {
+        journal::set_resume(true);
+    }
+    nomad_faults::init_from_env();
+    nomad_serve::mirror_faults_to_obs();
 }
 
 /// Write a report's observability series (interval snapshots + Chrome

@@ -70,6 +70,54 @@ pub fn sweep_token() -> &'static CancelToken {
     TOKEN.get_or_init(CancelToken::new)
 }
 
+/// Per-cell retry budget from `NOMAD_CELL_RETRIES` (default 2, garbage
+/// falls back to the default): how many times a *panicking* cell is
+/// re-run before the panic propagates and dooms the grid. Retrying is
+/// safe because cells are pure — a re-run is byte-identical (the
+/// parity suites hold this) — so transient faults (injected chaos, a
+/// rare environmental failure) heal transparently, while a
+/// deterministic panic still fails the sweep once the budget is spent.
+pub fn cell_retries_from_env() -> u32 {
+    static RETRIES: OnceLock<u32> = OnceLock::new();
+    *RETRIES.get_or_init(|| {
+        std::env::var("NOMAD_CELL_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(2)
+    })
+}
+
+/// Run one cell attempt-by-attempt: panics (including ones injected at
+/// the `bench.cell` fault site) are caught and retried up to
+/// `retries` times, counting each re-run in
+/// `resilience.cell_retries`; the final panic is returned for the
+/// caller to propagate.
+fn run_cell_retrying<C, R>(
+    f: &(impl Fn(&C, &CancelToken) -> Option<R> + Sync),
+    cell: &C,
+    cancel: &CancelToken,
+    retries: u32,
+) -> std::thread::Result<Option<R>> {
+    let mut attempt = 0u32;
+    loop {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nomad_faults::panic_point("bench.cell");
+            f(cell, cancel)
+        }));
+        match result {
+            Ok(r) => return Ok(r),
+            Err(payload) => {
+                if attempt >= retries || cancel.is_cancelled() {
+                    return Err(payload);
+                }
+                attempt += 1;
+                nomad_obs::resilience().cell_retries.inc();
+                eprintln!("warning: sweep cell panicked; retry {attempt}/{retries}");
+            }
+        }
+    }
+}
+
 /// Evaluate `cells` across `jobs` worker threads and return the
 /// results **in submission order**, or `None` if the sweep was
 /// cancelled before every cell finished.
@@ -91,15 +139,21 @@ where
     F: Fn(&C, &CancelToken) -> Option<R> + Sync,
 {
     let jobs = jobs.max(1).min(cells.len().max(1));
+    let retries = cell_retries_from_env();
     if jobs == 1 {
         // Sequential oracle: no pool, no claiming, no reordering —
-        // exactly the pre-executor nested-loop behavior.
+        // exactly the pre-executor nested-loop behavior (the retry
+        // wrapper only changes behavior when a cell panics, and a
+        // budget-exhausting panic propagates exactly as before).
         let mut out = Vec::with_capacity(cells.len());
         for cell in &cells {
             if cancel.is_cancelled() {
                 return None;
             }
-            out.push(f(cell, cancel)?);
+            match run_cell_retrying(&f, cell, cancel, retries) {
+                Ok(r) => out.push(r?),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         return Some(out);
     }
@@ -117,9 +171,7 @@ where
                     if idx >= cells.len() {
                         return;
                     }
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        f(&cells[idx], cancel)
-                    }));
+                    let result = run_cell_retrying(&f, &cells[idx], cancel, retries);
                     match result {
                         Ok(Some(r)) => *slots[idx].lock().expect("slot lock") = Some(r),
                         // Cancelled mid-cell: the token is already
@@ -236,6 +288,26 @@ mod tests {
         }));
         assert!(result.is_err(), "the cell panic must propagate");
         assert!(token.is_cancelled(), "siblings must be told to stop");
+    }
+
+    #[test]
+    fn transiently_panicking_cell_heals_within_the_retry_budget() {
+        // The default budget is 2 retries; a cell that panics on its
+        // first attempt and succeeds on the second must not doom the
+        // grid — at either executor width.
+        for jobs in [1usize, 4] {
+            let first_attempt_done = AtomicUsize::new(0);
+            let token = CancelToken::new();
+            let out = run_cells(jobs, &token, (0..8).collect::<Vec<_>>(), |&c, _| {
+                if c == 5 && first_attempt_done.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("transient");
+                }
+                Some(c * 2)
+            })
+            .expect("sweep heals");
+            assert_eq!(out, (0..8).map(|c| c * 2).collect::<Vec<_>>());
+            assert!(!token.is_cancelled(), "healed sweep must not latch");
+        }
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Crash-safe journal + fault-injection acceptance tests over *real*
+//! simulation cells: an interrupted sweep resumed from its journal
+//! must serialize byte-identically to a clean run (floats included —
+//! the vendored JSON round-trips `f64` exactly), and a sweep running
+//! under an armed `NOMAD_FAULTS` plan must heal within the retry
+//! budget and still produce byte-identical rows at any executor width.
+//!
+//! Journaling switches and fault plans are process-global, so every
+//! test serializes on one mutex.
+
+use nomad_bench::figs::Row;
+use nomad_bench::{journal, par, run_cell, Scale};
+use nomad_sim::SchemeSpec;
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_scale(jobs: usize) -> Scale {
+    Scale {
+        instructions: 5_000,
+        warmup: 500,
+        cores: 2,
+        seed: 42,
+        jobs,
+    }
+}
+
+fn cells() -> Vec<(WorkloadProfile, SchemeSpec)> {
+    [WorkloadProfile::tc(), WorkloadProfile::mcf()]
+        .into_iter()
+        .flat_map(|w| [SchemeSpec::Nomad, SchemeSpec::Tdc].map(move |spec| (w.clone(), spec)))
+        .collect()
+}
+
+fn cell_fn(
+    scale: Scale,
+) -> impl Fn(&(WorkloadProfile, SchemeSpec), &CancelToken) -> Option<Row> + Sync {
+    move |(w, spec), cancel| {
+        let r = run_cell(&scale, spec, w, cancel)?;
+        Some(Row::from_report(&r, w.class.label()))
+    }
+}
+
+/// The serialized form the figure harnesses write to `results/` — the
+/// byte-identity contract is on this string.
+fn to_json(rows: &[Row]) -> String {
+    serde_json::to_string(&rows.to_vec()).expect("rows serialize")
+}
+
+#[test]
+fn resumed_sweep_is_byte_identical_to_a_clean_run() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = tiny_scale(1);
+    let key = "journal_resume:test-grid";
+
+    let clean = par::run_cells(1, &CancelToken::new(), cells(), cell_fn(scale))
+        .expect("clean run completes");
+
+    journal::set_enabled(true);
+    // Interrupted run: cancel after the first two cells complete.
+    let done = AtomicUsize::new(0);
+    let interrupted =
+        journal::run_cells_journaled(1, &CancelToken::new(), key, cells(), |cell, cancel| {
+            if done.fetch_add(1, Ordering::Relaxed) == 2 {
+                cancel.cancel();
+                return None;
+            }
+            cell_fn(scale)(cell, cancel)
+        });
+    assert!(interrupted.is_none(), "the sweep was cancelled mid-grid");
+    assert!(
+        journal::journal_path(key).exists(),
+        "completed cells must be journaled"
+    );
+
+    // Resumed run: only the missing cells execute, and the merged rows
+    // serialize byte-identically to the clean run.
+    journal::set_resume(true);
+    let reran = AtomicUsize::new(0);
+    let resumed =
+        journal::run_cells_journaled(1, &CancelToken::new(), key, cells(), |cell, cancel| {
+            reran.fetch_add(1, Ordering::Relaxed);
+            cell_fn(scale)(cell, cancel)
+        })
+        .expect("resumed run completes");
+    journal::set_resume(false);
+    journal::set_enabled(false);
+
+    assert_eq!(
+        reran.load(Ordering::Relaxed),
+        2,
+        "two of four cells were journaled, two re-ran"
+    );
+    assert_eq!(
+        to_json(&resumed),
+        to_json(&clean),
+        "resume must be byte-identical — floats round-trip exactly"
+    );
+    assert!(
+        !journal::journal_path(key).exists(),
+        "journal deleted after the resumed run completes"
+    );
+}
+
+/// An armed `bench.cell` panic plan heals inside the retry budget and
+/// the rows stay byte-identical to an uninjected run at every width.
+/// The plan's injected index-set is fixed by the seed; a generous
+/// retry budget makes any schedule's worst-case run of consecutive
+/// injections survivable, so this test is deterministic.
+#[test]
+fn fault_injected_sweep_heals_byte_identical_at_any_width() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Cached on first read by the executor (OnceLock); every test in
+    // this binary that arms faults wants the same generous budget.
+    std::env::set_var("NOMAD_CELL_RETRIES", "10");
+    let scale = tiny_scale(1);
+    let clean = par::run_cells(1, &CancelToken::new(), cells(), cell_fn(scale))
+        .expect("clean run completes");
+
+    nomad_faults::install(Some(
+        nomad_faults::FaultPlan::parse("42:bench.cell=panic@0.3").expect("valid plan"),
+    ));
+    for jobs in [1usize, 4] {
+        let injected_before = nomad_faults::injected_total();
+        let chaotic = par::run_cells(
+            jobs,
+            &CancelToken::new(),
+            cells(),
+            cell_fn(tiny_scale(jobs)),
+        )
+        .expect("sweep heals within the retry budget");
+        assert_eq!(
+            to_json(&chaotic),
+            to_json(&clean),
+            "jobs={jobs}: healed rows must match the uninjected run"
+        );
+        assert!(
+            nomad_faults::injected_total() >= injected_before,
+            "monotonic injection counter"
+        );
+    }
+    nomad_faults::install(None);
+}

@@ -48,11 +48,13 @@ pub mod export;
 pub mod json;
 pub mod metric;
 pub mod registry;
+pub mod resilience;
 pub mod ring;
 pub mod trace;
 
 pub use metric::{Counter, Gauge, Histo};
 pub use registry::{MetricDesc, MetricKind, Registry, Snapshot, SnapshotLog};
+pub use resilience::{resilience, Resilience};
 pub use ring::{Span, SpanKind, SpanRing};
 pub use trace::{Track, SIM_TRACKS, TRACK_EVICT, TRACK_FILL, TRACK_LLC_MSHR, TRACK_WRITEBACK};
 

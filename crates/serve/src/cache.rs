@@ -162,6 +162,11 @@ impl ResultCache {
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
+            // Fault site `serve.cache.reload`: any injected fault
+            // skips this file, exactly like an unreadable spill.
+            if nomad_faults::inject("serve.cache.reload").is_some() {
+                continue;
+            }
             let Ok(bytes) = std::fs::read_to_string(&path) else {
                 continue;
             };
@@ -191,6 +196,21 @@ impl ResultCache {
         let Ok(json) = serde_json::to_string(&entry) else {
             return;
         };
+        // Fault site `serve.cache.spill`: `Torn` simulates a crash
+        // mid-write by leaving half a document *at the final path*
+        // (deliberately defeating the tmp+rename discipline, so reload
+        // tolerance gets exercised); `Io`/`Panic` drop the spill.
+        match nomad_faults::inject("serve.cache.spill") {
+            Some(nomad_faults::Fault::Torn) => {
+                let _ = std::fs::write(
+                    dir.join(format!("{key:016x}.json")),
+                    &json.as_bytes()[..json.len() / 2],
+                );
+                return;
+            }
+            Some(_) => return,
+            None => {}
+        }
         let tmp = dir.join(format!("{key:016x}.json.tmp"));
         if std::fs::write(&tmp, json).is_ok() {
             let _ = std::fs::rename(&tmp, dir.join(format!("{key:016x}.json")));

@@ -1,4 +1,22 @@
-//! Thin synchronous client for the nomad-serve protocol.
+//! Thin synchronous client for the nomad-serve protocol, plus the
+//! self-healing grid runner built on it.
+//!
+//! # Timeouts and reconnection
+//!
+//! Connections are opened with a connect timeout and carry read/write
+//! timeouts, so a hung or unreachable server fails a request instead
+//! of parking a sweep thread forever. The grid runner
+//! ([`run_grid_via_jobs`]) treats every transport error as transient:
+//! it reconnects with capped exponential backoff (plus deterministic
+//! jitter) and resubmits the job — safe because jobs are idempotent
+//! and content-addressed, so a resubmission of work the server already
+//! finished is a cache hit. Only when the server stays unreachable
+//! past the reconnect budget does the runner degrade: it flips a
+//! grid-wide flag and runs the remaining cells in-process, so a dead
+//! `NOMAD_SERVE_ADDR` costs one backoff budget, not one per cell.
+//!
+//! All budgets come from [`ClientConfig`] (environment-overridable;
+//! see its field docs).
 
 use crate::proto::{self, JobSpec, Request, Response, StatsSnapshot};
 use nomad_sim::runner::Cell;
@@ -6,7 +24,87 @@ use nomad_sim::RunReport;
 use nomad_types::CancelToken;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Longest single backpressure sleep [`Client::submit_retrying`] will
+/// honour, so a hostile or buggy `retry_after_ms` cannot park a client
+/// thread for minutes.
+const MAX_REJECTED_SLEEP_MS: u64 = 1_000;
+
+/// Connection and recovery budgets for [`Client`] and the grid runner.
+///
+/// [`ClientConfig::from_env`] reads each field from an environment
+/// variable (falling back to the default on unset or garbage), so
+/// sweeps can tune the budgets without code changes.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (`NOMAD_SERVE_CONNECT_TIMEOUT_MS`, default
+    /// 5000).
+    pub connect_timeout: Duration,
+    /// Per-request read/write timeout (`NOMAD_SERVE_IO_TIMEOUT_MS`,
+    /// default 600 000 — simulations are slow, transport stalls are
+    /// not; `0` disables). `None` blocks forever.
+    pub io_timeout: Option<Duration>,
+    /// Reconnect attempts per job before the runner degrades to local
+    /// execution (`NOMAD_SERVE_RECONNECTS`, default 4).
+    pub reconnect_attempts: u32,
+    /// Base reconnect backoff (`NOMAD_SERVE_BACKOFF_MS`, default 50);
+    /// attempt `n` sleeps `base · 2^(n-1)` + jitter, capped by
+    /// [`backoff_cap`](Self::backoff_cap).
+    pub backoff_base: Duration,
+    /// Ceiling on a single backoff sleep (2 s; not env-tunable).
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(5_000),
+            io_timeout: Some(Duration::from_millis(600_000)),
+            reconnect_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(2_000),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The defaults, overridden by any of the documented
+    /// `NOMAD_SERVE_*` environment variables that are set and parse.
+    pub fn from_env() -> Self {
+        fn ms(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        let mut cfg = ClientConfig::default();
+        if let Some(v) = ms("NOMAD_SERVE_CONNECT_TIMEOUT_MS") {
+            cfg.connect_timeout = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = ms("NOMAD_SERVE_IO_TIMEOUT_MS") {
+            cfg.io_timeout = (v > 0).then(|| Duration::from_millis(v));
+        }
+        if let Some(v) = ms("NOMAD_SERVE_RECONNECTS") {
+            cfg.reconnect_attempts = v.min(u32::MAX as u64) as u32;
+        }
+        if let Some(v) = ms("NOMAD_SERVE_BACKOFF_MS") {
+            cfg.backoff_base = Duration::from_millis(v.max(1));
+        }
+        cfg
+    }
+
+    /// Backoff before reconnect attempt `attempt` (1-based):
+    /// exponential from [`backoff_base`](Self::backoff_base), capped,
+    /// plus deterministic jitter drawn from `(salt, attempt)` — two
+    /// threads hammering a recovering server spread out, yet a rerun
+    /// of the same sweep sleeps identically.
+    pub fn backoff(&self, salt: u64, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+        let capped = exp.min(self.backoff_cap.as_millis() as u64);
+        let jitter = nomad_faults::splitmix64(salt ^ u64::from(attempt)) % base.max(1);
+        Duration::from_millis(capped + jitter)
+    }
+}
 
 /// One connection to a nomad-serve instance. Requests on a connection
 /// are synchronous; open one client per concurrent job.
@@ -16,10 +114,36 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server with the environment-derived
+    /// [`ClientConfig`] budgets (connect timeout, I/O timeouts).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::from_env())
+    }
+
+    /// Connect with explicit budgets: every resolved address is tried
+    /// with `cfg.connect_timeout`, and the stream carries
+    /// `cfg.io_timeout` as its read and write timeout so a hung server
+    /// errors out instead of blocking a sweep thread forever.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: &ClientConfig) -> io::Result<Self> {
+        let mut last_err = None;
+        let mut stream = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, cfg.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+            })
+        })?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(cfg.io_timeout)?;
+        stream.set_write_timeout(cfg.io_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -43,15 +167,23 @@ impl Client {
         self.request(&Request::Submit(job.clone()))
     }
 
-    /// Submit, honouring `Rejected { retry_after_ms }` backoff up to
-    /// `max_attempts` total tries.
+    /// Submit, honouring `Rejected { retry_after_ms }` backpressure up
+    /// to `max_attempts` total tries. The advertised sleep is capped
+    /// at 1 s per attempt (a buggy or hostile server cannot park this
+    /// thread for minutes), and the final failed attempt returns
+    /// immediately instead of sleeping a backoff nobody will use.
     pub fn submit_retrying(&mut self, job: &JobSpec, max_attempts: u32) -> io::Result<Response> {
+        let max_attempts = max_attempts.max(1);
         let mut last = None;
-        for _ in 0..max_attempts.max(1) {
+        for attempt in 1..=max_attempts {
             match self.submit(job)? {
                 Response::Rejected { retry_after_ms } => {
-                    std::thread::sleep(Duration::from_millis(retry_after_ms));
                     last = Some(Response::Rejected { retry_after_ms });
+                    if attempt < max_attempts {
+                        std::thread::sleep(Duration::from_millis(
+                            retry_after_ms.min(MAX_REJECTED_SLEEP_MS),
+                        ));
+                    }
                 }
                 other => return Ok(other),
             }
@@ -104,45 +236,62 @@ pub fn run_grid_via(addr: &str, cells: Vec<Cell>) -> io::Result<Vec<RunReport>> 
 }
 
 /// [`run_grid_via`] with an explicit client-connection count and a
-/// cancellation token. `jobs` (clamped ≥ 1) bounds how many
-/// connections — and therefore in-flight submissions — the client
-/// opens; the server's own worker pool still decides how many cells
-/// simulate concurrently. The first job the service reports as failed
-/// (e.g. a serve-side wall-clock timeout) latches `cancel`, so sibling
-/// threads stop submitting the rest of a doomed grid; cells never
-/// submitted surface as `cancelled` errors in the returned result.
+/// cancellation token, using the environment-derived [`ClientConfig`].
 pub fn run_grid_via_jobs(
     addr: &str,
     cells: Vec<Cell>,
     jobs: usize,
     cancel: &CancelToken,
 ) -> io::Result<Vec<RunReport>> {
+    run_grid_via_jobs_with(addr, cells, jobs, cancel, &ClientConfig::from_env())
+}
+
+/// The self-healing grid runner. `jobs` (clamped ≥ 1) bounds how many
+/// connections — and therefore in-flight submissions — the client
+/// opens; the server's own worker pool still decides how many cells
+/// simulate concurrently.
+///
+/// Recovery ladder, per cell:
+///
+/// 1. **Transport errors are transient.** A failed connect, send or
+///    receive drops the connection, sleeps a capped exponential
+///    backoff with deterministic jitter ([`ClientConfig::backoff`]),
+///    reconnects and resubmits — safe because jobs are idempotent and
+///    content-addressed (a resubmission of finished work is a cache
+///    hit). Each re-established connection counts one
+///    `resilience.serve_reconnects`.
+/// 2. **Unreachable past the budget degrades the grid.** After
+///    `cfg.reconnect_attempts` consecutive failures the runner flips a
+///    grid-wide *degraded* flag: this cell and every remaining cell
+///    run in-process via [`JobSpec::run_local_cancellable`] (each
+///    counting one `resilience.local_fallbacks`), so a dead
+///    `NOMAD_SERVE_ADDR` costs one backoff budget total — the sweep
+///    degrades instead of failing.
+/// 3. **A server-side `Failed` gets one local retry.** The server
+///    exhausted its own attempt budget; the cell is retried in-process
+///    once (panics caught). Only if that also fails does the grid
+///    fail: the error latches `cancel`, sibling threads stop
+///    submitting, and unsubmitted cells surface as `cancelled` errors.
+pub fn run_grid_via_jobs_with(
+    addr: &str,
+    cells: Vec<Cell>,
+    jobs: usize,
+    cancel: &CancelToken,
+    cfg: &ClientConfig,
+) -> io::Result<Vec<RunReport>> {
+    crate::mirror_faults_to_obs();
     let threads = jobs.max(1).min(cells.len().max(1));
     let work: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(work);
     let results = std::sync::Mutex::new(Vec::new());
+    // Set once the server has proven unreachable past the reconnect
+    // budget; every thread then skips straight to local execution
+    // instead of re-paying the backoff budget per cell.
+    let degraded = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut client = match Client::connect(addr) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        let msg = e.to_string();
-                        // Without a connection this thread can do
-                        // nothing; record the error for every cell it
-                        // would have claimed as they come up, and tell
-                        // the siblings the grid is doomed.
-                        cancel.cancel();
-                        loop {
-                            let item = queue.lock().expect("work lock").pop();
-                            let Some((idx, _)) = item else { return };
-                            results
-                                .lock()
-                                .expect("results lock")
-                                .push((idx, Err(format!("connect failed: {msg}"))));
-                        }
-                    }
-                };
+                let mut conn: Option<Client> = None;
                 loop {
                     let item = queue.lock().expect("work lock").pop();
                     let Some((idx, cell)) = item else { return };
@@ -154,20 +303,10 @@ pub fn run_grid_via_jobs(
                         continue;
                     }
                     let job = JobSpec::from_cell(&cell);
-                    let outcome = match client.submit_retrying(&job, 1000) {
-                        Ok(Response::Report { report, .. }) => Ok(report),
-                        Ok(Response::Failed { error, attempts }) => {
-                            Err(format!("job failed after {attempts} attempts: {error}"))
-                        }
-                        Ok(Response::Rejected { .. }) => {
-                            Err("job rejected past retry budget".to_string())
-                        }
-                        Ok(other) => Err(format!("unexpected response: {other:?}")),
-                        Err(e) => Err(format!("transport error: {e}")),
-                    };
+                    let outcome = run_cell_healing(&mut conn, addr, &job, cancel, cfg, &degraded);
                     if outcome.is_err() {
-                        // Fail fast: one lost cell dooms the whole
-                        // grid, so stop feeding the server.
+                        // Fail fast: an unrecoverable cell dooms the
+                        // whole grid, so stop feeding the server.
                         cancel.cancel();
                     }
                     results.lock().expect("results lock").push((idx, outcome));
@@ -181,4 +320,96 @@ pub fn run_grid_via_jobs(
         .into_iter()
         .map(|(_, r)| r.map_err(io::Error::other))
         .collect()
+}
+
+/// Run one cell through the recovery ladder documented on
+/// [`run_grid_via_jobs_with`]. `conn` is this thread's reusable
+/// connection slot (dropped on transport errors, re-established
+/// lazily).
+fn run_cell_healing(
+    conn: &mut Option<Client>,
+    addr: &str,
+    job: &JobSpec,
+    cancel: &CancelToken,
+    cfg: &ClientConfig,
+    degraded: &AtomicBool,
+) -> Result<RunReport, String> {
+    let salt = job.content_key();
+    let mut attempt = 0u32;
+    while !degraded.load(Ordering::Relaxed) {
+        if cancel.is_cancelled() {
+            return Err("cancelled during recovery".to_string());
+        }
+        if conn.is_none() {
+            match Client::connect_with(addr, cfg) {
+                Ok(c) => {
+                    if attempt > 0 {
+                        nomad_obs::resilience().serve_reconnects.inc();
+                    }
+                    *conn = Some(c);
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > cfg.reconnect_attempts {
+                        eprintln!(
+                            "nomad-serve client: {addr} unreachable after {attempt} attempts \
+                             ({e}); degrading to local execution"
+                        );
+                        degraded.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::sleep(cfg.backoff(salt, attempt));
+                    continue;
+                }
+            }
+        }
+        let client = conn.as_mut().expect("connection established above");
+        match client.submit_retrying(job, 1000) {
+            Ok(Response::Report { report, .. }) => return Ok(report),
+            Ok(Response::Failed { error, attempts }) => {
+                // The server ran out of attempts on this job; give it
+                // one in-process try before dooming the grid (counted
+                // below as a local fallback).
+                eprintln!(
+                    "nomad-serve client: job failed server-side after {attempts} attempts \
+                     ({error}); retrying locally"
+                );
+                return run_cell_locally(job, cancel);
+            }
+            Ok(Response::Rejected { .. }) => {
+                return Err("job rejected past retry budget".to_string())
+            }
+            Ok(other) => return Err(format!("unexpected response: {other:?}")),
+            Err(e) => {
+                // Transport error mid-request: the connection is in an
+                // unknown state, so drop it and go around the ladder.
+                *conn = None;
+                attempt += 1;
+                if attempt > cfg.reconnect_attempts {
+                    eprintln!(
+                        "nomad-serve client: transport to {addr} failed {attempt} times \
+                         ({e}); degrading to local execution"
+                    );
+                    degraded.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::sleep(cfg.backoff(salt, attempt));
+            }
+        }
+    }
+    run_cell_locally(job, cancel)
+}
+
+/// Degraded-mode execution: run the job in this process, catching
+/// panics so one bad cell reports an error instead of tearing down the
+/// sweep thread.
+fn run_cell_locally(job: &JobSpec, cancel: &CancelToken) -> Result<RunReport, String> {
+    nomad_obs::resilience().local_fallbacks.inc();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        job.run_local_cancellable(cancel)
+    })) {
+        Ok(Some(report)) => Ok(report),
+        Ok(None) => Err("cancelled during local fallback".to_string()),
+        Err(_) => Err("local fallback panicked".to_string()),
+    }
 }

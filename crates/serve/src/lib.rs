@@ -50,7 +50,16 @@ pub mod stats;
 pub mod worker;
 
 pub use cache::{JobFailure, ResultCache};
-pub use client::{run_grid_via, run_grid_via_jobs, Client};
+pub use client::{run_grid_via, run_grid_via_jobs, run_grid_via_jobs_with, Client, ClientConfig};
 pub use proto::{JobSpec, MetricRow, Request, Response, StatsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::ServiceStats;
+
+/// Mirror every fault the `NOMAD_FAULTS` plan injects into the
+/// process-wide `resilience.faults_injected` counter. Idempotent;
+/// called by [`serve`] and the grid runner so both sides of the wire
+/// count their own injections. (nomad-faults itself is
+/// zero-dependency, so the mirroring lives here.)
+pub fn mirror_faults_to_obs() {
+    nomad_faults::set_observer(|_site, _fault| nomad_obs::resilience().faults_injected.inc());
+}

@@ -211,9 +211,28 @@ impl StatsSnapshot {
 }
 
 /// Write one message as a JSON line and flush it.
+///
+/// Fault site `serve.proto.write_frame`: an injected `Torn` fault
+/// writes only the first half of the line (simulating a connection cut
+/// mid-frame — the peer sees an unterminated line) and then fails;
+/// any other injected fault fails before writing a byte.
 pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()> {
     let line = serde_json::to_string(msg)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(fault) = nomad_faults::inject("serve.proto.write_frame") {
+        if matches!(fault, nomad_faults::Fault::Torn) {
+            let bytes = line.as_bytes();
+            w.write_all(&bytes[..bytes.len() / 2])?;
+            w.flush()?;
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            format!(
+                "nomad-faults: injected {} at serve.proto.write_frame",
+                fault.label()
+            ),
+        ));
+    }
     w.write_all(line.as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
@@ -221,7 +240,11 @@ pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> io::Result<()>
 
 /// Read one JSON-line message. Returns `Ok(None)` on a clean EOF;
 /// malformed JSON maps to [`io::ErrorKind::InvalidData`].
+///
+/// Fault site `serve.proto.read_frame`: any injected fault surfaces as
+/// a `ConnectionReset` error before the read (as if the peer vanished).
 pub fn read_frame<T: Deserialize, R: BufRead>(r: &mut R) -> io::Result<Option<T>> {
+    nomad_faults::fail_point("serve.proto.read_frame")?;
     let mut line = String::new();
     if r.read_line(&mut line)? == 0 {
         return Ok(None);

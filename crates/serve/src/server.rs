@@ -177,6 +177,7 @@ impl ServerHandle {
 
 /// Bind, spawn workers and the accept loop, and return immediately.
 pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    crate::mirror_faults_to_obs();
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;

@@ -111,6 +111,10 @@ pub fn execute(spec: &JobSpec, timeout: Duration, retry_budget: u32) -> JobResul
             .name("nomad-serve-attempt".into())
             .spawn(move || {
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    // Fault site `serve.worker.execute`: inside the
+                    // catch_unwind so an injected panic consumes the
+                    // retry budget exactly like a simulator panic.
+                    nomad_faults::panic_point("serve.worker.execute");
                     job.run_local_cancellable(&attempt_cancel)
                 }));
                 // The worker may have stopped listening; a dead

@@ -1,0 +1,302 @@
+//! Chaos suite: seeded fault injection against a live server, holding
+//! the ISSUE's acceptance bar — under a fixed `NOMAD_FAULTS` seed the
+//! sweep either fails identically or **recovers to byte-identical
+//! results**, and with no plan installed nothing is ever injected.
+//!
+//! Fault plans are process-global (`nomad_faults::install`), so every
+//! test runs under one mutex and clears the plan before returning.
+
+use nomad_serve::proto::JobSpec;
+use nomad_serve::{run_grid_via_jobs_with, serve, ClientConfig, ServerConfig};
+use nomad_sim::runner::{self, Cell};
+use nomad_sim::{SchemeSpec, SystemConfig};
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Install `plan`, run `f`, and always clear the plan afterwards —
+/// even when `f` panics, so one failing test cannot leak chaos into
+/// the next.
+fn with_plan<Ret>(plan: Option<&str>, f: impl FnOnce() -> Ret) -> Ret {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    nomad_faults::install(plan.map(|s| nomad_faults::FaultPlan::parse(s).expect("valid plan")));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    nomad_faults::install(None);
+    match out {
+        Ok(ret) => ret,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn small_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::scaled(2);
+    cfg.dc_capacity = 8 * 1024 * 1024;
+    cfg
+}
+
+fn grid(seeds: &[u64]) -> Vec<Cell> {
+    seeds
+        .iter()
+        .map(|&seed| Cell {
+            cfg: small_cfg(),
+            spec: SchemeSpec::Nomad,
+            profile: WorkloadProfile::tc(),
+            instructions: 6_000,
+            warmup: 1_000,
+            seed,
+        })
+        .collect()
+}
+
+/// The in-process oracle: what every recovered run must match
+/// byte-for-byte.
+fn expected_jsons(cells: &[Cell]) -> Vec<String> {
+    cells
+        .iter()
+        .map(|c| {
+            runner::run_one(
+                &c.cfg,
+                &c.spec,
+                &c.profile,
+                c.instructions,
+                c.warmup,
+                c.seed,
+            )
+            .to_json()
+        })
+        .collect()
+}
+
+fn test_server(cache_dir: Option<std::path::PathBuf>) -> nomad_serve::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 32,
+        job_timeout: Duration::from_secs(60),
+        retry_budget: 2,
+        cache_dir,
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Fast recovery budgets so injected failures cost milliseconds, not
+/// the production backoff schedule.
+fn fast_cfg() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Some(Duration::from_millis(10_000)),
+        reconnect_attempts: 16,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+    }
+}
+
+/// A scratch directory under the system temp dir, unique per call.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "nomad-chaos-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn no_plan_injects_nothing() {
+    with_plan(None, || {
+        let cells = grid(&[1, 2]);
+        let expected = expected_jsons(&cells);
+        let handle = test_server(None);
+        let addr = handle.local_addr().to_string();
+        let before = nomad_faults::injected_total();
+        let reports = run_grid_via_jobs_with(&addr, cells, 2, &CancelToken::new(), &fast_cfg())
+            .expect("clean grid");
+        handle.shutdown();
+        assert_eq!(nomad_faults::injected_total(), before, "no injections");
+        let got: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        assert_eq!(got, expected);
+    });
+}
+
+/// Mid-frame connection drops on both protocol directions: the client
+/// reconnects and resubmits (idempotent, content-addressed), and the
+/// grid completes byte-identical to the in-process oracle — at one and
+/// at four client connections.
+#[test]
+fn mid_frame_drops_recover_byte_identical() {
+    let cells = grid(&[10, 11, 12, 13]);
+    let expected = expected_jsons(&cells);
+    for jobs in [1usize, 4] {
+        let got = with_plan(
+            Some("42:serve.proto.write_frame=torn@0.2,serve.proto.read_frame=io@0.1"),
+            || {
+                let handle = test_server(None);
+                let addr = handle.local_addr().to_string();
+                let reports = run_grid_via_jobs_with(
+                    &addr,
+                    cells.clone(),
+                    jobs,
+                    &CancelToken::new(),
+                    &fast_cfg(),
+                )
+                .expect("grid recovers");
+                handle.shutdown();
+                reports.iter().map(|r| r.to_json()).collect::<Vec<_>>()
+            },
+        );
+        assert_eq!(got, expected, "jobs={jobs} must recover byte-identical");
+        assert!(
+            nomad_faults::injected_total() > 0,
+            "the plan must actually have fired"
+        );
+    }
+}
+
+/// Worker attempts that always panic exhaust the server's retry budget
+/// and come back `Failed`; the client's one local retry still delivers
+/// the correct rows.
+#[test]
+fn worker_panics_past_budget_fall_back_locally() {
+    with_plan(Some("7:serve.worker.execute=panic"), || {
+        let cells = grid(&[20, 21]);
+        let expected = expected_jsons(&cells);
+        let before = nomad_obs::resilience()
+            .rows()
+            .into_iter()
+            .find(|(n, _)| n == "resilience.local_fallbacks")
+            .expect("counter registered")
+            .1;
+        let handle = test_server(None);
+        let addr = handle.local_addr().to_string();
+        let reports = run_grid_via_jobs_with(&addr, cells, 2, &CancelToken::new(), &fast_cfg())
+            .expect("local fallback saves the grid");
+        handle.shutdown();
+        let got: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        assert_eq!(got, expected);
+        let after = nomad_obs::resilience()
+            .rows()
+            .into_iter()
+            .find(|(n, _)| n == "resilience.local_fallbacks")
+            .expect("counter registered")
+            .1;
+        assert!(after >= before + 2, "both cells ran locally");
+    });
+}
+
+/// A crash mid-spill leaves a torn `.json` in the cache directory; the
+/// next server start must skip it (not crash, not serve garbage) and
+/// re-run the job on resubmission.
+#[test]
+fn torn_cache_spill_is_skipped_on_reload() {
+    let dir = scratch_dir("torn-spill");
+    let cells = grid(&[30]);
+    let expected = expected_jsons(&cells);
+    let job = JobSpec::from_cell(&cells[0]);
+
+    with_plan(Some("9:serve.cache.spill=torn"), || {
+        let handle = test_server(Some(dir.clone()));
+        let addr = handle.local_addr().to_string();
+        let mut client = nomad_serve::Client::connect(&*addr).expect("connect");
+        match client.submit(&job).expect("submit") {
+            nomad_serve::proto::Response::Report { report, .. } => {
+                assert_eq!(report.to_json(), expected[0]);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        handle.shutdown();
+    });
+    // The spill was torn: whatever is on disk must not round-trip.
+    let spilled: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert!(!spilled.is_empty(), "torn spill still writes a file");
+
+    with_plan(None, || {
+        let handle = test_server(Some(dir.clone()));
+        let addr = handle.local_addr().to_string();
+        let mut client = nomad_serve::Client::connect(&*addr).expect("connect");
+        match client.submit(&job).expect("submit") {
+            nomad_serve::proto::Response::Report { cached, report } => {
+                assert!(!cached, "torn entry must not be reloaded as a hit");
+                assert_eq!(report.to_json(), expected[0], "re-run is byte-identical");
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        handle.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Injected reload failures make a *good* spill file invisible; the
+/// server starts clean and still answers correctly.
+#[test]
+fn injected_reload_failure_degrades_to_rerun() {
+    let dir = scratch_dir("reload");
+    let cells = grid(&[40]);
+    let expected = expected_jsons(&cells);
+    let job = JobSpec::from_cell(&cells[0]);
+
+    with_plan(None, || {
+        let handle = test_server(Some(dir.clone()));
+        let addr = handle.local_addr().to_string();
+        let mut client = nomad_serve::Client::connect(&*addr).expect("connect");
+        client.submit(&job).expect("seed the spill");
+        handle.shutdown();
+    });
+
+    with_plan(Some("5:serve.cache.reload=io"), || {
+        let handle = test_server(Some(dir.clone()));
+        let addr = handle.local_addr().to_string();
+        let mut client = nomad_serve::Client::connect(&*addr).expect("connect");
+        match client.submit(&job).expect("submit") {
+            nomad_serve::proto::Response::Report { cached, report } => {
+                assert!(!cached, "reload was skipped, so this is a fresh run");
+                assert_eq!(report.to_json(), expected[0]);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        handle.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Nothing listening at the address: the grid pays one reconnect
+/// budget, degrades, and every cell still comes back byte-identical
+/// from local execution.
+#[test]
+fn dead_server_degrades_to_local_execution() {
+    with_plan(None, || {
+        // Bind-then-drop guarantees the port is currently closed.
+        let dead_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let cells = grid(&[50, 51, 52]);
+        let expected = expected_jsons(&cells);
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(100),
+            reconnect_attempts: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..ClientConfig::default()
+        };
+        let reports = run_grid_via_jobs_with(&dead_addr, cells, 2, &CancelToken::new(), &cfg)
+            .expect("degraded grid still completes");
+        let got: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        assert_eq!(got, expected);
+        let fallbacks = nomad_obs::resilience()
+            .rows()
+            .into_iter()
+            .find(|(n, _)| n == "resilience.local_fallbacks")
+            .expect("counter registered")
+            .1;
+        assert!(fallbacks >= 3, "all three cells fell back locally");
+    });
+}

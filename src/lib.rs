@@ -19,6 +19,10 @@
 //! * [`sim`] — full-system assembly and the experiment runner.
 //! * [`serve`] — sharded simulation service: TCP job queue, worker
 //!   pool, content-addressed result cache.
+//! * [`obs`] — observability: metric registries, snapshot logs,
+//!   Chrome-trace export.
+//! * [`faults`] — seeded deterministic fault injection driving the
+//!   self-healing sweep stack (DESIGN.md §12).
 //!
 //! # Example
 //!
@@ -43,6 +47,8 @@ pub use nomad_core as core;
 pub use nomad_cpu as cpu;
 pub use nomad_dcache as dcache;
 pub use nomad_dram as dram;
+pub use nomad_faults as faults;
+pub use nomad_obs as obs;
 pub use nomad_serve as serve;
 pub use nomad_sim as sim;
 pub use nomad_trace as trace;
