@@ -176,13 +176,75 @@ pub fn sweep_via_service(
     rows
 }
 
-/// `sweep` locally, or via nomad-serve when `NOMAD_SERVE_ADDR` is
-/// set.
+/// Like [`sweep_via_service`], but shards the grid across a whole
+/// fleet of nomad-serve nodes via `nomad_fleet::run_grid_via_fleet`:
+/// each cell routes to its consistent-hash owner, any node's cache can
+/// answer it (probe before compute), idle workers steal from
+/// stragglers, and a dead node's arc fails over to the survivors (past
+/// the last node the cells degrade to in-process execution). Same
+/// oracle as every other path: rows come back byte-identical to the
+/// local sweep at any fleet size and any `scale.jobs`.
+pub fn sweep_via_fleet(
+    addrs: &[String],
+    scale: &Scale,
+    specs: &[SchemeSpec],
+    workloads: &[WorkloadProfile],
+) -> Vec<Row> {
+    let cells: Vec<nomad_sim::runner::Cell> = workloads
+        .iter()
+        .flat_map(|w| {
+            specs.iter().map(|spec| nomad_sim::runner::Cell {
+                cfg: scale.config(),
+                spec: spec.clone(),
+                profile: w.clone(),
+                instructions: scale.instructions,
+                warmup: scale.warmup,
+                seed: scale.seed,
+            })
+        })
+        .collect();
+    let reports =
+        match nomad_fleet::run_grid_via_fleet(addrs, cells, scale.jobs, par::sweep_token()) {
+            Ok(reports) => reports,
+            Err(e) if par::sweep_token().is_cancelled() => {
+                eprintln!("sweep cancelled during fleet submission ({e}); discarding partial grid");
+                std::process::exit(130);
+            }
+            Err(e) => panic!("grid submission to the fleet {addrs:?} failed: {e}"),
+        };
+    let mut rows = Vec::new();
+    let mut it = reports.iter();
+    for w in workloads {
+        for spec in specs {
+            let r = it.next().expect("one report per cell");
+            rows.push(Row::from_report(r, w.class.label()));
+            eprintln!(
+                "  [{}/{}] ipc {:.3} (via fleet)",
+                w.name,
+                spec.label(),
+                r.ipc()
+            );
+        }
+    }
+    rows
+}
+
+/// `sweep` locally; via a nomad-serve fleet when `NOMAD_FLEET_ADDRS`
+/// is set (comma/whitespace-separated addresses — the line the
+/// `nomad-fleet local N` coordinator prints); or via a single
+/// nomad-serve instance when only `NOMAD_SERVE_ADDR` is set. The fleet
+/// takes precedence over the single server.
 pub fn sweep_maybe_serviced(
     scale: &Scale,
     specs: &[SchemeSpec],
     workloads: &[WorkloadProfile],
 ) -> Vec<Row> {
+    if let Ok(raw) = std::env::var("NOMAD_FLEET_ADDRS") {
+        let addrs = nomad_fleet::parse_addrs(&raw);
+        if !addrs.is_empty() {
+            return sweep_via_fleet(&addrs, scale, specs, workloads);
+        }
+    }
     match std::env::var("NOMAD_SERVE_ADDR") {
         Ok(addr) if !addr.is_empty() => sweep_via_service(&addr, scale, specs, workloads),
         _ => sweep(scale, specs, workloads),

@@ -71,11 +71,13 @@ fn journal_dir() -> PathBuf {
         .join("journal")
 }
 
-/// The journal file path for grid `key`.
+/// The journal file path for grid `key`. The grid hash is the
+/// workspace content hash ([`nomad_types::hash::fnv1a`]) — the same
+/// function the serve cache and the fleet ring key on.
 pub fn journal_path(key: &str) -> PathBuf {
     journal_dir().join(format!(
         "{:016x}.jsonl",
-        nomad_faults::fnv1a(key.as_bytes())
+        nomad_types::hash::fnv1a(key.as_bytes())
     ))
 }
 

@@ -1,0 +1,69 @@
+//! nomad-fleet: a sharded multi-node serve tier over `nomad-serve`.
+//!
+//! One `nomad-serve` process turns sweeps into jobs against a single
+//! cache-backed worker pool; this crate coordinates **N** of them:
+//!
+//! * **Consistent-hash routing** ([`ring`]) — every cell's
+//!   content key places it on a 64-vnode hash ring over stable slot
+//!   labels, so placement is reproducible across runs and ephemeral
+//!   ports, and removing a node remaps only its arc.
+//! * **Shared cache reads** ([`router`]) — before computing, the
+//!   router probes every other node's content-addressed result cache
+//!   (`Probe`/`Fetch` protocol frames); a cell any node already
+//!   finished is fetched, not recomputed.
+//! * **Cross-node work stealing** — a worker whose home node's queue
+//!   ran dry re-dispatches the tail of the longest straggler queue to
+//!   its idle home node, safe because jobs are idempotent and
+//!   content-keyed.
+//! * **Membership and failover** ([`member`]) — per-node health from
+//!   heartbeats plus the per-node reconnect ladder; a dead node's arc
+//!   is reassigned to the survivors, and past the last node the
+//!   remaining cells degrade to in-process execution.
+//!
+//! The house oracle carries over from the serve tier: a grid run
+//! through [`run_grid_via_fleet`] produces **byte-identical**
+//! `RunReport`s at any fleet size, any `jobs` width, with or without
+//! injected faults (`fleet_parity` and the fleet chaos matrix hold
+//! this).
+//!
+//! Fault sites (see `nomad-faults`): `fleet.route` (placement falls
+//! back to the first alive node), `fleet.steal` (a steal attempt is
+//! abandoned), `fleet.member` (a heartbeat probe counts as missed).
+//! Fleet metrics are registered under `fleet.*` in `nomad-obs` and
+//! documented in `METRICS.md`.
+
+#![warn(missing_docs)]
+
+pub mod member;
+pub mod ring;
+pub mod router;
+
+pub use member::{FleetConfig, Membership};
+pub use ring::HashRing;
+pub use router::{run_grid_via_fleet, run_grid_via_fleet_with, FleetClient};
+
+/// Parse a fleet address list: comma- and/or whitespace-separated
+/// `host:port` entries, trimmed, empties dropped. This is the accepted
+/// syntax of `NOMAD_FLEET_ADDRS` and every `--addrs` flag.
+pub fn parse_addrs(raw: &str) -> Vec<String> {
+    raw.split([',', ' ', '\t', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_lists_accept_commas_and_whitespace() {
+        assert_eq!(
+            parse_addrs("127.0.0.1:1, 127.0.0.1:2 ,,\n127.0.0.1:3"),
+            vec!["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"]
+        );
+        assert!(parse_addrs("  ").is_empty());
+        assert!(parse_addrs("").is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Fleet membership: who is alive, who owns which arc, and when a
+//! node is declared dead.
+//!
+//! A [`Membership`] starts with every configured node alive and a
+//! [`HashRing`] over all slots. Health flows in
+//! from two sides — the router's per-node reconnect ladder (a node
+//! unreachable past the budget) and the heartbeat thread (consecutive
+//! failed pings past `heartbeat_misses`) — and both funnel into
+//! [`Membership::mark_dead`], which is idempotent per node: exactly
+//! one caller wins the CAS, counts one `fleet.failovers`, and rebuilds
+//! the ring from the survivors so the dead node's arc (and only that
+//! arc) is reassigned live. Nodes never resurrect within a run:
+//! membership is monotone, which keeps routing decisions from
+//! oscillating while a flaky node bounces.
+//!
+//! Fault site `fleet.route`: an injected fault at routing time skips
+//! the ring and falls back to the first alive node — simulating a
+//! corrupted placement decision, which the content-addressed jobs make
+//! harmless (any node computes the same bytes).
+
+use crate::ring::HashRing;
+use nomad_serve::ClientConfig;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tuning knobs for the fleet router, heartbeats and ring.
+///
+/// [`FleetConfig::from_env`] reads each fleet field from an
+/// environment variable (falling back to the default on unset or
+/// garbage) and the per-node transport budgets from the documented
+/// `NOMAD_SERVE_*` variables via [`ClientConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Virtual nodes per member on the hash ring
+    /// (`NOMAD_FLEET_VNODES`, default 64).
+    pub vnodes: usize,
+    /// Per-node transport and reconnect budgets (the PR-5 ladder,
+    /// applied per node instead of per server).
+    pub client: ClientConfig,
+    /// Heartbeat cadence (`NOMAD_FLEET_HB_MS`, default 200).
+    pub heartbeat_interval: Duration,
+    /// Consecutive heartbeat misses before a node is declared dead
+    /// (`NOMAD_FLEET_HB_MISSES`, default 2, clamped ≥ 1).
+    pub heartbeat_misses: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            vnodes: 64,
+            client: ClientConfig::default(),
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_misses: 2,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The defaults, overridden by any `NOMAD_FLEET_*` /
+    /// `NOMAD_SERVE_*` environment variables that are set and parse.
+    pub fn from_env() -> Self {
+        fn num(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        let mut cfg = FleetConfig {
+            client: ClientConfig::from_env(),
+            ..FleetConfig::default()
+        };
+        if let Some(v) = num("NOMAD_FLEET_VNODES") {
+            cfg.vnodes = (v.clamp(1, 4096)) as usize;
+        }
+        if let Some(v) = num("NOMAD_FLEET_HB_MS") {
+            cfg.heartbeat_interval = Duration::from_millis(v.max(1));
+        }
+        if let Some(v) = num("NOMAD_FLEET_HB_MISSES") {
+            cfg.heartbeat_misses = (v.clamp(1, u32::MAX as u64)) as u32;
+        }
+        cfg
+    }
+}
+
+/// One fleet member.
+struct Node {
+    addr: String,
+    alive: AtomicBool,
+    /// Consecutive heartbeat misses (reset by a successful ping).
+    hb_misses: AtomicU32,
+}
+
+/// The live membership view shared by router workers and the
+/// heartbeat thread.
+pub struct Membership {
+    nodes: Vec<Node>,
+    ring: Mutex<HashRing>,
+    alive_count: AtomicUsize,
+    vnodes: usize,
+}
+
+impl Membership {
+    /// All nodes alive, ring over every slot.
+    pub fn new(addrs: &[String], vnodes: usize) -> Self {
+        let nodes: Vec<Node> = addrs
+            .iter()
+            .map(|a| Node {
+                addr: a.clone(),
+                alive: AtomicBool::new(true),
+                hb_misses: AtomicU32::new(0),
+            })
+            .collect();
+        let slots: Vec<usize> = (0..nodes.len()).collect();
+        Membership {
+            alive_count: AtomicUsize::new(nodes.len()),
+            ring: Mutex::new(HashRing::new(&slots, vnodes)),
+            nodes,
+            vnodes,
+        }
+    }
+
+    /// Total configured nodes (alive or dead).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet was configured with no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The address of slot `idx`.
+    pub fn addr(&self, idx: usize) -> &str {
+        &self.nodes[idx].addr
+    }
+
+    /// Whether slot `idx` is still alive.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.nodes[idx].alive.load(Ordering::SeqCst)
+    }
+
+    /// Currently alive slot count.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count.load(Ordering::SeqCst)
+    }
+
+    /// Slots currently alive, in slot order.
+    pub fn alive_slots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.is_alive(i))
+            .collect()
+    }
+
+    /// The lowest alive slot, if any.
+    pub fn first_alive(&self) -> Option<usize> {
+        (0..self.nodes.len()).find(|&i| self.is_alive(i))
+    }
+
+    /// The slot owning content key `key`, per the ring over the alive
+    /// slots; `None` once every node is dead.
+    ///
+    /// Fault site `fleet.route`: an injected fault falls back to the
+    /// first alive node instead of consulting the ring.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if nomad_faults::inject("fleet.route").is_some() {
+            return self.first_alive();
+        }
+        self.ring.lock().expect("ring lock").route(key)
+    }
+
+    /// Declare slot `idx` dead and rebuild the ring from the
+    /// survivors, so only the dead node's arc is reassigned. Returns
+    /// `true` for exactly one caller per node (that caller counts the
+    /// `fleet.failovers` and re-routes the dead node's queue); later
+    /// callers see `false` and do nothing.
+    pub fn mark_dead(&self, idx: usize) -> bool {
+        if self.nodes[idx]
+            .alive
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        self.alive_count.fetch_sub(1, Ordering::SeqCst);
+        let slots = self.alive_slots();
+        *self.ring.lock().expect("ring lock") = HashRing::new(&slots, self.vnodes);
+        nomad_obs::fleet().failovers.inc();
+        true
+    }
+
+    /// Record one failed heartbeat for slot `idx`; returns `true` when
+    /// the consecutive-miss threshold is reached (the caller then
+    /// fails the node over).
+    pub fn heartbeat_miss(&self, idx: usize, threshold: u32) -> bool {
+        nomad_obs::fleet().heartbeat_misses.inc();
+        let misses = self.nodes[idx].hb_misses.fetch_add(1, Ordering::SeqCst) + 1;
+        misses >= threshold.max(1)
+    }
+
+    /// Record a successful heartbeat for slot `idx` (resets the
+    /// consecutive-miss counter).
+    pub fn heartbeat_ok(&self, idx: usize) {
+        self.nodes[idx].hb_misses.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: usize) -> Membership {
+        let addrs: Vec<String> = (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        Membership::new(&addrs, 64)
+    }
+
+    #[test]
+    fn death_is_monotone_and_counted_once() {
+        let m = members(3);
+        assert_eq!(m.alive_count(), 3);
+        let before = nomad_obs::fleet().value("fleet.failovers").expect("row");
+        assert!(m.mark_dead(1), "first caller wins");
+        assert!(!m.mark_dead(1), "second caller loses");
+        assert_eq!(m.alive_count(), 2);
+        assert!(!m.is_alive(1));
+        assert_eq!(m.alive_slots(), vec![0, 2]);
+        let after = nomad_obs::fleet().value("fleet.failovers").expect("row");
+        assert_eq!(after, before + 1, "one failover per node death");
+    }
+
+    #[test]
+    fn routing_skips_dead_arcs_and_survives_to_the_last_node() {
+        let m = members(3);
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| nomad_types::hash::fnv1a(format!("k{i}").as_bytes()))
+            .collect();
+        m.mark_dead(0);
+        for &k in &keys {
+            let slot = m.route(k).expect("nodes remain");
+            assert_ne!(slot, 0, "dead slot must not own keys");
+        }
+        m.mark_dead(2);
+        for &k in &keys {
+            assert_eq!(m.route(k), Some(1), "last node owns everything");
+        }
+        m.mark_dead(1);
+        assert_eq!(m.route(keys[0]), None, "empty fleet routes nowhere");
+        assert_eq!(m.first_alive(), None);
+    }
+
+    #[test]
+    fn heartbeat_misses_accumulate_and_reset() {
+        let m = members(2);
+        assert!(!m.heartbeat_miss(0, 2), "one miss is not death");
+        m.heartbeat_ok(0);
+        assert!(!m.heartbeat_miss(0, 2), "reset counter starts over");
+        assert!(m.heartbeat_miss(0, 2), "two consecutive misses hit");
+    }
+}

@@ -1,0 +1,160 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Each member slot contributes `vnodes` points to the ring, placed at
+//! `splitmix64(fnv1a("node-<slot>#<v>"))` — the workspace content hash
+//! over a **stable slot label** (not the node's socket address), passed
+//! through the SplitMix64 finalizer because raw FNV-1a of short labels
+//! clusters in the high bits and would leave one slot owning most of
+//! the circle. Two consequences:
+//!
+//! * **Placement is reproducible.** A three-node fleet routes a given
+//!   content key to the same slot on every run, regardless of which
+//!   ephemeral ports the nodes bound — tests can precompute placement,
+//!   and a restarted fleet of the same size keeps its arcs.
+//! * **Removal only remaps the removed arc.** Dropping a slot deletes
+//!   its points; keys that hashed to surviving slots still land on the
+//!   same points, so only the dead node's share of the keyspace moves
+//!   (the `removal_only_remaps_the_removed_arc` test holds this).
+//!
+//! A key routes to the slot owning the first ring point at or after
+//! the key's own hash position, wrapping at the top of the `u64`
+//! circle.
+
+use nomad_faults::splitmix64;
+use nomad_types::hash::fnv1a;
+
+/// Ring position of virtual node `v` of member `slot`.
+fn point(slot: usize, v: usize) -> u64 {
+    splitmix64(fnv1a(format!("node-{slot}#{v}").as_bytes()))
+}
+
+/// An immutable ring over a set of member slots. Rebuilt (cheaply)
+/// from the surviving slots when membership changes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, slot)` sorted by point; ties broken by slot so the
+    /// ring is deterministic even across point collisions.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Build a ring over `slots`, each contributing `vnodes` points
+    /// (clamped ≥ 1).
+    pub fn new(slots: &[usize], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points: Vec<(u64, usize)> = slots
+            .iter()
+            .flat_map(|&slot| (0..vnodes).map(move |v| (point(slot, v), slot)))
+            .collect();
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The slot owning `key`: the first point clockwise at or after
+    /// the key's position, wrapping around the top. `None` on an empty
+    /// ring.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        Some(if i == self.points.len() {
+            self.points[0].1
+        } else {
+            self.points[i].1
+        })
+    }
+
+    /// Number of ring points (slots × vnodes).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (no live members).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<u64> {
+        (0..2000u64)
+            .map(|i| fnv1a(format!("cell-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(&[0, 1, 2], 64);
+        let again = HashRing::new(&[0, 1, 2], 64);
+        for k in keys() {
+            let slot = ring.route(k).expect("non-empty ring routes");
+            assert_eq!(again.route(k), Some(slot));
+            assert!(slot < 3);
+        }
+    }
+
+    /// The consistent-hashing contract: removing one slot moves only
+    /// the keys that slot owned; every other key keeps its owner.
+    #[test]
+    fn removal_only_remaps_the_removed_arc() {
+        let full = HashRing::new(&[0, 1, 2, 3], 64);
+        let reduced = HashRing::new(&[0, 1, 3], 64);
+        let mut moved = 0usize;
+        let keys = keys();
+        for &k in &keys {
+            let before = full.route(k).expect("route");
+            let after = reduced.route(k).expect("route");
+            if before == 2 {
+                assert_ne!(after, 2, "dead slot must not own keys");
+                moved += 1;
+            } else {
+                assert_eq!(after, before, "surviving arcs must not move");
+            }
+        }
+        assert!(moved > 0, "slot 2 owned some arc of the test keys");
+    }
+
+    /// Virtual nodes keep the split rough-but-reasonable: with 64
+    /// vnodes per slot no member of a 4-node ring owns more than ~2×
+    /// its fair share of a few thousand keys.
+    #[test]
+    fn vnodes_spread_the_keyspace() {
+        let ring = HashRing::new(&[0, 1, 2, 3], 64);
+        let mut counts = [0usize; 4];
+        let keys = keys();
+        for &k in &keys {
+            counts[ring.route(k).expect("route")] += 1;
+        }
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "slot {slot} owns nothing");
+            assert!(
+                c < keys.len() / 2,
+                "slot {slot} owns {c}/{} keys — vnodes not spreading",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+    }
+
+    /// Ring points use stable slot labels, not addresses: the label
+    /// digests are pinned in nomad-types, and the finalized point
+    /// positions are pinned here — so placement can never drift
+    /// silently between releases.
+    #[test]
+    fn points_are_the_pinned_label_digests() {
+        assert_eq!(fnv1a(b"node-0#0"), 0x013a_67d2_f646_5dfb);
+        assert_eq!(fnv1a(b"node-1#63"), 0xc8b2_8380_b268_ac23);
+        assert_eq!(point(0, 0), 0x3fc1_0291_7393_5c23);
+        assert_eq!(point(1, 63), 0x049b_e7c0_434a_84e5);
+    }
+}

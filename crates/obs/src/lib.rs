@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fleet;
 pub mod json;
 pub mod metric;
 pub mod registry;
@@ -52,6 +53,7 @@ pub mod resilience;
 pub mod ring;
 pub mod trace;
 
+pub use fleet::{fleet, Fleet};
 pub use metric::{Counter, Gauge, Histo};
 pub use registry::{MetricDesc, MetricKind, Registry, Snapshot, SnapshotLog};
 pub use resilience::{resilience, Resilience};

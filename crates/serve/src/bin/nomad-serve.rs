@@ -1,14 +1,24 @@
 //! The nomad-serve daemon.
 //!
 //! ```text
-//! nomad-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! nomad-serve [--addr HOST:PORT] [--port N] [--workers N] [--queue N]
 //!             [--timeout-ms N] [--retries N]
 //!             [--cache-dir PATH | --no-cache-dir]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7979`), prints the bound address, and
-//! serves until a client sends `"Shutdown"`. Completed results are
-//! spilled to `results/cache/` by default (override with
+//! serves until a client sends `"Shutdown"`. `--port N` overrides just
+//! the port of the bind address; `--port 0` asks the OS for an
+//! ephemeral port. Whatever was bound, the first stdout line is
+//! machine-parseable —
+//!
+//! ```text
+//! NOMAD_SERVE_ADDR=127.0.0.1:41231
+//! ```
+//!
+//! — so scripts (and the fleet harnesses) can launch a server on
+//! `--port 0` and scrape the address they should export. Completed
+//! results are spilled to `results/cache/` by default (override with
 //! `--cache-dir`, disable with `--no-cache-dir`) so a restarted
 //! daemon keeps serving hits for experiments it already ran.
 //!
@@ -33,6 +43,11 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => cfg.addr = value("--addr"),
+            "--port" => {
+                let port: u16 = parse(&value("--port"), "--port");
+                let host = cfg.addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+                cfg.addr = format!("{host}:{port}");
+            }
             "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
             "--queue" => cfg.queue_capacity = parse(&value("--queue"), "--queue"),
             "--timeout-ms" => {
@@ -44,7 +59,7 @@ fn main() {
             "--no-cache-dir" => cfg.cache_dir = None,
             "--help" | "-h" => {
                 println!(
-                    "usage: nomad-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                    "usage: nomad-serve [--addr HOST:PORT] [--port N] [--workers N] [--queue N] \
                      [--timeout-ms N] [--retries N] [--cache-dir PATH | --no-cache-dir]"
                 );
                 return;
@@ -58,7 +73,10 @@ fn main() {
         Ok(h) => h,
         Err(e) => die(&format!("bind failed: {e}")),
     };
-    println!(
+    // Machine-parseable first: scripts launching `--port 0` scrape
+    // this line to learn the ephemeral address.
+    println!("NOMAD_SERVE_ADDR={}", handle.local_addr());
+    eprintln!(
         "nomad-serve listening on {} ({} workers)",
         handle.local_addr(),
         workers

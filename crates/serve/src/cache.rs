@@ -257,6 +257,23 @@ impl ResultCache {
         }
     }
 
+    /// A pure read for the `Probe`/`Fetch` protocol frames: the
+    /// completed report cached under this `(key, canonical)` identity,
+    /// or `None` (in-flight jobs are `None` too — a probe never
+    /// blocks). Unlike [`claim`](Self::claim) this touches neither
+    /// the hit/miss counters nor the map shape, so fleet probes do not
+    /// skew a node's submission statistics.
+    pub fn lookup(&self, key: u64, canonical: &str) -> Option<Arc<RunReport>> {
+        let map = self.map.lock().expect("cache lock");
+        match map.get(&key) {
+            Some(Slot::Ready {
+                canonical: c,
+                report,
+            }) if c == canonical => Some(Arc::clone(report)),
+            _ => None,
+        }
+    }
+
     /// Resolve the in-flight slot for `key`: successes become cached
     /// entries, failures are forgotten (retried on next submission).
     /// Waiters are woken either way.

@@ -191,6 +191,33 @@ impl Client {
         Ok(last.expect("at least one attempt"))
     }
 
+    /// Ask whether the server's cache holds a completed result for
+    /// this `(key, canonical)` identity. A pure read — never executes
+    /// or coalesces (see [`Request::Probe`]).
+    pub fn probe(&mut self, key: u64, canonical: &str) -> io::Result<bool> {
+        match self.request(&Request::Probe {
+            key,
+            canonical: canonical.to_string(),
+        })? {
+            Response::ProbeResult { hit } => Ok(hit),
+            other => Err(unexpected("ProbeResult", &other)),
+        }
+    }
+
+    /// Fetch the cached report for this `(key, canonical)` identity
+    /// without executing anything; `Ok(None)` when the server has no
+    /// completed entry (see [`Request::Fetch`]).
+    pub fn fetch(&mut self, key: u64, canonical: &str) -> io::Result<Option<RunReport>> {
+        match self.request(&Request::Fetch {
+            key,
+            canonical: canonical.to_string(),
+        })? {
+            Response::Report { report, .. } => Ok(Some(report)),
+            Response::NotCached => Ok(None),
+            other => Err(unexpected("Report or NotCached", &other)),
+        }
+    }
+
     /// Fetch service statistics.
     pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
         match self.request(&Request::Stats)? {

@@ -1,40 +1,25 @@
 //! Stable content hashing for cache keys.
 //!
-//! FNV-1a over the canonical JSON encoding of a job. FNV is not
-//! cryptographic — the cache stores the canonical string alongside the
-//! key and verifies it on every lookup, so a 64-bit collision degrades
-//! to a cache bypass, never to a wrong result.
+//! Re-exported from [`nomad_types::hash`] — the serve result cache,
+//! the bench journal's grid hash and the fleet router's hash ring all
+//! key off the *same* FNV-1a 64 function, so "the same experiment"
+//! means the same digest in every layer. FNV is not cryptographic —
+//! the cache stores the canonical string alongside the key and
+//! verifies it on every lookup, so a 64-bit collision degrades to a
+//! cache bypass, never to a wrong result.
 
-/// FNV-1a 64-bit offset basis.
-pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a 64-bit hash of `bytes`.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+pub use nomad_types::hash::{fnv1a, FNV_OFFSET, FNV_PRIME};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The serve cache's keys are nomad-types' digests, bit for bit
+    /// (spill files on disk are named by them).
     #[test]
-    fn known_vectors() {
-        // Reference values for the standard FNV-1a 64 test strings.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
-    }
-
-    #[test]
-    fn sensitive_to_every_byte() {
-        assert_ne!(fnv1a(b"job-1"), fnv1a(b"job-2"));
-        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    fn reexport_is_the_workspace_hash() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(FNV_PRIME, 0x0000_0100_0000_01b3);
     }
 }

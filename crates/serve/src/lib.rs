@@ -18,7 +18,11 @@
 //!   job cannot take the service down.
 //! * **Result cache** ([`cache`]) — content-addressed by the FNV-1a 64
 //!   hash of the job's canonical JSON, with single-flight coalescing:
-//!   identical concurrent submissions ride on one execution.
+//!   identical concurrent submissions ride on one execution. The
+//!   `Probe`/`Fetch` protocol frames expose it read-only over the
+//!   wire, so a fleet router (`nomad-fleet`) can treat every node's
+//!   cache as one shared tier — any node can answer any previously
+//!   computed cell regardless of ring placement.
 //! * **Stats** ([`stats`], `Request::Stats`) — queue depth, cache hit
 //!   rate, per-worker utilization, p50/p99 job latency. Backed by a
 //!   [`nomad_obs::Registry`], so responses carry the same `serve.*`

@@ -104,6 +104,29 @@ impl JobSpec {
 pub enum Request {
     /// Run (or fetch the cached result of) one job.
     Submit(JobSpec),
+    /// Does this node's cache hold a completed result for the job
+    /// with this `(key, canonical)` identity? A pure read: never
+    /// executes, never coalesces, never perturbs the hit/miss
+    /// counters. The fleet router uses this to find which node can
+    /// answer a cell before asking any node to compute it.
+    Probe {
+        /// FNV-1a 64 of the canonical JSON ([`JobSpec::content_key`]).
+        key: u64,
+        /// The canonical JSON itself, verified against the cached
+        /// entry so a 64-bit collision reads as a miss, never as a
+        /// wrong report.
+        canonical: String,
+    },
+    /// Return the cached report for this `(key, canonical)` identity
+    /// without executing anything: `Report { cached: true, .. }` on a
+    /// hit, [`Response::NotCached`] otherwise (in-flight jobs also
+    /// answer `NotCached` — a fetch never blocks).
+    Fetch {
+        /// FNV-1a 64 of the canonical JSON.
+        key: u64,
+        /// The canonical JSON, verified like in `Probe`.
+        canonical: String,
+    },
     /// Report service statistics.
     Stats,
     /// Liveness check.
@@ -138,6 +161,15 @@ pub enum Response {
         /// Execution attempts consumed (0 if the job never started).
         attempts: u32,
     },
+    /// Answer to a [`Request::Probe`].
+    ProbeResult {
+        /// Whether a completed, identity-verified result is cached.
+        hit: bool,
+    },
+    /// Answer to a [`Request::Fetch`] whose identity is not in the
+    /// cache (or still in flight): the caller should compute the job
+    /// elsewhere — a fetch never triggers execution.
+    NotCached,
     /// Service statistics.
     Stats(StatsSnapshot),
     /// Liveness reply.
@@ -273,6 +305,14 @@ mod tests {
     fn requests_round_trip_the_wire() {
         let reqs = vec![
             Request::Submit(demo_job()),
+            Request::Probe {
+                key: demo_job().content_key(),
+                canonical: demo_job().canonical_json(),
+            },
+            Request::Fetch {
+                key: demo_job().content_key(),
+                canonical: demo_job().canonical_json(),
+            },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -299,6 +339,9 @@ mod tests {
                 error: "panicked: boom".into(),
                 attempts: 3,
             },
+            Response::ProbeResult { hit: true },
+            Response::ProbeResult { hit: false },
+            Response::NotCached,
             Response::Pong,
             Response::ShuttingDown,
             Response::Error("bad request".into()),

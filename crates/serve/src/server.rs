@@ -252,6 +252,16 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
         };
         let response = match request {
             Request::Submit(spec) => handle_submit(spec, &shared),
+            Request::Probe { key, canonical } => Response::ProbeResult {
+                hit: shared.cache.lookup(key, &canonical).is_some(),
+            },
+            Request::Fetch { key, canonical } => match shared.cache.lookup(key, &canonical) {
+                Some(report) => Response::Report {
+                    cached: true,
+                    report: (*report).clone(),
+                },
+                None => Response::NotCached,
+            },
             Request::Stats => Response::Stats(shared.snapshot()),
             Request::Ping => Response::Pong,
             Request::Shutdown => {

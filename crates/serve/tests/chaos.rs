@@ -300,3 +300,243 @@ fn dead_server_degrades_to_local_execution() {
         assert!(fallbacks >= 3, "all three cells fell back locally");
     });
 }
+
+// ---------------------------------------------------------------------------
+// Fleet chaos matrix: the same oracle — byte-identical recovery under a
+// seeded plan — with the grid sharded across several nodes by the
+// nomad-fleet router.
+// ---------------------------------------------------------------------------
+
+/// A pool of live test nodes plus their addresses.
+fn test_fleet(n: usize) -> (Vec<nomad_serve::ServerHandle>, Vec<String>) {
+    let handles: Vec<_> = (0..n).map(|_| test_server(None)).collect();
+    let addrs = handles.iter().map(|h| h.local_addr().to_string()).collect();
+    (handles, addrs)
+}
+
+/// Fast fleet budgets: the chaos ladder from [`fast_cfg`] per node,
+/// plus a tight heartbeat so failover detection costs milliseconds.
+fn fast_fleet_cfg() -> nomad_fleet::FleetConfig {
+    nomad_fleet::FleetConfig {
+        client: fast_cfg(),
+        heartbeat_interval: Duration::from_millis(5),
+        heartbeat_misses: 1,
+        ..nomad_fleet::FleetConfig::default()
+    }
+}
+
+fn fleet_metric(name: &str) -> u64 {
+    nomad_obs::fleet()
+        .value(name)
+        .expect("fleet metric registered")
+}
+
+/// The ring owner of each cell under an all-alive fleet of `n` nodes —
+/// placement is a pure function of stable slot labels, so tests can
+/// assert which node owns what before ever starting a server.
+fn owners(cells: &[Cell], n: usize) -> Vec<usize> {
+    let slots: Vec<usize> = (0..n).collect();
+    let ring = nomad_fleet::HashRing::new(&slots, nomad_fleet::FleetConfig::default().vnodes);
+    cells
+        .iter()
+        .map(|c| {
+            ring.route(JobSpec::from_cell(c).content_key())
+                .expect("route")
+        })
+        .collect()
+}
+
+/// A node dead before the sweep even starts: the router's per-node
+/// ladder declares it dead, its arc reassigns to the survivors, and
+/// the grid completes byte-identical — with the failover observable.
+#[test]
+fn fleet_dead_node_arc_reassigned() {
+    with_plan(None, || {
+        let cells = grid(&[60, 100, 110, 130, 150, 40]);
+        let expected = expected_jsons(&cells);
+        // Deterministic placement guard: the node we kill must own at
+        // least one cell, or the test would prove nothing.
+        assert!(
+            owners(&cells, 3).contains(&1),
+            "seed choice: node 1 must own part of this grid"
+        );
+        let (mut handles, addrs) = test_fleet(3);
+        handles.remove(1).shutdown();
+        let failovers_before = fleet_metric("fleet.failovers");
+        let cfg = nomad_fleet::FleetConfig {
+            client: ClientConfig {
+                reconnect_attempts: 2,
+                ..fast_cfg()
+            },
+            ..fast_fleet_cfg()
+        };
+        let reports =
+            nomad_fleet::run_grid_via_fleet_with(&addrs, cells, 3, &CancelToken::new(), cfg)
+                .expect("failover saves the grid");
+        let got: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        assert_eq!(got, expected, "failover must be byte-identical");
+        assert!(
+            fleet_metric("fleet.failovers") > failovers_before,
+            "the dead node's arc was reassigned exactly through mark_dead"
+        );
+        for h in handles {
+            h.shutdown();
+        }
+    });
+}
+
+/// A node killed *mid-sweep* (after it completed at least one job):
+/// heartbeats and the ladder race to declare it dead, its remaining
+/// cells re-route, and the rows still come back byte-identical.
+#[test]
+fn fleet_mid_sweep_node_kill_fails_over() {
+    with_plan(None, || {
+        let cells = grid(&[70, 100, 110, 130, 150, 90, 20, 160]);
+        let expected = expected_jsons(&cells);
+        assert!(
+            owners(&cells, 3).iter().filter(|&&o| o == 1).count() >= 2,
+            "seed choice: node 1 must own at least two cells so some are \
+             still pending when it dies"
+        );
+        let (mut handles, addrs) = test_fleet(3);
+        let failovers_before = fleet_metric("fleet.failovers");
+        let victim = handles.remove(1);
+        let victim_stats = victim.stats();
+        std::thread::scope(|scope| {
+            // Killer: wait for the victim to finish one job, then pull
+            // the plug under the rest of the sweep (bounded wait, so a
+            // starved victim cannot deadlock the test).
+            scope.spawn(move || {
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                while victim_stats.completed.get() == 0 && std::time::Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                victim.shutdown();
+            });
+            let reports = nomad_fleet::run_grid_via_fleet_with(
+                &addrs,
+                cells,
+                2,
+                &CancelToken::new(),
+                fast_fleet_cfg(),
+            )
+            .expect("mid-sweep failover saves the grid");
+            let got: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+            assert_eq!(got, expected, "mid-sweep failover must be byte-identical");
+        });
+        assert!(
+            fleet_metric("fleet.failovers") > failovers_before,
+            "killing a node mid-sweep must register a failover"
+        );
+        for h in handles {
+            h.shutdown();
+        }
+    });
+}
+
+/// Torn/failing protocol frames under a two-node fleet: probes error
+/// out (treated as cache misses, never as node deaths), submissions
+/// ride the reconnect ladder, and the grid recovers byte-identical.
+#[test]
+fn fleet_torn_probe_frames_recover_byte_identical() {
+    let cells = grid(&[80, 81, 50, 51]);
+    let expected = expected_jsons(&cells);
+    let got = with_plan(
+        Some("21:serve.proto.write_frame=torn@0.15,serve.proto.read_frame=io@0.1"),
+        || {
+            let (handles, addrs) = test_fleet(2);
+            let cfg = nomad_fleet::FleetConfig {
+                // Keep the heartbeat out of the torn-frame blast radius:
+                // this test is about probe/submit recovery, not spurious
+                // heartbeat deaths (those are fine, just a different test).
+                heartbeat_interval: Duration::from_millis(200),
+                heartbeat_misses: 8,
+                client: fast_cfg(),
+                ..nomad_fleet::FleetConfig::default()
+            };
+            let reports =
+                nomad_fleet::run_grid_via_fleet_with(&addrs, cells, 2, &CancelToken::new(), cfg)
+                    .expect("torn frames recover");
+            for h in handles {
+                h.shutdown();
+            }
+            reports.iter().map(|r| r.to_json()).collect::<Vec<_>>()
+        },
+    );
+    assert_eq!(
+        got, expected,
+        "torn fleet frames must recover byte-identical"
+    );
+    assert!(
+        nomad_faults::injected_total() > 0,
+        "the plan must have fired"
+    );
+}
+
+/// Faults at the fleet's own sites — corrupted routing decisions and
+/// abandoned steal attempts — are harmless by construction (jobs are
+/// content-addressed; any node computes the same bytes), and the rows
+/// prove it.
+#[test]
+fn fleet_route_and_steal_faults_stay_byte_identical() {
+    let cells = grid(&[90, 91, 100, 101, 160, 161]);
+    let expected = expected_jsons(&cells);
+    let got = with_plan(Some("33:fleet.route=io@0.5,fleet.steal=io@0.5"), || {
+        let (handles, addrs) = test_fleet(3);
+        let reports = nomad_fleet::run_grid_via_fleet_with(
+            &addrs,
+            cells,
+            4,
+            &CancelToken::new(),
+            fast_fleet_cfg(),
+        )
+        .expect("fleet-site faults are harmless");
+        for h in handles {
+            h.shutdown();
+        }
+        reports.iter().map(|r| r.to_json()).collect::<Vec<_>>()
+    });
+    assert_eq!(got, expected, "fleet-site faults must not change the rows");
+    assert!(
+        nomad_faults::injected_total() > 0,
+        "the plan must have fired"
+    );
+}
+
+/// Injected heartbeat misses (`fleet.member`) past the threshold kill
+/// a perfectly healthy node: its arc reassigns, the grid survives, and
+/// both the misses and the failover are observable.
+#[test]
+fn fleet_injected_heartbeat_misses_fail_over() {
+    let cells = grid(&[100, 101, 0, 1]);
+    let expected = expected_jsons(&cells);
+    let misses_before = fleet_metric("fleet.heartbeat_misses");
+    let failovers_before = fleet_metric("fleet.failovers");
+    let got = with_plan(Some("11:fleet.member=io"), || {
+        let (handles, addrs) = test_fleet(2);
+        let reports = nomad_fleet::run_grid_via_fleet_with(
+            &addrs,
+            cells,
+            2,
+            &CancelToken::new(),
+            fast_fleet_cfg(),
+        )
+        .expect("injected member faults are survivable");
+        for h in handles {
+            h.shutdown();
+        }
+        reports.iter().map(|r| r.to_json()).collect::<Vec<_>>()
+    });
+    assert_eq!(
+        got, expected,
+        "heartbeat-driven failover must be byte-identical"
+    );
+    assert!(
+        fleet_metric("fleet.heartbeat_misses") > misses_before,
+        "injected member faults must register as missed heartbeats"
+    );
+    assert!(
+        fleet_metric("fleet.failovers") >= failovers_before,
+        "failover count never regresses"
+    );
+}

@@ -10,6 +10,9 @@
 //!   [`req::MemResp`], [`req::AccessKind`], [`req::TrafficClass`]).
 //! * **Statistics** — counters, running means and latency histograms used
 //!   for every metric the paper reports ([`stats`]).
+//! * **Content hashing** — the FNV-1a 64 function every
+//!   content-addressed identity in the workspace derives from: serve
+//!   cache keys, journal grid hashes, fleet ring placement ([`hash`]).
 //!
 //! The geometry constants ([`PAGE_SIZE`], [`BLOCK_SIZE`],
 //! [`SUB_BLOCKS_PER_PAGE`]) mirror the paper's configuration: 4 KiB pages
@@ -21,11 +24,13 @@
 
 pub mod addr;
 pub mod event;
+pub mod hash;
 pub mod req;
 pub mod stats;
 
 pub use addr::{BlockAddr, CacheAddr, Cfn, PageOffset, Pfn, PhysAddr, SubBlockIdx, VirtAddr, Vpn};
 pub use event::{CancelToken, NextActivity};
+pub use hash::fnv1a;
 pub use req::{AccessKind, MemLevel, MemReq, MemResp, MemTarget, ReqId, TrafficClass};
 
 /// Simulation time, measured in CPU clock cycles.

@@ -19,6 +19,8 @@
 //! * [`sim`] — full-system assembly and the experiment runner.
 //! * [`serve`] — sharded simulation service: TCP job queue, worker
 //!   pool, content-addressed result cache.
+//! * [`fleet`] — multi-node serve tier: consistent-hash routing,
+//!   shared cache reads, work stealing, node failover.
 //! * [`obs`] — observability: metric registries, snapshot logs,
 //!   Chrome-trace export.
 //! * [`faults`] — seeded deterministic fault injection driving the
@@ -48,6 +50,7 @@ pub use nomad_cpu as cpu;
 pub use nomad_dcache as dcache;
 pub use nomad_dram as dram;
 pub use nomad_faults as faults;
+pub use nomad_fleet as fleet;
 pub use nomad_obs as obs;
 pub use nomad_serve as serve;
 pub use nomad_sim as sim;
