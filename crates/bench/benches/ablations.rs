@@ -88,6 +88,7 @@ fn ablate_fifo(scale: &Scale, out: &mut Vec<Ablation>) {
             SyntheticTrace::with_scale(&w, scale_v.seed, cfg.pages_per_gb, cfg.l3_reach_pages());
         let mut fifo = CacheFrames::new(frames);
         let mut fifo_map = std::collections::HashMap::new();
+        let mut fifo_victims = Vec::new();
         let mut lru = CacheArray::new((frames / 16).next_power_of_two(), 16);
         let (mut fifo_miss, mut lru_miss, mut total) = (0u64, 0u64, 0u64);
         for i in 0..scale_v.instructions * 8 {
@@ -103,7 +104,9 @@ fn ablate_fifo(scale: &Scale, out: &mut Vec<Ablation>) {
             if !fifo_map.contains_key(&page) {
                 fifo_miss += 1;
                 if fifo.num_free() == 0 {
-                    for e in fifo.evict_batch(64) {
+                    fifo_victims.clear();
+                    fifo.evict_batch_into(64, &mut fifo_victims);
+                    for e in &fifo_victims {
                         fifo_map.retain(|_, v| *v != e.cfn);
                     }
                 }

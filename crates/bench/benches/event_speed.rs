@@ -22,13 +22,13 @@
 // the best time kept, to shed scheduler/frequency noise); one core,
 // the 4 MiB DRAM-cache configuration the parity suite uses.
 
-use nomad_bench::save_json;
+use nomad_bench::{load_json, save_json};
 use nomad_sim::{SchemeSpec, System, SystemConfig};
 use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Row {
     workload: String,
     scheme: String,
@@ -173,6 +173,28 @@ fn main() {
             event_cycles_per_sec: event_cps,
             speedup: dense_secs / event_secs,
         });
+    }
+    // Report-only comparison against the committed baseline artifact
+    // (if any): wall-clock numbers are host-dependent, so the delta is
+    // informational, never a gate.
+    if let Some(baseline) = load_json::<Vec<Row>>("event_speed") {
+        println!("\ncycles/sec vs committed results/event_speed.json (event kernel):");
+        for row in &rows {
+            let Some(base) = baseline
+                .iter()
+                .find(|b| b.workload == row.workload && b.scheme == row.scheme)
+            else {
+                continue;
+            };
+            println!(
+                "  {:<10} {:<10} {:>12.0} -> {:>12.0}  ({:+.1}%)",
+                row.scheme,
+                row.workload,
+                base.event_cycles_per_sec,
+                row.event_cycles_per_sec,
+                (row.event_cycles_per_sec / base.event_cycles_per_sec - 1.0) * 100.0
+            );
+        }
     }
     save_json("event_speed", &rows);
 }

@@ -19,13 +19,13 @@
 // `NOMAD_JOBS` (parallel-mode worker count; default: available
 // parallelism).
 
-use nomad_bench::{figs, par, save_json, Scale};
+use nomad_bench::{figs, load_json, par, save_json, Scale};
 use nomad_sim::SchemeSpec;
 use nomad_trace::WorkloadProfile;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct SweepSpeed {
     cells: usize,
     sim_cores: usize,
@@ -129,6 +129,26 @@ fn main() {
         cells as f64 / par_secs
     );
     println!("speedup: {speedup:.2}x (rows byte-identical)");
+
+    // Report-only comparison against the committed baseline artifact
+    // (if any). Wall-clock and host-dependent; informational only.
+    if let Some(base) = load_json::<SweepSpeed>("sweep_speed") {
+        if base.cells == cells && base.instructions == scale.instructions {
+            let base_cps = base.cells as f64 / base.par_secs;
+            let cps = cells as f64 / par_secs;
+            println!(
+                "cells/sec vs committed results/sweep_speed.json (parallel): \
+                 {base_cps:.2} -> {cps:.2} ({:+.1}%)",
+                (cps / base_cps - 1.0) * 100.0
+            );
+        } else {
+            println!(
+                "committed results/sweep_speed.json ran a different scale \
+                 ({} cells, {} instr); skipping the delta",
+                base.cells, base.instructions
+            );
+        }
+    }
 
     save_json(
         "sweep_speed",

@@ -1,0 +1,6 @@
+//! Binary mirror of the `hot_profile` bench target:
+//! `cargo run --release -p nomad-bench --bin hot_profile`.
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/benches/hot_profile.rs"
+));

@@ -280,6 +280,22 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Read a JSON artifact previously saved under `results/` (same root
+/// anchoring as [`save_json`]): the committed baseline a speed harness
+/// reports deltas against. `None` when the file is missing or does not
+/// parse as `T` — callers treat that as "no baseline" and skip the
+/// comparison.
+pub fn load_json<T: serde::Deserialize>(name: &str) -> Option<T> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let path = root.join("results").join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
 /// Geometric mean of an iterator of positive values (the paper reports
 /// IPC improvements as averages across workloads).
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {

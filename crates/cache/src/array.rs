@@ -4,6 +4,11 @@
 //! `u64` block keys so that the same array can index physical-space
 //! blocks, cache-space blocks (with an address-space discriminator bit
 //! folded into the key) or the DC tag store of a HW-based scheme.
+//!
+//! Set/tag decomposition is precomputed as a [`Pow2`] at construction,
+//! so the per-access index math is pure shift-and-mask.
+
+use nomad_types::Pow2;
 
 /// A victim line evicted by [`CacheArray::insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +34,9 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     ways: Vec<Way>,
-    num_sets: usize,
+    /// Set count as shift-and-mask: `sets.rem(key)` is the set index,
+    /// `sets.div(key)` the tag.
+    sets: Pow2,
     assoc: usize,
     stamp: u64,
 }
@@ -41,11 +48,11 @@ impl CacheArray {
     ///
     /// Panics if `num_sets` is not a power of two or `assoc == 0`.
     pub fn new(num_sets: usize, assoc: usize) -> Self {
-        assert!(num_sets.is_power_of_two(), "sets must be a power of two");
+        let sets = Pow2::new(num_sets as u64).expect("sets must be a power of two");
         assert!(assoc > 0, "associativity must be non-zero");
         CacheArray {
             ways: vec![Way::default(); num_sets * assoc],
-            num_sets,
+            sets,
             assoc,
             stamp: 0,
         }
@@ -60,7 +67,7 @@ impl CacheArray {
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.num_sets
+        self.sets.value() as usize
     }
 
     /// Associativity.
@@ -70,18 +77,18 @@ impl CacheArray {
 
     /// Total line capacity.
     pub fn capacity(&self) -> usize {
-        self.num_sets * self.assoc
+        self.num_sets() * self.assoc
     }
 
     #[inline]
     fn set_range(&self, key: u64) -> std::ops::Range<usize> {
-        let set = (key as usize) & (self.num_sets - 1);
+        let set = self.sets.rem(key) as usize;
         set * self.assoc..(set + 1) * self.assoc
     }
 
     #[inline]
     fn tag(&self, key: u64) -> u64 {
-        key / self.num_sets as u64
+        self.sets.div(key)
     }
 
     /// Look up `key`, updating LRU on hit. Returns whether the line is
@@ -129,8 +136,7 @@ impl CacheArray {
     pub fn insert(&mut self, key: u64, dirty: bool) -> Option<Victim> {
         let tag = self.tag(key);
         let set_base = self.set_range(key).start;
-        let num_sets = self.num_sets as u64;
-        let set_idx = key & (num_sets - 1);
+        let set_idx = self.sets.rem(key);
         self.stamp += 1;
         let stamp = self.stamp;
 
@@ -154,7 +160,7 @@ impl CacheArray {
         // Evict LRU.
         let victim_way = set.iter_mut().min_by_key(|w| w.lru).expect("assoc > 0");
         let victim = Victim {
-            key: victim_way.tag * num_sets + set_idx,
+            key: self.sets.mul(victim_way.tag) | set_idx,
             dirty: victim_way.dirty,
         };
         *victim_way = Way {
@@ -183,7 +189,7 @@ impl CacheArray {
     /// of removed lines and how many of them were dirty. Used to flush
     /// SRAM lines of a DC frame being evicted (Algorithm 2, line 3).
     pub fn invalidate_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> (usize, usize) {
-        let num_sets = self.num_sets as u64;
+        let sets = self.sets;
         let assoc = self.assoc;
         let mut removed = 0;
         let mut dirty = 0;
@@ -192,7 +198,7 @@ impl CacheArray {
                 continue;
             }
             let set_idx = (i / assoc) as u64;
-            let key = w.tag * num_sets + set_idx;
+            let key = sets.mul(w.tag) | set_idx;
             if pred(key) {
                 w.valid = false;
                 removed += 1;

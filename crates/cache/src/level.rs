@@ -201,6 +201,8 @@ pub struct CacheLevel {
     to_upper: VecDeque<(Cycle, MemResp)>,
     stats: CacheLevelStats,
     obs: Option<LevelObs>,
+    /// Reused across fills so completing an MSHR allocates nothing.
+    fill_scratch: Vec<MemReq>,
 }
 
 impl CacheLevel {
@@ -218,6 +220,7 @@ impl CacheLevel {
             to_upper: VecDeque::new(),
             stats: CacheLevelStats::default(),
             obs: None,
+            fill_scratch: Vec::new(),
         }
     }
 
@@ -419,7 +422,9 @@ impl CacheLevel {
 
     fn apply_fill(&mut self, resp: MemResp, now: Cycle) {
         let token = MshrToken(resp.token.0 as usize);
-        let (key, targets, fills_dirty) = self.mshrs.complete(token);
+        let mut targets = std::mem::take(&mut self.fill_scratch);
+        targets.clear();
+        let (key, fills_dirty) = self.mshrs.complete_into(token, &mut targets);
         if let Some(obs) = &mut self.obs {
             if let Some(start) = obs.miss_start.remove(&token.0) {
                 if let Some(h) = &obs.miss_latency {
@@ -442,11 +447,12 @@ impl CacheLevel {
                 });
             }
         }
-        for t in targets {
+        for t in targets.drain(..) {
             if t.wants_response {
                 self.to_upper.push_back((now + 1, t.response()));
             }
         }
+        self.fill_scratch = targets;
     }
 
     /// Flush every line of the 4 KiB page containing cache-space frame

@@ -6,6 +6,22 @@
 //! instead of stalling the cache. The NOMAD paper's PCSHRs apply the
 //! same principle at page granularity; this SRAM-level implementation
 //! is the baseline the back-end is architected after.
+//!
+//! # Layout
+//!
+//! The file is a fixed arena of parallel arrays — per-slot keys, target
+//! lists and a packed dirty-bit word — plus a `u64`-word occupancy
+//! bit-vector (`live`). The hot [`MshrFile::find`] scan walks the set
+//! bits of `live` with mask-and-trailing-zeros and compares packed
+//! keys, never touching the target lists. Target `Vec`s are recycled in
+//! place on reallocation, so a slot's list keeps its capacity across
+//! uses and steady-state misses allocate nothing.
+//!
+//! Free-slot selection stays an explicit LIFO stack: the token an
+//! allocation yields is architecturally visible (it becomes the
+//! downstream fetch's `ReqId`), and the stack preserves the exact token
+//! order of the original `Vec<Option<Entry>>` implementation — pinned
+//! by the differential test in `tests/mshr_differential.rs`.
 
 use nomad_types::{MemReq, ReqId};
 
@@ -42,20 +58,21 @@ impl core::fmt::Display for MshrReject {
 
 impl std::error::Error for MshrReject {}
 
-#[derive(Debug, Clone)]
-struct Entry {
-    /// Block key the fetch is for.
-    key: u64,
-    /// Merged requests waiting for the fill.
-    targets: Vec<MemReq>,
-    /// Whether any merged target is a write (line fills dirty).
-    fills_dirty: bool,
-}
-
-/// A bounded file of MSHR entries keyed by block key.
+/// A bounded file of MSHR entries keyed by block key, stored as a flat
+/// arena with a `u64` occupancy bit-vector (see the module docs).
 #[derive(Debug)]
 pub struct MshrFile {
-    slots: Vec<Option<Entry>>,
+    /// Per-slot block keys; meaningful only where the `live` bit is set.
+    keys: Vec<u64>,
+    /// Per-slot merged-target lists; cleared (not dropped) on free so
+    /// capacity is retained across reuse.
+    targets: Vec<Vec<MemReq>>,
+    /// Packed per-slot "fills dirty" flags, one bit per slot.
+    fills_dirty: Vec<u64>,
+    /// Occupancy bit-vector: bit `i % 64` of word `i / 64` is set while
+    /// slot `i` is allocated.
+    live: Vec<u64>,
+    /// LIFO free stack; preserves the original token allocation order.
     free: Vec<usize>,
     max_targets: usize,
     in_use: usize,
@@ -81,7 +98,10 @@ impl MshrFile {
     pub fn new(entries: usize, max_targets: usize) -> Self {
         assert!(entries > 0 && max_targets > 0);
         MshrFile {
-            slots: vec![None; entries],
+            keys: vec![0; entries],
+            targets: (0..entries).map(|_| Vec::new()).collect(),
+            fills_dirty: vec![0; entries.div_ceil(64)],
+            live: vec![0; entries.div_ceil(64)],
             free: (0..entries).rev().collect(),
             max_targets,
             in_use: 0,
@@ -95,15 +115,30 @@ impl MshrFile {
 
     /// Total number of entries.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.keys.len()
     }
 
-    /// Find the entry tracking `key`, if any.
+    #[inline]
+    fn is_live(&self, slot: usize) -> bool {
+        self.live
+            .get(slot / 64)
+            .is_some_and(|w| w & (1u64 << (slot % 64)) != 0)
+    }
+
+    /// Find the entry tracking `key`, if any: a mask-and-trailing-zeros
+    /// scan over the occupancy words against the packed key array.
     pub fn find(&self, key: u64) -> Option<MshrToken> {
-        self.slots
-            .iter()
-            .position(|s| s.as_ref().map(|e| e.key == key).unwrap_or(false))
-            .map(MshrToken)
+        for (wi, &word) in self.live.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let slot = wi * 64 + w.trailing_zeros() as usize;
+                if self.keys[slot] == key {
+                    return Some(MshrToken(slot));
+                }
+                w &= w - 1;
+            }
+        }
+        None
     }
 
     /// Allocate an entry for `req`'s block (primary miss) or merge it
@@ -115,45 +150,67 @@ impl MshrFile {
     /// [`MshrReject::TargetsFull`] when a secondary miss cannot merge.
     pub fn allocate_or_merge(&mut self, key: u64, req: MemReq) -> Result<MshrAlloc, MshrReject> {
         if let Some(tok) = self.find(key) {
-            let entry = self.slots[tok.0].as_mut().expect("found entry");
-            if entry.targets.len() >= self.max_targets {
+            if self.targets[tok.0].len() >= self.max_targets {
                 return Err(MshrReject::TargetsFull);
             }
-            entry.fills_dirty |= req.kind.is_write();
-            entry.targets.push(req);
+            if req.kind.is_write() {
+                self.fills_dirty[tok.0 / 64] |= 1u64 << (tok.0 % 64);
+            }
+            self.targets[tok.0].push(req);
             return Ok(MshrAlloc::Secondary(tok));
         }
         let idx = self.free.pop().ok_or(MshrReject::Full)?;
         self.in_use += 1;
-        let fills_dirty = req.kind.is_write();
-        self.slots[idx] = Some(Entry {
-            key,
-            targets: vec![req],
-            fills_dirty,
-        });
+        self.live[idx / 64] |= 1u64 << (idx % 64);
+        if req.kind.is_write() {
+            self.fills_dirty[idx / 64] |= 1u64 << (idx % 64);
+        } else {
+            self.fills_dirty[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        self.keys[idx] = key;
+        debug_assert!(self.targets[idx].is_empty());
+        self.targets[idx].push(req);
         Ok(MshrAlloc::Primary(MshrToken(idx)))
     }
 
-    /// Complete the fetch for `token`: frees the entry and returns the
-    /// merged target requests plus whether the filled line is dirty.
+    /// Complete the fetch for `token`: frees the entry, appends the
+    /// merged target requests to `out` and returns the block key plus
+    /// whether the filled line is dirty. The slot's target list keeps
+    /// its capacity for the next allocation.
     ///
     /// # Panics
     ///
     /// Panics if `token` does not name an allocated entry (a protocol
     /// bug in the caller).
-    pub fn complete(&mut self, token: MshrToken) -> (u64, Vec<MemReq>, bool) {
-        let entry = self.slots[token.0].take().expect("MSHR token must be live");
+    pub fn complete_into(&mut self, token: MshrToken, out: &mut Vec<MemReq>) -> (u64, bool) {
+        assert!(self.is_live(token.0), "MSHR token must be live");
+        self.live[token.0 / 64] &= !(1u64 << (token.0 % 64));
         self.free.push(token.0);
         self.in_use -= 1;
-        (entry.key, entry.targets, entry.fills_dirty)
+        out.append(&mut self.targets[token.0]);
+        let dirty = self.fills_dirty[token.0 / 64] & (1u64 << (token.0 % 64)) != 0;
+        (self.keys[token.0], dirty)
+    }
+
+    /// [`complete_into`](Self::complete_into) returning a fresh target
+    /// list (convenience for callers without a scratch buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` does not name an allocated entry.
+    pub fn complete(&mut self, token: MshrToken) -> (u64, Vec<MemReq>, bool) {
+        let mut targets = Vec::new();
+        let (key, dirty) = self.complete_into(token, &mut targets);
+        (key, targets, dirty)
     }
 
     /// Key being fetched by `token`, if live.
     pub fn key_of(&self, token: MshrToken) -> Option<u64> {
-        self.slots
-            .get(token.0)
-            .and_then(|s| s.as_ref())
-            .map(|e| e.key)
+        if self.is_live(token.0) {
+            Some(self.keys[token.0])
+        } else {
+            None
+        }
     }
 }
 
@@ -243,5 +300,48 @@ mod tests {
     fn completing_dead_token_panics() {
         let mut m = MshrFile::new(2, 2);
         m.complete(MshrToken(0));
+    }
+
+    /// A slot reused after completion must not leak the previous
+    /// occupant's dirty flag or targets.
+    #[test]
+    fn recycled_slot_state_is_clean() {
+        let mut m = MshrFile::new(1, 4);
+        let a = m.allocate_or_merge(1, req(1, AccessKind::Write)).unwrap();
+        let tok = match a {
+            MshrAlloc::Primary(t) => t,
+            _ => unreachable!(),
+        };
+        let (_, targets, dirty) = m.complete(tok);
+        assert!(dirty);
+        assert_eq!(targets.len(), 1);
+        // Reuse the slot with a read-only miss.
+        let b = m.allocate_or_merge(2, req(2, AccessKind::Read)).unwrap();
+        let tok = match b {
+            MshrAlloc::Primary(t) => t,
+            _ => unreachable!(),
+        };
+        let (key, targets, dirty) = m.complete(tok);
+        assert_eq!(key, 2);
+        assert_eq!(targets.len(), 1);
+        assert!(!dirty, "dirty bit must not leak across reuse");
+    }
+
+    /// A file wider than one occupancy word scans correctly.
+    #[test]
+    fn find_scans_past_first_word() {
+        let mut m = MshrFile::new(130, 2);
+        let mut last = None;
+        for k in 0..130u64 {
+            match m.allocate_or_merge(1000 + k, req(k, AccessKind::Read)) {
+                Ok(MshrAlloc::Primary(t)) => last = Some((t, 1000 + k)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let (tok, key) = last.unwrap();
+        assert_eq!(tok.0, 129, "stack allocates slots in order");
+        assert_eq!(m.find(key), Some(tok));
+        assert_eq!(m.key_of(tok), Some(key));
+        assert_eq!(m.find(99_999), None);
     }
 }

@@ -60,10 +60,26 @@ impl Default for TlbConfig {
 }
 
 /// One fully-associative LRU TLB level.
+///
+/// Entries live in a fixed arena of parallel `stamps`/`entries` arrays
+/// with a `u64`-word occupancy bit-vector; a `vpn → slot` map provides
+/// O(1) lookup. LRU victim selection walks the set bits of the
+/// occupancy words over the flat stamp array — a cache-friendly linear
+/// scan instead of a `HashMap` iteration. Recency stamps are unique
+/// (one counter bump per operation), so the minimum-stamp victim is
+/// identical to the one the old map-scan implementation chose.
 #[derive(Debug)]
 pub struct Tlb {
-    capacity: usize,
-    map: HashMap<u64, (u64, TlbEntry)>,
+    /// `vpn → slot` index into the arena.
+    map: HashMap<u64, usize>,
+    /// Per-slot recency stamps; meaningful only where `live` is set.
+    stamps: Vec<u64>,
+    /// Per-slot entry payloads; meaningful only where `live` is set.
+    entries: Vec<TlbEntry>,
+    /// Occupancy bit-vector, one bit per slot.
+    live: Vec<u64>,
+    /// Free slots.
+    free: Vec<usize>,
     stamp: u64,
 }
 
@@ -75,9 +91,17 @@ impl Tlb {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let filler = TlbEntry {
+            vpn: Vpn(0),
+            frame: FrameKind::Phys(nomad_types::Pfn(0)),
+            noncacheable: false,
+        };
         Tlb {
-            capacity,
             map: HashMap::with_capacity(capacity + 1),
+            stamps: vec![0; capacity],
+            entries: vec![filler; capacity],
+            live: vec![0; capacity.div_ceil(64)],
+            free: (0..capacity).rev().collect(),
             stamp: 0,
         }
     }
@@ -86,9 +110,9 @@ impl Tlb {
     pub fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.map.get_mut(&vpn.raw()).map(|slot| {
-            slot.0 = stamp;
-            slot.1
+        self.map.get(&vpn.raw()).map(|&slot| {
+            self.stamps[slot] = stamp;
+            self.entries[slot]
         })
     }
 
@@ -97,32 +121,68 @@ impl Tlb {
         self.map.contains_key(&vpn.raw())
     }
 
+    /// Slot holding the oldest (minimum-stamp) live entry.
+    fn lru_slot(&self) -> usize {
+        let mut best_slot = usize::MAX;
+        let mut best_stamp = u64::MAX;
+        for (wi, &word) in self.live.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let slot = wi * 64 + w.trailing_zeros() as usize;
+                if self.stamps[slot] < best_stamp {
+                    best_stamp = self.stamps[slot];
+                    best_slot = slot;
+                }
+                w &= w - 1;
+            }
+        }
+        assert!(best_slot != usize::MAX, "non-empty");
+        best_slot
+    }
+
     /// Insert an entry, returning the LRU victim if the TLB was full.
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         self.stamp += 1;
-        self.map.insert(entry.vpn.raw(), (self.stamp, entry));
-        if self.map.len() <= self.capacity {
+        let stamp = self.stamp;
+        if let Some(&slot) = self.map.get(&entry.vpn.raw()) {
+            // Refresh in place; no eviction.
+            self.stamps[slot] = stamp;
+            self.entries[slot] = entry;
             return None;
         }
-        let lru_key = *self
-            .map
-            .iter()
-            .min_by_key(|(_, (stamp, _))| *stamp)
-            .map(|(k, _)| k)
-            .expect("non-empty");
-        self.map.remove(&lru_key).map(|(_, e)| e)
+        let (slot, victim) = match self.free.pop() {
+            Some(slot) => (slot, None),
+            None => {
+                // Full: evict the LRU entry and reuse its slot. The
+                // incoming entry carries the newest stamp, so it can
+                // never be its own victim.
+                let slot = self.lru_slot();
+                let victim = self.entries[slot];
+                self.map.remove(&victim.vpn.raw());
+                (slot, Some(victim))
+            }
+        };
+        self.live[slot / 64] |= 1u64 << (slot % 64);
+        self.stamps[slot] = stamp;
+        self.entries[slot] = entry;
+        self.map.insert(entry.vpn.raw(), slot);
+        victim
     }
 
     /// Remove `vpn` (shootdown), returning the entry if present.
     pub fn invalidate(&mut self, vpn: Vpn) -> Option<TlbEntry> {
-        self.map.remove(&vpn.raw()).map(|(_, e)| e)
+        self.map.remove(&vpn.raw()).map(|slot| {
+            self.live[slot / 64] &= !(1u64 << (slot % 64));
+            self.free.push(slot);
+            self.entries[slot]
+        })
     }
 
     /// Apply `f` to the entry for `vpn`, if present (PTE update
     /// propagation).
     pub fn update(&mut self, vpn: Vpn, f: impl FnOnce(&mut TlbEntry)) -> bool {
-        if let Some((_, e)) = self.map.get_mut(&vpn.raw()) {
-            f(e);
+        if let Some(&slot) = self.map.get(&vpn.raw()) {
+            f(&mut self.entries[slot]);
             true
         } else {
             false
@@ -376,5 +436,67 @@ mod tests {
         assert!(!h.contains(Vpn(4)));
         assert_eq!(h.take_departures().len(), 1);
         assert!(!h.invalidate(Vpn(4)));
+    }
+
+    /// The arena'd TLB behaves identically to a naive ordered-list LRU
+    /// over a seeded random op stream (lookup/insert/invalidate),
+    /// including victim identity.
+    #[test]
+    fn arena_tlb_matches_naive_lru() {
+        // Naive reference: most-recent at the back.
+        struct Naive {
+            cap: usize,
+            order: Vec<TlbEntry>,
+        }
+        impl Naive {
+            fn lookup(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+                let pos = self.order.iter().position(|e| e.vpn == vpn)?;
+                let e = self.order.remove(pos);
+                self.order.push(e);
+                Some(e)
+            }
+            fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+                if let Some(pos) = self.order.iter().position(|e| e.vpn == entry.vpn) {
+                    self.order.remove(pos);
+                    self.order.push(entry);
+                    return None;
+                }
+                self.order.push(entry);
+                if self.order.len() > self.cap {
+                    Some(self.order.remove(0))
+                } else {
+                    None
+                }
+            }
+            fn invalidate(&mut self, vpn: Vpn) -> Option<TlbEntry> {
+                let pos = self.order.iter().position(|e| e.vpn == vpn)?;
+                Some(self.order.remove(pos))
+            }
+        }
+
+        let mut state = 7u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for cap in [1usize, 2, 7, 64] {
+            let mut t = Tlb::new(cap);
+            let mut n = Naive {
+                cap,
+                order: Vec::new(),
+            };
+            for _ in 0..3000 {
+                let vpn = rng() % (cap as u64 * 2 + 1);
+                match rng() % 4 {
+                    0 => assert_eq!(t.lookup(Vpn(vpn)), n.lookup(Vpn(vpn))),
+                    1 | 2 => assert_eq!(t.insert(entry(vpn)), n.insert(entry(vpn))),
+                    _ => assert_eq!(t.invalidate(Vpn(vpn)), n.invalidate(Vpn(vpn))),
+                }
+                assert_eq!(t.len(), n.order.len());
+            }
+        }
     }
 }

@@ -1,0 +1,215 @@
+//! Differential test: the bit-vector [`MshrFile`] against the original
+//! `Vec<Option<Entry>>` + free-list implementation it replaced.
+//!
+//! MSHR tokens are architecturally visible — a primary allocation's
+//! token becomes the `ReqId` of the downstream line fetch — so the
+//! flattened arena must reproduce the *exact* token allocation and
+//! retire order of the old code, not just equivalent occupancy. A
+//! seeded random op stream (allocate / merge / complete / overflow
+//! pressure) is driven through both implementations in lockstep and
+//! every externally observable result is compared.
+
+use nomad_cache::{MshrAlloc, MshrFile, MshrReject, MshrToken};
+use nomad_types::{AccessKind, BlockAddr, MemReq, MemTarget, ReqId, TrafficClass};
+
+/// Verbatim port of the pre-refactor `MshrFile` (Vec-of-struct slots
+/// with a LIFO free list) — the oracle.
+mod oracle {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Entry {
+        key: u64,
+        targets: Vec<MemReq>,
+        fills_dirty: bool,
+    }
+
+    #[derive(Debug)]
+    pub struct OldMshrFile {
+        slots: Vec<Option<Entry>>,
+        free: Vec<usize>,
+        max_targets: usize,
+        in_use: usize,
+    }
+
+    impl OldMshrFile {
+        pub fn new(entries: usize, max_targets: usize) -> Self {
+            assert!(entries > 0 && max_targets > 0);
+            OldMshrFile {
+                slots: vec![None; entries],
+                free: (0..entries).rev().collect(),
+                max_targets,
+                in_use: 0,
+            }
+        }
+
+        pub fn in_use(&self) -> usize {
+            self.in_use
+        }
+
+        pub fn find(&self, key: u64) -> Option<usize> {
+            self.slots
+                .iter()
+                .position(|s| s.as_ref().map(|e| e.key == key).unwrap_or(false))
+        }
+
+        pub fn allocate_or_merge(
+            &mut self,
+            key: u64,
+            req: MemReq,
+        ) -> Result<(bool, usize), MshrReject> {
+            if let Some(tok) = self.find(key) {
+                let entry = self.slots[tok].as_mut().expect("found entry");
+                if entry.targets.len() >= self.max_targets {
+                    return Err(MshrReject::TargetsFull);
+                }
+                entry.fills_dirty |= req.kind.is_write();
+                entry.targets.push(req);
+                return Ok((false, tok));
+            }
+            let idx = self.free.pop().ok_or(MshrReject::Full)?;
+            self.in_use += 1;
+            let fills_dirty = req.kind.is_write();
+            self.slots[idx] = Some(Entry {
+                key,
+                targets: vec![req],
+                fills_dirty,
+            });
+            Ok((true, idx))
+        }
+
+        pub fn complete(&mut self, token: usize) -> (u64, Vec<MemReq>, bool) {
+            let entry = self.slots[token].take().expect("MSHR token must be live");
+            self.free.push(token);
+            self.in_use -= 1;
+            (entry.key, entry.targets, entry.fills_dirty)
+        }
+
+        pub fn key_of(&self, token: usize) -> Option<u64> {
+            self.slots
+                .get(token)
+                .and_then(|s| s.as_ref())
+                .map(|e| e.key)
+        }
+    }
+}
+
+/// splitmix64: tiny deterministic PRNG, no external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn req(token: u64, rng: &mut Rng) -> MemReq {
+    MemReq {
+        token: ReqId(token),
+        addr: BlockAddr(token),
+        target: MemTarget::OffPackage,
+        kind: if rng.below(4) == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        class: TrafficClass::DemandRead,
+        core: 0,
+        wants_response: true,
+    }
+}
+
+/// Drive `ops` random operations through both implementations with one
+/// RNG stream, asserting identical externally visible behaviour at
+/// every step.
+fn differential_run(seed: u64, entries: usize, max_targets: usize, ops: usize) {
+    let mut rng = Rng(seed);
+    let mut new = MshrFile::new(entries, max_targets);
+    let mut old = oracle::OldMshrFile::new(entries, max_targets);
+    // Tokens of live primary allocations, in allocation order.
+    let mut live: Vec<MshrToken> = Vec::new();
+    let mut seq = 0u64;
+    // A key space ~1.5x the entry count forces frequent merges and,
+    // once the file fills, Full rejections.
+    let key_space = (entries as u64 * 3) / 2 + 1;
+
+    for _ in 0..ops {
+        match rng.below(3) {
+            // Allocate or merge a random key.
+            0 | 1 => {
+                seq += 1;
+                let key = rng.below(key_space);
+                let r = req(seq, &mut rng);
+                let got = new.allocate_or_merge(key, r);
+                let want = old.allocate_or_merge(key, r);
+                match (got, want) {
+                    (Ok(MshrAlloc::Primary(t)), Ok((true, idx))) => {
+                        assert_eq!(t.0, idx, "primary token order diverged");
+                        live.push(t);
+                    }
+                    (Ok(MshrAlloc::Secondary(t)), Ok((false, idx))) => {
+                        assert_eq!(t.0, idx, "secondary token diverged");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "reject reason diverged"),
+                    (a, b) => panic!("outcome diverged: new={a:?} old={b:?}"),
+                }
+            }
+            // Complete a random live token.
+            _ => {
+                if live.is_empty() {
+                    continue;
+                }
+                let pick = rng.below(live.len() as u64) as usize;
+                let tok = live.swap_remove(pick);
+                let (k_new, targets_new, dirty_new) = new.complete(tok);
+                let (k_old, targets_old, dirty_old) = old.complete(tok.0);
+                assert_eq!(k_new, k_old, "completed key diverged");
+                assert_eq!(dirty_new, dirty_old, "dirty flag diverged");
+                assert_eq!(
+                    targets_new.iter().map(|t| t.token).collect::<Vec<_>>(),
+                    targets_old.iter().map(|t| t.token).collect::<Vec<_>>(),
+                    "retire order diverged"
+                );
+            }
+        }
+        assert_eq!(new.in_use(), old.in_use(), "occupancy diverged");
+        // Spot-check lookups across the whole key space.
+        let probe = rng.below(key_space);
+        assert_eq!(
+            new.find(probe).map(|t| t.0),
+            old.find(probe),
+            "find({probe}) diverged"
+        );
+        let probe_tok = rng.below(entries as u64) as usize;
+        assert_eq!(
+            new.key_of(MshrToken(probe_tok)),
+            old.key_of(probe_tok),
+            "key_of({probe_tok}) diverged"
+        );
+    }
+}
+
+#[test]
+fn bitvector_mshr_matches_old_implementation() {
+    for seed in 1..=8u64 {
+        differential_run(seed, 16, 4, 4000);
+    }
+}
+
+#[test]
+fn differential_holds_for_small_and_multiword_files() {
+    // One entry: constant Full pressure.
+    differential_run(99, 1, 2, 2000);
+    // Two entries, single-target: TargetsFull pressure.
+    differential_run(100, 2, 1, 2000);
+    // 130 entries: the occupancy bit-vector spans three words.
+    differential_run(101, 130, 3, 6000);
+}

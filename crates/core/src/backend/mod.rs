@@ -110,11 +110,31 @@ pub fn decode_copy_token(token: ReqId) -> (usize, bool, usize, SubBlockIdx) {
 
 /// One NOMAD back-end (one per memory channel group in the distributed
 /// organization; exactly one in the centralized organization).
+///
+/// PCSHR tag checks run on every DRAM-cache access, so the slot file is
+/// scanned through packed occupancy words and tag arrays instead of the
+/// `Vec<Option<…>>` it stores payloads in: `live`/`fill`/`has_buffer`
+/// are one bit per PCSHR, and `cfns`/`pfns`/`seqs` mirror each live
+/// command's tags in flat arrays. Every scan walks set bits with
+/// trailing-zeros, visiting slots in ascending index order — the same
+/// order the old `iter().position(…)` scans observed.
 #[derive(Debug)]
 pub struct Backend {
     id: usize,
     cfg: BackendConfig,
     slots: Vec<Option<Pcshr<DcAccessReq>>>,
+    /// Bit `i` set while PCSHR `i` is live.
+    live: u64,
+    /// Bit `i` set while live PCSHR `i` executes a fill (clear: writeback).
+    fill: u64,
+    /// Bit `i` set while live PCSHR `i` holds a page copy buffer.
+    has_buffer: u64,
+    /// Packed `cmd.cfn` tags, valid where `live`.
+    cfns: Vec<u64>,
+    /// Packed `cmd.pfn` tags, valid where `live`.
+    pfns: Vec<u64>,
+    /// Packed allocation sequence numbers, valid where `live`.
+    seqs: Vec<u64>,
     buffers_free: usize,
     seq: u64,
     /// Transfers bound for the on-package DRAM.
@@ -132,12 +152,20 @@ impl Backend {
     ///
     /// # Panics
     ///
-    /// Panics if `pcshrs`, `buffers` or `sub_entries` is zero.
+    /// Panics if `pcshrs`, `buffers` or `sub_entries` is zero, or if
+    /// `pcshrs` exceeds 64 (the occupancy words are single `u64`s).
     pub fn new(id: usize, cfg: BackendConfig) -> Self {
         assert!(cfg.pcshrs > 0 && cfg.buffers > 0 && cfg.sub_entries > 0);
+        assert!(cfg.pcshrs <= 64, "at most 64 PCSHRs per back-end");
         Backend {
             id,
             slots: (0..cfg.pcshrs).map(|_| None).collect(),
+            live: 0,
+            fill: 0,
+            has_buffer: 0,
+            cfns: vec![0; cfg.pcshrs],
+            pfns: vec![0; cfg.pcshrs],
+            seqs: vec![0; cfg.pcshrs],
             buffers_free: cfg.buffers,
             seq: 0,
             to_hbm: VecDeque::new(),
@@ -149,13 +177,22 @@ impl Backend {
         }
     }
 
+    /// Mask with one bit per configured PCSHR.
+    #[inline]
+    fn width_mask(&self) -> u64 {
+        u64::MAX >> (64 - self.cfg.pcshrs)
+    }
+
     /// Interface register: accept a command if a PCSHR is free. A
     /// `false` return models the interface staying *busy* — the
     /// front-end must keep retrying (paper §III-D.1).
     pub fn try_send(&mut self, cmd: CopyCommand) -> bool {
-        let Some(idx) = self.slots.iter().position(Option::is_none) else {
+        // First clear bit == the old `position(Option::is_none)`.
+        let free = !self.live & self.width_mask();
+        if free == 0 {
             return false;
-        };
+        }
+        let idx = free.trailing_zeros() as usize;
         let buffer = if self.buffers_free > 0 {
             self.buffers_free -= 1;
             Some(0) // buffer identity is immaterial; only the count matters
@@ -163,40 +200,71 @@ impl Backend {
             None
         };
         self.seq += 1;
-        self.slots[idx] = Some(Pcshr::new(cmd, buffer, self.seq));
+        let bit = 1u64 << idx;
+        self.live |= bit;
+        if cmd.kind == CopyKind::Fill {
+            self.fill |= bit;
+        } else {
+            self.fill &= !bit;
+        }
+        if buffer.is_some() {
+            self.has_buffer |= bit;
+        } else {
+            self.has_buffer &= !bit;
+        }
+        self.cfns[idx] = cmd.cfn.0;
+        self.pfns[idx] = cmd.pfn.0;
+        self.seqs[idx] = self.seq;
+        self.slots[idx] = Some(Pcshr::new(cmd, buffer));
         true
     }
 
     /// Whether any PCSHR is free (the interface's idle state).
     pub fn interface_idle(&self) -> bool {
-        self.slots.iter().any(Option::is_none)
+        self.live != self.width_mask()
     }
 
     /// Active commands.
     pub fn active(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.live.count_ones() as usize
     }
 
     /// Whether `cfn` has an in-flight copy (fill or writeback); the
     /// eviction daemon must skip such frames.
     pub fn busy_cfn(&self, cfn: Cfn) -> bool {
-        self.slots.iter().flatten().any(|p| p.cmd.cfn == cfn)
+        let mut m = self.live;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.cfns[i] == cfn.0 {
+                return true;
+            }
+            m &= m - 1;
+        }
+        false
     }
 
     fn find_fill(&self, cfn: Cfn) -> Option<usize> {
-        self.slots.iter().position(|s| {
-            s.as_ref()
-                .map(|p| p.cmd.kind == CopyKind::Fill && p.cmd.cfn == cfn)
-                .unwrap_or(false)
-        })
+        let mut m = self.live & self.fill;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.cfns[i] == cfn.0 {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
     }
 
     fn find_wb(&self, pfn: Pfn) -> Option<usize> {
-        self.slots.iter().position(|s| {
-            s.as_ref()
-                .map(|p| p.cmd.kind == CopyKind::Writeback && p.cmd.pfn == pfn)
-                .unwrap_or(false)
-        })
+        let mut m = self.live & !self.fill;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.pfns[i] == pfn.0 {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
     }
 
     /// Data-hit verification (paper §III-D.3): compare the access
@@ -277,19 +345,23 @@ impl Backend {
     /// Issue transfers for this cycle.
     pub fn tick(&mut self, _now: Cycle) {
         // 1. Area-optimized design: hand free buffers to the oldest
-        //    buffer-less PCSHRs.
+        //    buffer-less PCSHRs (minimum packed seq over the live,
+        //    buffer-less occupancy bits).
         while self.buffers_free > 0 {
-            let next = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.as_ref().map(|p| p.buffer.is_none()).unwrap_or(false))
-                .min_by_key(|(_, s)| s.as_ref().expect("filtered").seq)
-                .map(|(i, _)| i);
+            let mut m = self.live & !self.has_buffer;
+            let mut next: Option<usize> = None;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                if next.is_none_or(|b| self.seqs[i] < self.seqs[b]) {
+                    next = Some(i);
+                }
+                m &= m - 1;
+            }
             let Some(idx) = next else { break };
             self.buffers_free -= 1;
+            self.has_buffer |= 1u64 << idx;
             let buffer_latency = self.cfg.buffer_latency;
-            let slot = self.slots[idx].as_mut().expect("filtered");
+            let slot = self.slots[idx].as_mut().expect("live");
             slot.buffer = Some(0);
             // Absorb stores that were parked awaiting the buffer.
             let mut i = 0;
@@ -327,14 +399,13 @@ impl Backend {
 
         // 2. Issue source reads and destination writes, bounded per
         //    cycle; queues are bounded to avoid unbounded growth when a
-        //    device is saturated.
-        for idx in 0..self.slots.len() {
-            let Some(slot) = self.slots[idx].as_ref() else {
-                continue;
-            };
-            if slot.buffer.is_none() {
-                continue;
-            }
+        //    device is saturated. Only slots that are live and hold a
+        //    buffer can transfer — walk exactly those bits.
+        let mut active = self.live & self.has_buffer;
+        while active != 0 {
+            let idx = active.trailing_zeros() as usize;
+            active &= active - 1;
+            let slot = self.slots[idx].as_ref().expect("live");
             let kind = slot.cmd.kind;
             for _ in 0..self.cfg.reads_per_tick {
                 let q = match kind {
@@ -420,6 +491,10 @@ impl Backend {
                     p.sub_entries.is_empty(),
                     "entries must drain before completion"
                 );
+                let bit = 1u64 << slot_idx;
+                self.live &= !bit;
+                self.fill &= !bit;
+                self.has_buffer &= !bit;
                 self.buffers_free += 1;
                 self.completed.push(CompletedCopy {
                     kind: p.cmd.kind,
@@ -491,16 +566,17 @@ impl Backend {
         if !self.to_hbm.is_empty() || !self.to_ddr.is_empty() || !self.completed.is_empty() {
             return Some(now + 1);
         }
-        if self.buffers_free > 0 && self.slots.iter().flatten().any(|p| p.buffer.is_none()) {
+        if self.buffers_free > 0 && self.live & !self.has_buffer != 0 {
             return Some(now + 1);
         }
-        if self
-            .slots
-            .iter()
-            .flatten()
-            .any(|p| p.buffer.is_some() && (p.next_read().is_some() || p.next_write().is_some()))
-        {
-            return Some(now + 1);
+        let mut m = self.live & self.has_buffer;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            let p = self.slots[i].as_ref().expect("live");
+            if p.next_read().is_some() || p.next_write().is_some() {
+                return Some(now + 1);
+            }
+            m &= m - 1;
         }
         self.responses
             .iter()

@@ -62,14 +62,13 @@ pub(crate) struct Pcshr<T> {
     /// Parked demand accesses.
     pub sub_entries: Vec<SubEntry<T>>,
     /// Page copy buffer assigned (None in the area-optimized design
-    /// until one frees up).
+    /// until one frees up). Allocation order for FIFO buffer handoff
+    /// lives in the back-end's packed `seqs` array.
     pub buffer: Option<usize>,
-    /// Allocation order, for FIFO buffer assignment.
-    pub seq: u64,
 }
 
 impl<T> Pcshr<T> {
-    pub fn new(cmd: CopyCommand, buffer: Option<usize>, seq: u64) -> Self {
+    pub fn new(cmd: CopyCommand, buffer: Option<usize>) -> Self {
         Pcshr {
             cmd,
             read_issued: 0,
@@ -78,7 +77,6 @@ impl<T> Pcshr<T> {
             written: 0,
             sub_entries: Vec::new(),
             buffer,
-            seq,
         }
     }
 
@@ -182,7 +180,7 @@ mod tests {
 
     #[test]
     fn critical_data_first_wraps_from_priority() {
-        let p: Pcshr<()> = Pcshr::new(cmd(Some(17)), Some(0), 0);
+        let p: Pcshr<()> = Pcshr::new(cmd(Some(17)), Some(0));
         assert_eq!(p.next_read(), Some(SubBlockIdx(17)));
         let mut p = p;
         p.read_issued |= SubBlockIdx(17).bit();
@@ -195,7 +193,7 @@ mod tests {
 
     #[test]
     fn read_order_without_priority_is_sequential() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         for i in 0..64u8 {
             let n = p.next_read().expect("blocks remain");
             assert_eq!(n, SubBlockIdx(i));
@@ -206,7 +204,7 @@ mod tests {
 
     #[test]
     fn write_follows_buffer_arrival() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         assert_eq!(p.next_write(), None);
         let mut s = Vec::new();
         p.read_done(SubBlockIdx(5), &mut s);
@@ -219,7 +217,7 @@ mod tests {
 
     #[test]
     fn completion_requires_all_64_writes() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         let mut s = Vec::new();
         for i in 0..64u8 {
             assert!(!p.complete());
@@ -232,7 +230,7 @@ mod tests {
 
     #[test]
     fn sub_entries_drain_on_matching_read() {
-        let mut p: Pcshr<u32> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<u32> = Pcshr::new(cmd(None), Some(0));
         p.sub_entries.push(SubEntry {
             sub: SubBlockIdx(3),
             arrival: 10,
@@ -258,7 +256,7 @@ mod tests {
 
     #[test]
     fn absorbed_store_skips_source_read_and_redoes_write() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         // Write already transferred, then a demand store lands.
         let mut s = Vec::new();
         p.read_done(SubBlockIdx(0), &mut s);
@@ -268,14 +266,14 @@ mod tests {
         assert_eq!(p.written & 1, 0, "write must be redone");
         assert_eq!(p.next_write(), Some(SubBlockIdx(0)));
         // And the source read for an absorbed block is skipped.
-        let mut q: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut q: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         q.absorb_write(SubBlockIdx(0));
         assert_eq!(q.next_read(), Some(SubBlockIdx(1)));
     }
 
     #[test]
     fn stale_read_completion_after_store_is_ignored() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         p.read_issued |= SubBlockIdx(2).bit();
         p.absorb_write(SubBlockIdx(2));
         let mut s = Vec::new();
@@ -286,7 +284,7 @@ mod tests {
 
     #[test]
     fn stale_write_completion_after_store_is_ignored() {
-        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0), 0);
+        let mut p: Pcshr<()> = Pcshr::new(cmd(None), Some(0));
         let mut s = Vec::new();
         p.read_done(SubBlockIdx(1), &mut s);
         p.write_sent(SubBlockIdx(1));

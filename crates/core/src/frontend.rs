@@ -25,7 +25,7 @@ use crate::backend::{CopyCommand, CopyKind};
 use crate::config::NomadConfig;
 use nomad_cache::PageTable;
 use nomad_dcache::CacheFlush;
-use nomad_dcache::CacheFrames;
+use nomad_dcache::{CacheFrames, EvictCandidate};
 use nomad_types::{Cfn, CoreId, Cycle, Pfn, SubBlockIdx, Vpn};
 use std::collections::{HashSet, VecDeque};
 
@@ -146,6 +146,9 @@ pub struct Frontend {
     daemon_queued: bool,
     pending_vpns: HashSet<u64>,
     deferred_wb: VecDeque<CopyCommand>,
+    /// Reusable eviction-victim buffer, shared by the daemon body and
+    /// the handler's emergency/force reclamation paths.
+    evict_scratch: Vec<EvictCandidate>,
 }
 
 impl Frontend {
@@ -161,6 +164,7 @@ impl Frontend {
             daemon_queued: false,
             pending_vpns: HashSet::new(),
             deferred_wb: VecDeque::new(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -235,9 +239,10 @@ impl Frontend {
         flush: &mut dyn CacheFlush,
         events: &mut FrontendEvents,
     ) -> (usize, usize) {
-        let victims = self
-            .frames
-            .evict_batch_filtered(n, |cfn| backends.busy_cfn(cfn));
+        let mut victims = std::mem::take(&mut self.evict_scratch);
+        victims.clear();
+        self.frames
+            .evict_batch_filtered_into(n, |cfn| backends.busy_cfn(cfn), &mut victims);
         let mut dirty_count = 0;
         for v in &victims {
             let (_, dirty_lines) = flush.flush_dc_page(v.cfn.raw());
@@ -253,7 +258,9 @@ impl Frontend {
             }
         }
         events.evicted += victims.len();
-        (victims.len(), dirty_count)
+        let reclaimed = victims.len();
+        self.evict_scratch = victims;
+        (reclaimed, dirty_count)
     }
 
     fn arm_daemon_if_needed(&mut self) {
@@ -304,11 +311,13 @@ impl Frontend {
                     let alloc = match alloc {
                         Some(a) => Some(a),
                         None => {
-                            let victims = self
-                                .frames
-                                .evict_batch_force(self.cfg.eviction_batch, |cfn| {
-                                    backends.busy_cfn(cfn)
-                                });
+                            let mut victims = std::mem::take(&mut self.evict_scratch);
+                            victims.clear();
+                            self.frames.evict_batch_force_into(
+                                self.cfg.eviction_batch,
+                                |cfn| backends.busy_cfn(cfn),
+                                &mut victims,
+                            );
                             for v in &victims {
                                 flush.flush_dc_page(v.cfn.raw());
                                 for &vpn in self.page_table.reverse_map(v.cpd.pfn) {
@@ -327,6 +336,7 @@ impl Frontend {
                             events.evicted += victims.len();
                             // A shootdown protocol round-trip per batch.
                             penalty += 500 + victims.len() as u64 * self.cfg.evict_page_cost;
+                            self.evict_scratch = victims;
                             self.frames.allocate(job.pfn)
                         }
                     };

@@ -91,6 +91,7 @@ pub struct NomadScheme {
     /// SecondTouch policy state: pages seen exactly once (bounded).
     touched_once: HashSet<u64>,
     completed_scratch: Vec<CompletedCopy>,
+    evict_scratch: Vec<nomad_dcache::EvictCandidate>,
     resp_scratch: Vec<(Cycle, MemResp)>,
     dram_scratch: Vec<nomad_dram::DramCompletion>,
     stats: SchemeStats,
@@ -127,6 +128,7 @@ impl NomadScheme {
             fe_events: FrontendEvents::default(),
             touched_once: HashSet::new(),
             completed_scratch: Vec::new(),
+            evict_scratch: Vec::new(),
             resp_scratch: Vec::new(),
             dram_scratch: Vec::new(),
             stats: SchemeStats::default(),
@@ -319,13 +321,16 @@ impl DcScheme for NomadScheme {
         let FrameKind::Phys(pfn) = pte.frame else {
             return;
         };
-        let frames = self.frontend.frames_mut();
-        if frames.num_free() == 0 {
-            let evicted = frames.evict_batch(64);
-            let pfns: Vec<_> = evicted.iter().map(|e| e.cpd.pfn).collect();
-            for p in pfns {
-                self.frontend.page_table_mut().uncache_all(p);
+        if self.frontend.frames().num_free() == 0 {
+            let mut evicted = std::mem::take(&mut self.evict_scratch);
+            evicted.clear();
+            self.frontend
+                .frames_mut()
+                .evict_batch_into(64, &mut evicted);
+            for e in &evicted {
+                self.frontend.page_table_mut().uncache_all(e.cpd.pfn);
             }
+            self.evict_scratch = evicted;
         }
         if let Some((cfn, _)) = self.frontend.frames_mut().allocate(pfn) {
             self.frontend.page_table_mut().cache_all(pfn, cfn);

@@ -27,7 +27,7 @@ use nomad_trace::TraceSource;
 use nomad_types::stats::Counter;
 use nomad_types::{AccessKind, CoreId, Cycle, NextActivity, VirtAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Core microarchitectural parameters (Table II-style).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,7 +131,7 @@ impl CoreStats {
 enum RobEntry {
     /// `n` plain ALU instructions.
     Ops(u32),
-    /// One memory instruction; `slot` indexes `mem_status`.
+    /// One memory instruction; `slot` indexes the in-flight bit window.
     Mem { slot: u64 },
 }
 
@@ -156,8 +156,17 @@ pub struct Core {
     rob: VecDeque<RobEntry>,
     /// Instructions currently occupying the ROB.
     rob_occupancy: usize,
-    /// Memory ops not yet completed: slot → done.
-    mem_status: HashMap<u64, bool>,
+    /// In-flight memory ops as a sliding bit window. Slots are
+    /// allocated sequentially at fetch and retired in ROB (=
+    /// allocation) order, so the live set is always the contiguous
+    /// range `[mem_head_slot, mem_head_slot + mem_live)`; bit `i` of
+    /// `mem_done_bits` records completion of slot `mem_head_slot + i`.
+    /// The ROB-head completion probe runs every stalled cycle, so this
+    /// sits squarely on the hot path — a single shift-and-mask where a
+    /// hash map would hash per probe.
+    mem_head_slot: u64,
+    mem_live: u32,
+    mem_done_bits: u64,
     /// Dispatched-but-not-pulled memory operations.
     dispatch_q: VecDeque<PendingMemOp>,
     next_slot: u64,
@@ -177,7 +186,7 @@ impl core::fmt::Debug for Core {
         f.debug_struct("Core")
             .field("id", &self.id)
             .field("rob_occupancy", &self.rob_occupancy)
-            .field("outstanding_mem", &self.mem_status.len())
+            .field("outstanding_mem", &self.mem_live)
             .finish_non_exhaustive()
     }
 }
@@ -185,13 +194,19 @@ impl core::fmt::Debug for Core {
 impl Core {
     /// Build a core running `trace`.
     pub fn new(id: CoreId, cfg: CoreConfig, trace: Box<dyn TraceSource>) -> Self {
+        assert!(
+            cfg.max_outstanding_mem <= 64,
+            "the LSQ window is tracked in one 64-bit word"
+        );
         Core {
             cfg,
             id,
             trace,
             rob: VecDeque::new(),
             rob_occupancy: 0,
-            mem_status: HashMap::new(),
+            mem_head_slot: 0,
+            mem_live: 0,
+            mem_done_bits: 0,
             dispatch_q: VecDeque::new(),
             next_slot: 0,
             gap_left: 0,
@@ -308,16 +323,14 @@ impl Core {
     ///
     /// Panics if `slot` is not an outstanding memory operation.
     pub fn mem_done(&mut self, slot: u64) {
-        let done = self
-            .mem_status
-            .get_mut(&slot)
-            .expect("mem_done for unknown slot");
-        *done = true;
+        let idx = slot.wrapping_sub(self.mem_head_slot);
+        assert!(idx < self.mem_live as u64, "mem_done for unknown slot");
+        self.mem_done_bits |= 1 << idx;
     }
 
     /// Number of in-flight memory operations (dispatched or queued).
     pub fn outstanding_mem(&self) -> usize {
-        self.mem_status.values().filter(|d| !**d).count()
+        (self.mem_live - self.mem_done_bits.count_ones()) as usize
     }
 
     /// Advance one cycle: commit, then fetch/dispatch.
@@ -350,7 +363,10 @@ impl Core {
 
     fn head_waits_on_mem(&self) -> bool {
         match self.rob.front() {
-            Some(RobEntry::Mem { slot }) => !self.mem_status.get(slot).copied().unwrap_or(true),
+            Some(RobEntry::Mem { slot }) => {
+                let idx = slot.wrapping_sub(self.mem_head_slot);
+                idx < self.mem_live as u64 && self.mem_done_bits & (1 << idx) == 0
+            }
             _ => false,
         }
     }
@@ -373,8 +389,15 @@ impl Core {
                 }
                 Some(RobEntry::Mem { slot }) => {
                     let slot = *slot;
-                    if self.mem_status.get(&slot).copied().unwrap_or(false) {
-                        self.mem_status.remove(&slot);
+                    let idx = slot.wrapping_sub(self.mem_head_slot);
+                    let done = idx < self.mem_live as u64 && self.mem_done_bits & (1 << idx) != 0;
+                    if done {
+                        // ROB order equals allocation order, so the
+                        // head Mem entry is always the window base.
+                        debug_assert_eq!(idx, 0, "out-of-order mem retirement");
+                        self.mem_done_bits >>= 1;
+                        self.mem_head_slot += 1;
+                        self.mem_live -= 1;
                         self.rob.pop_front();
                         self.rob_occupancy -= 1;
                         budget -= 1;
@@ -416,14 +439,18 @@ impl Core {
                 continue;
             }
             // Memory instruction: respect the LSQ limit.
-            if self.mem_status.len() >= self.cfg.max_outstanding_mem {
+            if self.mem_live as usize >= self.cfg.max_outstanding_mem {
                 break;
             }
             let (kind, vaddr) = self.mem_pending.take().expect("record cursor");
             let slot = self.next_slot;
             self.next_slot += 1;
             // Stores are posted: done at dispatch. Loads wait.
-            self.mem_status.insert(slot, kind.is_write());
+            debug_assert_eq!(self.mem_head_slot + self.mem_live as u64, slot);
+            if kind.is_write() {
+                self.mem_done_bits |= 1 << self.mem_live;
+            }
+            self.mem_live += 1;
             self.rob.push_back(RobEntry::Mem { slot });
             self.rob_occupancy += 1;
             self.dispatch_q.push_back(PendingMemOp {
@@ -453,7 +480,7 @@ impl Core {
         let fetch_blocked = self.rob_occupancy >= self.cfg.rob_size
             || (self.gap_left == 0
                 && self.mem_pending.is_some()
-                && self.mem_status.len() >= self.cfg.max_outstanding_mem);
+                && self.mem_live as usize >= self.cfg.max_outstanding_mem);
         self.head_waits_on_mem() && fetch_blocked
     }
 

@@ -8,6 +8,15 @@
 //! original PFN (for PTE restoration) and a TLB directory used to skip
 //! frames whose translations are TLB-resident — avoiding TLB
 //! shootdowns entirely.
+//!
+//! The descriptor array is stored column-wise: `valid`, `dirty` and
+//! "any TLB-directory bit set" are packed one bit per frame into `u64`
+//! words, with the PFNs and full per-frame TLB-directory words in flat
+//! arrays beside them. Head allocation probes and tail eviction scans
+//! — which walk thousands of frames when the cache runs full or empty
+//! — become word-at-a-time bit scans instead of per-frame struct loads.
+//! [`Cpd`] survives as the by-value snapshot type the scans assemble on
+//! demand.
 
 use nomad_types::{Cfn, Pfn};
 use serde::{Deserialize, Serialize};
@@ -36,13 +45,40 @@ pub struct EvictCandidate {
     pub cpd: Cpd,
 }
 
-/// The CPD array plus circular free-queue head/tail (paper Fig. 5).
+/// The CPD array plus circular free-queue head/tail (paper Fig. 5),
+/// stored column-wise (see the module docs).
 #[derive(Debug, Clone)]
 pub struct CacheFrames {
-    cpds: Vec<Cpd>,
+    /// Packed validity, one bit per frame; padding bits stay clear.
+    valid: Vec<u64>,
+    /// Packed dirty-in-cache bits; meaningful only where `valid`.
+    dirty: Vec<u64>,
+    /// Packed "some TLB holds this translation" bits — the word-scan
+    /// mirror of `tlb_dirs[i] != 0`.
+    tlb_resident_bits: Vec<u64>,
+    /// Full per-frame TLB-directory words.
+    tlb_dirs: Vec<u64>,
+    /// Mapped PFN per frame; meaningful only where `valid`.
+    pfns: Vec<Pfn>,
+    frames: usize,
     head: usize,
     tail: usize,
     num_free: usize,
+}
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
 }
 
 impl CacheFrames {
@@ -53,17 +89,35 @@ impl CacheFrames {
     /// Panics if `frames == 0`.
     pub fn new(frames: usize) -> Self {
         assert!(frames > 0, "cache must have at least one frame");
+        let words = frames.div_ceil(64);
         CacheFrames {
-            cpds: vec![Cpd::default(); frames],
+            valid: vec![0; words],
+            dirty: vec![0; words],
+            tlb_resident_bits: vec![0; words],
+            tlb_dirs: vec![0; frames],
+            pfns: vec![Pfn(0); frames],
+            frames,
             head: 0,
             tail: 0,
             num_free: frames,
         }
     }
 
+    /// Mask of in-range frame bits for word `wi` (all ones except in a
+    /// partial last word).
+    #[inline]
+    fn word_mask(&self, wi: usize) -> u64 {
+        let rem = self.frames - wi * 64;
+        if rem >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
     /// Total frames.
     pub fn capacity(&self) -> usize {
-        self.cpds.len()
+        self.frames
     }
 
     /// Currently free frames.
@@ -71,13 +125,20 @@ impl CacheFrames {
         self.num_free
     }
 
-    /// The descriptor of `cfn`.
+    /// The descriptor of `cfn`, assembled from the packed columns.
     ///
     /// # Panics
     ///
     /// Panics if `cfn` is out of range.
-    pub fn cpd(&self, cfn: Cfn) -> &Cpd {
-        &self.cpds[cfn.raw() as usize]
+    pub fn cpd(&self, cfn: Cfn) -> Cpd {
+        let i = cfn.raw() as usize;
+        assert!(i < self.frames, "cfn out of range");
+        Cpd {
+            valid: bit_get(&self.valid, i),
+            dirty: bit_get(&self.dirty, i),
+            pfn: self.pfns[i],
+            tlb_dir: self.tlb_dirs[i],
+        }
     }
 
     /// Allocate a frame for `pfn` from the head of the free queue
@@ -89,24 +150,40 @@ impl CacheFrames {
         if self.num_free == 0 {
             return None;
         }
-        let n = self.cpds.len();
-        let mut probes = 0;
-        // Bounded by construction: num_free > 0 guarantees an invalid
-        // frame exists.
-        while self.cpds[self.head].valid {
-            self.head = (self.head + 1) % n;
-            probes += 1;
-        }
-        let cfn = Cfn(self.head as u64);
-        self.cpds[self.head] = Cpd {
-            valid: true,
-            dirty: false,
-            pfn,
-            tlb_dir: 0,
+        let n = self.frames;
+        let start = self.head;
+        // First clear valid bit at or after `head`, wrapping: scan the
+        // inverted valid words (in-range bits only). Guaranteed to
+        // terminate because num_free > 0 means a clear bit exists.
+        let idx = {
+            let mut wi = start / 64;
+            let mut w = !self.valid[wi] & self.word_mask(wi) & (u64::MAX << (start % 64));
+            loop {
+                if w != 0 {
+                    break wi * 64 + w.trailing_zeros() as usize;
+                }
+                wi += 1;
+                if wi == self.valid.len() {
+                    wi = 0;
+                }
+                w = !self.valid[wi] & self.word_mask(wi);
+            }
         };
-        self.head = (self.head + 1) % n;
+        // Every frame between the old head and the allocated one was
+        // occupied, so the probe count is the wrapped distance.
+        let probes = if idx >= start {
+            idx - start
+        } else {
+            idx + n - start
+        };
+        bit_set(&mut self.valid, idx);
+        bit_clear(&mut self.dirty, idx);
+        bit_clear(&mut self.tlb_resident_bits, idx);
+        self.tlb_dirs[idx] = 0;
+        self.pfns[idx] = pfn;
+        self.head = if idx + 1 == n { 0 } else { idx + 1 };
         self.num_free -= 1;
-        Some((cfn, probes))
+        Some((Cfn(idx as u64), probes))
     }
 
     /// Reclaim up to `n` frames from the tail (Algorithm 2): frames
@@ -115,7 +192,15 @@ impl CacheFrames {
     /// already-free frames are passed over without consuming an
     /// iteration.
     pub fn evict_batch(&mut self, n: usize) -> Vec<EvictCandidate> {
-        self.evict_batch_filtered(n, |_| false)
+        let mut out = Vec::new();
+        self.evict_batch_into(n, &mut out);
+        out
+    }
+
+    /// [`evict_batch`](CacheFrames::evict_batch) into a caller-owned
+    /// buffer, so a per-tick eviction daemon can reuse one allocation.
+    pub fn evict_batch_into(&mut self, n: usize, out: &mut Vec<EvictCandidate>) {
+        self.evict_batch_inner(n, |_| false, false, out)
     }
 
     /// Like [`evict_batch`](CacheFrames::evict_batch), additionally
@@ -126,7 +211,20 @@ impl CacheFrames {
         n: usize,
         busy: impl FnMut(Cfn) -> bool,
     ) -> Vec<EvictCandidate> {
-        self.evict_batch_inner(n, busy, false)
+        let mut out = Vec::new();
+        self.evict_batch_inner(n, busy, false, &mut out);
+        out
+    }
+
+    /// [`evict_batch_filtered`](CacheFrames::evict_batch_filtered) into
+    /// a caller-owned buffer.
+    pub fn evict_batch_filtered_into(
+        &mut self,
+        n: usize,
+        busy: impl FnMut(Cfn) -> bool,
+        out: &mut Vec<EvictCandidate>,
+    ) {
+        self.evict_batch_inner(n, busy, false, out)
     }
 
     /// Forced reclamation: evicts TLB-resident frames too (the caller
@@ -140,7 +238,61 @@ impl CacheFrames {
         n: usize,
         busy: impl FnMut(Cfn) -> bool,
     ) -> Vec<EvictCandidate> {
-        self.evict_batch_inner(n, busy, true)
+        let mut out = Vec::new();
+        self.evict_batch_inner(n, busy, true, &mut out);
+        out
+    }
+
+    /// [`evict_batch_force`](CacheFrames::evict_batch_force) into a
+    /// caller-owned buffer.
+    pub fn evict_batch_force_into(
+        &mut self,
+        n: usize,
+        busy: impl FnMut(Cfn) -> bool,
+        out: &mut Vec<EvictCandidate>,
+    ) {
+        self.evict_batch_inner(n, busy, true, out)
+    }
+
+    /// Distance from `from` (exclusive of nothing — `from` itself may
+    /// match) to the next valid frame, wrapping; `None` when no frame
+    /// is valid.
+    fn next_valid_distance(&self, from: usize) -> Option<usize> {
+        let n = self.frames;
+        let mut wi = from / 64;
+        let mut w = self.valid[wi] & (u64::MAX << (from % 64));
+        let mut wrapped = false;
+        loop {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                let d = if wrapped || idx >= from {
+                    if idx >= from {
+                        idx - from
+                    } else {
+                        idx + n - from
+                    }
+                } else {
+                    idx - from
+                };
+                return Some(d);
+            }
+            wi += 1;
+            if wi == self.valid.len() {
+                if wrapped {
+                    return None;
+                }
+                wi = 0;
+                wrapped = true;
+            }
+            w = self.valid[wi];
+            if wrapped && wi == from / 64 {
+                // Final revisit of the start word: bits below `from`.
+                w &= !(u64::MAX << (from % 64));
+                if w == 0 {
+                    return None;
+                }
+            }
+        }
     }
 
     fn evict_batch_inner(
@@ -148,61 +300,84 @@ impl CacheFrames {
         n: usize,
         mut busy: impl FnMut(Cfn) -> bool,
         force_tlb: bool,
-    ) -> Vec<EvictCandidate> {
-        let len = self.cpds.len();
-        let mut out = Vec::new();
+        out: &mut Vec<EvictCandidate>,
+    ) {
+        let len = self.frames;
         let mut iterations = 0;
         let mut scanned = 0;
         while iterations < n && scanned < len {
+            if !bit_get(&self.valid, self.tail) {
+                // Fast-forward over free frames: the dense scan passed
+                // each one without consuming an iteration. The jump
+                // advances tail and the scan budget by the same count.
+                let step = match self.next_valid_distance(self.tail) {
+                    Some(d) => d.min(len - scanned),
+                    None => len - scanned,
+                };
+                debug_assert!(step > 0);
+                scanned += step;
+                self.tail += step;
+                if self.tail >= len {
+                    self.tail -= len;
+                }
+                continue;
+            }
             let idx = self.tail;
             scanned += 1;
-            let cpd = self.cpds[idx];
-            if !cpd.valid {
-                self.tail = (self.tail + 1) % len;
-                continue;
-            }
             iterations += 1;
-            if (cpd.tlb_dir != 0 && !force_tlb) || busy(Cfn(idx as u64)) {
+            self.tail = if idx + 1 == len { 0 } else { idx + 1 };
+            let tlb_dir = self.tlb_dirs[idx];
+            if (tlb_dir != 0 && !force_tlb) || busy(Cfn(idx as u64)) {
                 // Translation still in some TLB (Algorithm 2 lines
                 // 6–8), or a page copy is in flight: skip.
-                self.tail = (self.tail + 1) % len;
                 continue;
             }
-            self.cpds[idx].valid = false;
-            self.cpds[idx].tlb_dir = 0;
+            let cpd = Cpd {
+                valid: true,
+                dirty: bit_get(&self.dirty, idx),
+                pfn: self.pfns[idx],
+                tlb_dir,
+            };
+            bit_clear(&mut self.valid, idx);
+            bit_clear(&mut self.tlb_resident_bits, idx);
+            self.tlb_dirs[idx] = 0;
             self.num_free += 1;
-            self.tail = (self.tail + 1) % len;
             out.push(EvictCandidate {
                 cfn: Cfn(idx as u64),
                 cpd,
             });
         }
-        out
     }
 
     /// Set the dirty-in-cache bit of `cfn` (on a write access).
     pub fn set_dirty(&mut self, cfn: Cfn) {
-        self.cpds[cfn.raw() as usize].dirty = true;
+        bit_set(&mut self.dirty, cfn.raw() as usize);
     }
 
     /// Mark `core`'s TLBs as holding `cfn`'s translation.
     pub fn tlb_set(&mut self, cfn: Cfn, core: usize) {
-        self.cpds[cfn.raw() as usize].tlb_dir |= 1u64 << (core % 64);
+        let i = cfn.raw() as usize;
+        self.tlb_dirs[i] |= 1u64 << (core % 64);
+        bit_set(&mut self.tlb_resident_bits, i);
     }
 
     /// Clear `core`'s TLB-directory bit for `cfn`.
     pub fn tlb_clear(&mut self, cfn: Cfn, core: usize) {
-        self.cpds[cfn.raw() as usize].tlb_dir &= !(1u64 << (core % 64));
+        let i = cfn.raw() as usize;
+        self.tlb_dirs[i] &= !(1u64 << (core % 64));
+        if self.tlb_dirs[i] == 0 {
+            bit_clear(&mut self.tlb_resident_bits, i);
+        }
     }
 
     /// Whether any core's TLB holds `cfn`'s translation.
     pub fn tlb_resident(&self, cfn: Cfn) -> bool {
-        self.cpds[cfn.raw() as usize].tlb_dir != 0
+        bit_get(&self.tlb_resident_bits, cfn.raw() as usize)
     }
 
     /// Occupied frames.
     pub fn occupancy(&self) -> usize {
-        self.cpds.len() - self.num_free
+        self.frames - self.num_free
     }
 }
 
@@ -289,6 +464,153 @@ mod tests {
     fn evict_on_empty_cache_returns_nothing() {
         let mut f = CacheFrames::new(4);
         assert!(f.evict_batch(4).is_empty());
+    }
+
+    #[test]
+    fn evict_into_reuses_buffer_and_appends() {
+        let mut f = CacheFrames::new(8);
+        for i in 0..8 {
+            f.allocate(Pfn(i)).unwrap();
+        }
+        let mut scratch = Vec::new();
+        f.evict_batch_into(2, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        scratch.clear();
+        f.evict_batch_into(3, &mut scratch);
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(scratch[0].cfn, Cfn(2), "tail resumed where it left off");
+    }
+
+    /// The word-scan allocate/evict must agree with a naive per-frame
+    /// model across odd sizes (partial last words) and many-word files.
+    #[test]
+    fn arena_matches_naive_model_across_sizes() {
+        #[derive(Clone)]
+        struct Naive {
+            cpds: Vec<Cpd>,
+            head: usize,
+            tail: usize,
+            num_free: usize,
+        }
+        impl Naive {
+            fn allocate(&mut self, pfn: Pfn) -> Option<(Cfn, usize)> {
+                if self.num_free == 0 {
+                    return None;
+                }
+                let n = self.cpds.len();
+                let mut probes = 0;
+                while self.cpds[self.head].valid {
+                    self.head = (self.head + 1) % n;
+                    probes += 1;
+                }
+                let cfn = Cfn(self.head as u64);
+                self.cpds[self.head] = Cpd {
+                    valid: true,
+                    dirty: false,
+                    pfn,
+                    tlb_dir: 0,
+                };
+                self.head = (self.head + 1) % n;
+                self.num_free -= 1;
+                Some((cfn, probes))
+            }
+            fn evict_batch(&mut self, n: usize, force_tlb: bool) -> Vec<EvictCandidate> {
+                let len = self.cpds.len();
+                let mut out = Vec::new();
+                let (mut iterations, mut scanned) = (0, 0);
+                while iterations < n && scanned < len {
+                    let idx = self.tail;
+                    scanned += 1;
+                    let cpd = self.cpds[idx];
+                    if !cpd.valid {
+                        self.tail = (self.tail + 1) % len;
+                        continue;
+                    }
+                    iterations += 1;
+                    if cpd.tlb_dir != 0 && !force_tlb {
+                        self.tail = (self.tail + 1) % len;
+                        continue;
+                    }
+                    self.cpds[idx].valid = false;
+                    self.cpds[idx].tlb_dir = 0;
+                    self.num_free += 1;
+                    self.tail = (self.tail + 1) % len;
+                    out.push(EvictCandidate {
+                        cfn: Cfn(idx as u64),
+                        cpd,
+                    });
+                }
+                out
+            }
+        }
+
+        let mut state = 7u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for frames in [1usize, 3, 64, 65, 130] {
+            let mut arena = CacheFrames::new(frames);
+            let mut naive = Naive {
+                cpds: vec![Cpd::default(); frames],
+                head: 0,
+                tail: 0,
+                num_free: frames,
+            };
+            for op in 0..2000 {
+                match rng() % 5 {
+                    0..=2 => {
+                        let got = arena.allocate(Pfn(op));
+                        let want = naive.allocate(Pfn(op));
+                        assert_eq!(got, want, "allocate diverged at op {op}");
+                        if let Some((cfn, _)) = got {
+                            if rng() % 3 == 0 {
+                                let core = (rng() % 4) as usize;
+                                arena.tlb_set(cfn, core);
+                                naive.cpds[cfn.raw() as usize].tlb_dir |= 1 << core;
+                            }
+                            if rng() % 4 == 0 {
+                                arena.set_dirty(cfn);
+                                naive.cpds[cfn.raw() as usize].dirty = true;
+                            }
+                        }
+                    }
+                    3 => {
+                        let batch = (rng() % 4 + 1) as usize;
+                        let force = rng() % 8 == 0;
+                        let got = if force {
+                            arena.evict_batch_force(batch, |_| false)
+                        } else {
+                            arena.evict_batch(batch)
+                        };
+                        let want = naive.evict_batch(batch, force);
+                        assert_eq!(got, want, "evict diverged at op {op}");
+                        assert_eq!(arena.num_free(), naive.num_free);
+                    }
+                    _ => {
+                        let cfn = Cfn(rng() % frames as u64);
+                        let core = (rng() % 4) as usize;
+                        if rng() % 2 == 0 {
+                            arena.tlb_clear(cfn, core);
+                            naive.cpds[cfn.raw() as usize].tlb_dir &= !(1 << core);
+                        }
+                        assert_eq!(
+                            arena.tlb_resident(cfn),
+                            naive.cpds[cfn.raw() as usize].tlb_dir != 0
+                        );
+                    }
+                }
+                let probe = Cfn(rng() % frames as u64);
+                assert_eq!(
+                    arena.cpd(probe),
+                    naive.cpds[probe.raw() as usize],
+                    "cpd({probe:?}) diverged at op {op}"
+                );
+            }
+        }
     }
 
     proptest! {

@@ -34,6 +34,8 @@ pub struct Ideal {
     /// TLB shootdowns owed for force-evicted frames (reported through
     /// [`SchemeEvents`] on the next tick).
     pending_shootdown: Vec<Vpn>,
+    /// Reusable eviction-victim buffer for `reclaim_if_needed`.
+    evict_scratch: Vec<crate::frames::EvictCandidate>,
 }
 
 impl Ideal {
@@ -51,6 +53,7 @@ impl Ideal {
             eviction_batch: 64,
             pending_flush: Vec::new(),
             pending_shootdown: Vec::new(),
+            evict_scratch: Vec::new(),
         }
     }
 
@@ -60,12 +63,15 @@ impl Ideal {
     }
 
     fn reclaim_if_needed(&mut self) {
+        let mut evicted = std::mem::take(&mut self.evict_scratch);
         while self.frames.num_free() < self.eviction_threshold {
-            let evicted = self.frames.evict_batch(self.eviction_batch);
+            evicted.clear();
+            self.frames
+                .evict_batch_into(self.eviction_batch, &mut evicted);
             if evicted.is_empty() {
                 break;
             }
-            for e in evicted {
+            for e in &evicted {
                 self.page_table.uncache_all(e.cpd.pfn);
                 self.pending_flush.push(e.cfn.raw());
                 self.stats.evictions.inc();
@@ -77,10 +83,10 @@ impl Ideal {
         // and owe the shootdowns — free here, like everything else in
         // the ideal scheme, but the TLB directory must stay coherent.
         if self.frames.num_free() == 0 {
-            let evicted = self
-                .frames
-                .evict_batch_force(self.eviction_batch, |_| false);
-            for e in evicted {
+            evicted.clear();
+            self.frames
+                .evict_batch_force_into(self.eviction_batch, |_| false, &mut evicted);
+            for e in &evicted {
                 for &vpn in self.page_table.reverse_map(e.cpd.pfn) {
                     self.pending_shootdown.push(Vpn(vpn));
                 }
@@ -89,6 +95,7 @@ impl Ideal {
                 self.stats.evictions.inc();
             }
         }
+        self.evict_scratch = evicted;
     }
 }
 

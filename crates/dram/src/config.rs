@@ -1,6 +1,7 @@
 //! DRAM device configuration: timing parameters, geometry and address
 //! mapping, with presets for on-package HBM and off-package DDR4.
 
+use nomad_types::Pow2;
 use serde::{Deserialize, Serialize};
 
 /// DRAM command timing parameters, all in **device clock cycles**.
@@ -57,12 +58,54 @@ pub struct AddrLoc {
 /// row. This keeps sequential page traffic row-friendly — the property
 /// the paper's fill traffic relies on — while random block traffic
 /// spreads over banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AddrMap {
     channels: usize,
     banks: usize,
     blocks_per_row: u64,
+    /// Shift-and-mask decode, present when every dimension is a power
+    /// of two (both device presets are). Redundant with the fields
+    /// above, so it is excluded from serialization and `PartialEq`;
+    /// deserializing rebuilds it.
+    fast: Option<FastDecode>,
 }
+
+impl Serialize for AddrMap {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("channels".to_string(), self.channels.to_value()),
+            ("banks".to_string(), self.banks.to_value()),
+            ("blocks_per_row".to_string(), self.blocks_per_row.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AddrMap {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let channels: usize = serde::de_field(v, "channels")?;
+        let banks: usize = serde::de_field(v, "banks")?;
+        let blocks_per_row: u64 = serde::de_field(v, "blocks_per_row")?;
+        Ok(AddrMap::new(channels, banks, blocks_per_row * 64))
+    }
+}
+
+/// Precomputed shift/mask geometry for power-of-two address maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FastDecode {
+    channels: Pow2,
+    banks: Pow2,
+    blocks_per_row: Pow2,
+}
+
+impl PartialEq for AddrMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.channels == other.channels
+            && self.banks == other.banks
+            && self.blocks_per_row == other.blocks_per_row
+    }
+}
+
+impl Eq for AddrMap {}
 
 impl AddrMap {
     /// Build a mapping for `channels`×`banks` geometry with
@@ -74,10 +117,24 @@ impl AddrMap {
     pub fn new(channels: usize, banks: usize, row_bytes: u64) -> Self {
         assert!(channels > 0 && banks > 0, "geometry must be non-zero");
         assert!(row_bytes >= 64, "row must hold at least one block");
+        let blocks_per_row = row_bytes / 64;
+        let fast = match (
+            Pow2::new(channels as u64),
+            Pow2::new(banks as u64),
+            Pow2::new(blocks_per_row),
+        ) {
+            (Some(channels), Some(banks), Some(blocks_per_row)) => Some(FastDecode {
+                channels,
+                banks,
+                blocks_per_row,
+            }),
+            _ => None,
+        };
         AddrMap {
             channels,
             banks,
-            blocks_per_row: row_bytes / 64,
+            blocks_per_row,
+            fast,
         }
     }
 
@@ -85,6 +142,13 @@ impl AddrMap {
     #[inline]
     pub fn decode(&self, addr: u64) -> AddrLoc {
         let block = addr >> 6;
+        if let Some(f) = self.fast {
+            let channel = f.channels.rem(block) as usize;
+            let row_major = f.blocks_per_row.div(f.channels.div(block));
+            let bank = f.banks.rem(row_major) as usize;
+            let row = f.banks.div(row_major);
+            return AddrLoc { channel, bank, row };
+        }
         let channel = (block % self.channels as u64) as usize;
         let in_channel = block / self.channels as u64;
         let row_major = in_channel / self.blocks_per_row;
@@ -288,6 +352,22 @@ mod tests {
             let m = AddrMap::new(2, 16, 8192);
             let base = addr & !63;
             prop_assert_eq!(m.decode(base), m.decode(base + off));
+        }
+
+        /// Shift-and-mask decode agrees with the generic div/mod path
+        /// on every power-of-two geometry.
+        #[test]
+        fn prop_fast_decode_matches_slow(
+            addr in 0u64..(1 << 40),
+            ch_shift in 0u32..3,
+            bank_shift in 2u32..6,
+            row_shift in 7u32..14,
+        ) {
+            let fast = AddrMap::new(1 << ch_shift, 1 << bank_shift, 1 << row_shift);
+            prop_assert!(fast.fast.is_some());
+            let mut slow = fast;
+            slow.fast = None;
+            prop_assert_eq!(fast.decode(addr), slow.decode(addr));
         }
     }
 }

@@ -58,6 +58,13 @@ pub struct Dram {
     pending: Vec<ChannelCompletion>,
     scratch: Vec<ChannelCompletion>,
     obs: Option<DramObs>,
+    /// Wall-clock profiling of [`tick`](Self::tick) time, armed by the
+    /// simulator's hot-path profile. Off by default: the only cost then
+    /// is one predictable branch per tick, and the accumulated time
+    /// never feeds back into simulated state.
+    profile: bool,
+    /// Accumulated tick time in [`nomad_types::fastclock`] raw units.
+    profiled_raw: u64,
 }
 
 /// Sampled observability gauges for one DRAM device: traffic totals
@@ -90,7 +97,31 @@ impl Dram {
             pending: Vec::new(),
             scratch: Vec::new(),
             obs: None,
+            profile: false,
+            profiled_raw: 0,
         }
+    }
+
+    /// Arm (or disarm) wall-clock profiling of tick time. Purely
+    /// observational — simulated behaviour is identical either way.
+    pub fn set_profile(&mut self, on: bool) {
+        if on {
+            nomad_types::fastclock::init();
+        }
+        self.profile = on;
+    }
+
+    /// Time spent inside [`tick`](Self::tick) since the last
+    /// [`reset_profile`](Self::reset_profile), in
+    /// [`nomad_types::fastclock`] raw units; always 0 while profiling
+    /// is off.
+    pub fn profiled_raw(&self) -> u64 {
+        self.profiled_raw
+    }
+
+    /// Zero the profiled-time accumulator (e.g. at the end of warm-up).
+    pub fn reset_profile(&mut self) {
+        self.profiled_raw = 0;
     }
 
     /// Device configuration.
@@ -178,23 +209,37 @@ impl Dram {
 
     /// Advance one CPU cycle; completed transfers are appended to `out`.
     pub fn tick(&mut self, out: &mut Vec<DramCompletion>) {
+        if self.profile {
+            let t0 = nomad_types::fastclock::now();
+            self.tick_inner(out);
+            self.profiled_raw += nomad_types::fastclock::now().wrapping_sub(t0);
+        } else {
+            self.tick_inner(out);
+        }
+    }
+
+    fn tick_inner(&mut self, out: &mut Vec<DramCompletion>) {
         self.cpu_cycle += 1;
         self.stats.cpu_cycles += 1;
         self.clock_acc += self.cfg.cpu_per_dev_den;
-        if self.clock_acc >= self.cfg.cpu_per_dev_num {
-            self.clock_acc -= self.cfg.cpu_per_dev_num;
-            self.dev_cycle += 1;
-            let now = self.dev_cycle;
-            self.scratch.clear();
-            for ch in &mut self.channels {
-                ch.tick_device(now, &mut self.stats, &mut self.scratch);
-                self.stats.sample_queue(ch.queue_len());
-            }
-            for c in self.scratch.drain(..) {
-                self.stats.note_row_outcome(c.row_hit);
-                self.stats.note_transfer(c.class, c.kind.is_write(), 64);
-                self.pending.push(c);
-            }
+        if self.clock_acc < self.cfg.cpu_per_dev_num {
+            // Between device edges nothing can be scheduled or become
+            // deliverable: `dev_cycle` is unchanged and the edge pass
+            // below already drained everything due at it.
+            return;
+        }
+        self.clock_acc -= self.cfg.cpu_per_dev_num;
+        self.dev_cycle += 1;
+        let now = self.dev_cycle;
+        self.scratch.clear();
+        for ch in &mut self.channels {
+            ch.tick_device(now, &mut self.stats, &mut self.scratch);
+            self.stats.sample_queue(ch.queue_len());
+        }
+        for c in self.scratch.drain(..) {
+            self.stats.note_row_outcome(c.row_hit);
+            self.stats.note_transfer(c.class, c.kind.is_write(), 64);
+            self.pending.push(c);
         }
         // Deliver completions whose device deadline has passed.
         let dev_now = self.dev_cycle;

@@ -41,4 +41,4 @@ mod system;
 pub use config::SystemConfig;
 pub use report::{ObsSeries, RunReport};
 pub use spec::{NomadSpec, SchemeSpec, TidSpec};
-pub use system::System;
+pub use system::{HotProfileReport, System};

@@ -14,8 +14,13 @@
 //! [`Pfn`] inside a page-table entry; keeping the types separate prevents
 //! an entire class of mix-up bugs in the schemes.
 
-use crate::{BLOCK_SHIFT, PAGE_SHIFT, PAGE_SIZE};
+use crate::geom::Geometry;
+use crate::PAGE_SIZE;
 use serde::{Deserialize, Serialize};
+
+/// The paper's block/page geometry, the single source of shift/mask
+/// truth for every extraction below.
+const GEOM: Geometry = Geometry::PAPER;
 
 macro_rules! addr_newtype {
     ($(#[$doc:meta])* $name:ident) => {
@@ -36,13 +41,13 @@ macro_rules! addr_newtype {
             /// Offset of this address within its 4 KiB page.
             #[inline]
             pub const fn page_offset(self) -> PageOffset {
-                PageOffset(self.0 & (PAGE_SIZE - 1))
+                PageOffset(GEOM.page.rem(self.0))
             }
 
             /// 64-byte block-aligned form of this address.
             #[inline]
             pub const fn block_aligned(self) -> $name {
-                $name(self.0 & !((1u64 << BLOCK_SHIFT) - 1))
+                $name(self.0 & !GEOM.block.mask())
             }
 
             /// Index of the 64-byte sub-block within the page
@@ -50,7 +55,7 @@ macro_rules! addr_newtype {
             /// sub-entries.
             #[inline]
             pub const fn sub_block(self) -> SubBlockIdx {
-                SubBlockIdx((self.0 >> BLOCK_SHIFT & 0x3f) as u8)
+                SubBlockIdx(GEOM.blocks_per_page.rem(GEOM.block.div(self.0)) as u8)
             }
         }
 
@@ -93,7 +98,7 @@ macro_rules! frame_newtype {
             /// Base address of the frame in its address space.
             #[inline]
             pub const fn base(self) -> $addr {
-                $addr(self.0 << PAGE_SHIFT)
+                $addr(GEOM.page.mul(self.0))
             }
 
             /// Address of byte `offset` within this frame.
@@ -104,7 +109,7 @@ macro_rules! frame_newtype {
             #[inline]
             pub fn with_offset(self, offset: PageOffset) -> $addr {
                 debug_assert!(offset.0 < PAGE_SIZE);
-                $addr((self.0 << PAGE_SHIFT) | offset.0)
+                $addr(GEOM.page.mul(self.0) | offset.0)
             }
         }
 
@@ -124,7 +129,7 @@ macro_rules! frame_newtype {
             /// Page/frame number containing this address.
             #[inline]
             pub const fn frame(self) -> $name {
-                $name(self.0 >> PAGE_SHIFT)
+                $name(GEOM.page.div(self.0))
             }
         }
     };
@@ -168,7 +173,7 @@ impl PageOffset {
     /// The 64-byte sub-block this offset falls into (0..=63).
     #[inline]
     pub const fn sub_block(self) -> SubBlockIdx {
-        SubBlockIdx((self.0 >> BLOCK_SHIFT & 0x3f) as u8)
+        SubBlockIdx(GEOM.blocks_per_page.rem(GEOM.block.div(self.0)) as u8)
     }
 }
 
@@ -199,7 +204,7 @@ impl SubBlockIdx {
     /// Byte offset of this sub-block within its page.
     #[inline]
     pub const fn page_offset(self) -> PageOffset {
-        PageOffset(((self.0 & 0x3f) as u64) << BLOCK_SHIFT)
+        PageOffset(GEOM.block.mul((self.0 & 0x3f) as u64))
     }
 }
 
@@ -221,25 +226,25 @@ impl BlockAddr {
     /// Block address containing raw byte address `addr`.
     #[inline]
     pub const fn containing(addr: u64) -> Self {
-        BlockAddr(addr >> BLOCK_SHIFT)
+        BlockAddr(GEOM.block.div(addr))
     }
 
     /// First byte address of the block.
     #[inline]
     pub const fn base(self) -> u64 {
-        self.0 << BLOCK_SHIFT
+        GEOM.block.mul(self.0)
     }
 
     /// Page number (frame-agnostic) containing the block.
     #[inline]
     pub const fn page(self) -> u64 {
-        self.0 >> (PAGE_SHIFT - BLOCK_SHIFT)
+        GEOM.blocks_per_page.div(self.0)
     }
 
     /// Sub-block index within the page.
     #[inline]
     pub const fn sub_block(self) -> SubBlockIdx {
-        SubBlockIdx((self.0 & 0x3f) as u8)
+        SubBlockIdx(GEOM.blocks_per_page.rem(self.0) as u8)
     }
 }
 

@@ -1,0 +1,154 @@
+//! Packed power-of-two address geometry.
+//!
+//! Hardware address mappings are always power-of-two decompositions, so
+//! every field extraction in the simulator can be a shift or a mask —
+//! no per-access division or modulo. This module captures that idiom in
+//! two types:
+//!
+//! * [`Pow2`] — a single power-of-two divisor/modulus, precomputed as
+//!   `(shift, mask)` once at configuration time so the hot path pays
+//!   one ALU op per extraction.
+//! * [`Geometry`] — the paper's fixed block/page decomposition
+//!   ([`Geometry::PAPER`]), the struct the address newtypes and the
+//!   cache/dcache/dram index math route through.
+//!
+//! Structures whose dimensions come from runtime configuration (cache
+//! set counts, DRAM channel/bank counts, blocks per row) build their
+//! own [`Pow2`]s with [`Pow2::new`] at construction time and reuse them
+//! for every access.
+
+use crate::{BLOCK_SHIFT, PAGE_SHIFT};
+
+/// A power-of-two divisor/modulus precomputed as shift-and-mask.
+///
+/// For a value `v = 1 << shift`, [`Pow2::div`] computes `x / v` as
+/// `x >> shift` and [`Pow2::rem`] computes `x % v` as `x & (v - 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pow2 {
+    shift: u32,
+    mask: u64,
+}
+
+impl Pow2 {
+    /// Capture `value` as shift-and-mask; `None` unless `value` is a
+    /// power of two.
+    #[inline]
+    pub const fn new(value: u64) -> Option<Pow2> {
+        if value.is_power_of_two() {
+            Some(Pow2 {
+                shift: value.trailing_zeros(),
+                mask: value - 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The `Pow2` for `1 << shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 64`.
+    #[inline]
+    pub const fn from_shift(shift: u32) -> Pow2 {
+        assert!(shift < 64);
+        Pow2 {
+            shift,
+            mask: (1u64 << shift) - 1,
+        }
+    }
+
+    /// The captured power-of-two value.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// log2 of the captured value.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// `value - 1`, the low-bit extraction mask.
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        self.mask
+    }
+
+    /// `x / value` as a shift.
+    #[inline]
+    pub const fn div(self, x: u64) -> u64 {
+        x >> self.shift
+    }
+
+    /// `x % value` as a mask.
+    #[inline]
+    pub const fn rem(self, x: u64) -> u64 {
+        x & self.mask
+    }
+
+    /// `x * value` as a shift.
+    #[inline]
+    pub const fn mul(self, x: u64) -> u64 {
+        x << self.shift
+    }
+}
+
+/// The block/page decomposition every address in the simulator obeys,
+/// precomputed once. [`Geometry::PAPER`] is the paper's configuration
+/// (64-byte blocks, 4 KiB pages, 64 sub-blocks per page); the address
+/// newtypes in [`crate::addr`] extract their fields through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Block (DRAM burst / SRAM line) size.
+    pub block: Pow2,
+    /// OS page (DRAM-cache frame) size.
+    pub page: Pow2,
+    /// Blocks per page — the width of a PCSHR sub-block bit-vector.
+    pub blocks_per_page: Pow2,
+}
+
+impl Geometry {
+    /// The paper's geometry: 64-byte blocks in 4 KiB pages.
+    pub const PAPER: Geometry = Geometry {
+        block: Pow2::from_shift(BLOCK_SHIFT),
+        page: Pow2::from_shift(PAGE_SHIFT),
+        blocks_per_page: Pow2::from_shift(PAGE_SHIFT - BLOCK_SHIFT),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BLOCK_SIZE, PAGE_SIZE, SUB_BLOCKS_PER_PAGE};
+
+    #[test]
+    fn paper_geometry_matches_constants() {
+        let g = Geometry::PAPER;
+        assert_eq!(g.block.value(), BLOCK_SIZE);
+        assert_eq!(g.page.value(), PAGE_SIZE);
+        assert_eq!(g.blocks_per_page.value(), SUB_BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    fn pow2_rejects_non_powers() {
+        assert!(Pow2::new(0).is_none());
+        assert!(Pow2::new(3).is_none());
+        assert!(Pow2::new(6).is_none());
+        assert!(Pow2::new(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn pow2_matches_div_mod_mul() {
+        for v in [1u64, 2, 4, 64, 4096, 1 << 33] {
+            let p = Pow2::new(v).unwrap();
+            assert_eq!(p.value(), v);
+            for x in [0u64, 1, 5, 63, 64, 65, 4095, 4096, 0xdead_beef_cafe] {
+                assert_eq!(p.div(x), x / v);
+                assert_eq!(p.rem(x), x % v);
+                assert_eq!(p.mul(x), x.wrapping_mul(v));
+            }
+        }
+    }
+}

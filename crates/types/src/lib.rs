@@ -24,12 +24,15 @@
 
 pub mod addr;
 pub mod event;
+pub mod fastclock;
+pub mod geom;
 pub mod hash;
 pub mod req;
 pub mod stats;
 
 pub use addr::{BlockAddr, CacheAddr, Cfn, PageOffset, Pfn, PhysAddr, SubBlockIdx, VirtAddr, Vpn};
 pub use event::{CancelToken, NextActivity};
+pub use geom::{Geometry, Pow2};
 pub use hash::fnv1a;
 pub use req::{AccessKind, MemLevel, MemReq, MemResp, MemTarget, ReqId, TrafficClass};
 
