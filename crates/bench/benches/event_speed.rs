@@ -22,7 +22,7 @@
 // the best time kept, to shed scheduler/frequency noise); one core,
 // the 4 MiB DRAM-cache configuration the parity suite uses.
 
-use nomad_bench::{load_json, save_json};
+use nomad_bench::{apply_perf_gate, load_json, measure, save_json};
 use nomad_sim::{SchemeSpec, System, SystemConfig};
 use nomad_trace::{SyntheticTrace, TraceSource, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -111,28 +111,27 @@ fn main() {
     .flat_map(|s| {
         [WorkloadProfile::tc(), WorkloadProfile::mcf()].map(|profile| (s.clone(), profile))
     }) {
-        // Interleave the two modes across repetitions and keep each
-        // mode's best time, so frequency scaling and scheduler noise
-        // hit both sides evenly. A cell that panics (e.g. a scheme
-        // wedging into the simulator's deadlock detector at very large
-        // NOMAD_INSTR) is reported and skipped, not fatal to the rest
-        // of the matrix.
+        // Interleaved best-of-reps (see `nomad_bench::measure`): dense
+        // and event mode alternate so frequency scaling and scheduler
+        // noise hit both sides evenly. A cell that panics (e.g. a
+        // scheme wedging into the simulator's deadlock detector at
+        // very large NOMAD_INSTR) is reported and skipped, not fatal
+        // to the rest of the matrix.
         let measured = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut dense_cycles = 0;
-            let mut event_cycles = 0;
-            let mut dense_secs = f64::INFINITY;
-            let mut event_secs = f64::INFINITY;
-            for _ in 0..reps {
-                let mut dense_sys = build(&cfg, &spec, &profile, seed);
-                let (cycles, secs) = timed_run(&mut dense_sys, true, warmup, instructions);
-                dense_cycles = cycles;
-                dense_secs = dense_secs.min(secs);
-
-                let mut event_sys = build(&cfg, &spec, &profile, seed);
-                let (cycles, secs) = timed_run(&mut event_sys, false, warmup, instructions);
-                event_cycles = cycles;
-                event_secs = event_secs.min(secs);
-            }
+            let mut dense_mode = || {
+                let mut sys = build(&cfg, &spec, &profile, seed);
+                let (cycles, secs) = timed_run(&mut sys, true, warmup, instructions);
+                (secs, cycles)
+            };
+            let mut event_mode = || {
+                let mut sys = build(&cfg, &spec, &profile, seed);
+                let (cycles, secs) = timed_run(&mut sys, false, warmup, instructions);
+                (secs, cycles)
+            };
+            let best = measure::best_of(reps, &mut [&mut dense_mode, &mut event_mode]);
+            let [(dense_secs, dense_cycles), (event_secs, event_cycles)] = best[..] else {
+                unreachable!("two modes in, two out");
+            };
             (dense_cycles, event_cycles, dense_secs, event_secs)
         }));
         let Ok((dense_cycles, event_cycles, dense_secs, event_secs)) = measured else {
@@ -174,9 +173,12 @@ fn main() {
             speedup: dense_secs / event_secs,
         });
     }
-    // Report-only comparison against the committed baseline artifact
-    // (if any): wall-clock numbers are host-dependent, so the delta is
-    // informational, never a gate.
+    // Comparison against the committed baseline artifact (if any):
+    // wall-clock numbers are host-dependent, so by default the delta
+    // is informational. With `NOMAD_PERF_GATE_PCT` set (CI: 25), a
+    // drop past the threshold fails the run — a soft gate wide enough
+    // for runner noise but narrow enough to catch real regressions.
+    let mut deltas = Vec::new();
     if let Some(baseline) = load_json::<Vec<Row>>("event_speed") {
         println!("\ncycles/sec vs committed results/event_speed.json (event kernel):");
         for row in &rows {
@@ -186,15 +188,14 @@ fn main() {
             else {
                 continue;
             };
+            let delta = (row.event_cycles_per_sec / base.event_cycles_per_sec - 1.0) * 100.0;
             println!(
-                "  {:<10} {:<10} {:>12.0} -> {:>12.0}  ({:+.1}%)",
-                row.scheme,
-                row.workload,
-                base.event_cycles_per_sec,
-                row.event_cycles_per_sec,
-                (row.event_cycles_per_sec / base.event_cycles_per_sec - 1.0) * 100.0
+                "  {:<10} {:<10} {:>12.0} -> {:>12.0}  ({delta:+.1}%)",
+                row.scheme, row.workload, base.event_cycles_per_sec, row.event_cycles_per_sec,
             );
+            deltas.push((format!("event {}/{}", row.scheme, row.workload), delta));
         }
     }
     save_json("event_speed", &rows);
+    apply_perf_gate(&deltas);
 }

@@ -20,7 +20,7 @@
 // the environment variable overrides the in-process toggle this
 // harness drives, so with it set both halves would run the same mode.
 
-use nomad_bench::{save_json, Scale};
+use nomad_bench::{measure, save_json, Scale};
 use nomad_sim::SchemeSpec;
 use nomad_trace::WorkloadProfile;
 use serde::Serialize;
@@ -63,40 +63,40 @@ fn main() {
     );
 
     // Untimed warm-up (allocator, page cache), then interleaved timed
-    // repetitions so drift hits both modes equally.
+    // repetitions (see `nomad_bench::measure`) so drift hits both
+    // modes equally. The disabled mode carries no payload; the enabled
+    // one carries its report (needed below for the stripping check),
+    // so both return `Option<RunReport>`.
     nomad_obs::set_enabled(false);
     let disabled_report = nomad_bench::run(&scale, &spec, &profile);
-    let mut disabled_best = f64::INFINITY;
-    let mut enabled_best = f64::INFINITY;
-    let mut enabled_report = None;
-    let mut timed_pair = |disabled_best: &mut f64, enabled_best: &mut f64| {
+    let mut disabled_mode = || {
         nomad_obs::set_enabled(false);
         let t = Instant::now();
         let r = nomad_bench::run(&scale, &spec, &profile);
-        *disabled_best = disabled_best.min(t.elapsed().as_secs_f64() * 1e3);
+        let secs = t.elapsed().as_secs_f64();
         assert_eq!(
             r.to_json(),
             disabled_report.to_json(),
             "disabled runs must be deterministic"
         );
-
+        (secs, None)
+    };
+    let mut enabled_mode = || {
         nomad_obs::set_enabled(true);
         let t = Instant::now();
         let r = nomad_bench::run(&scale, &spec, &profile);
-        *enabled_best = enabled_best.min(t.elapsed().as_secs_f64() * 1e3);
-        enabled_report = Some(r);
+        (t.elapsed().as_secs_f64(), Some(r))
     };
-    for _ in 0..reps {
-        timed_pair(&mut disabled_best, &mut enabled_best);
-    }
+    let mut best = measure::best_of(reps as u64, &mut [&mut disabled_mode, &mut enabled_mode]);
     // Scheduler noise only ever *inflates* a sample, so the best-of
     // minimum tightens monotonically with more reps. If the estimate
     // is over budget, escalate with extra interleaved pairs before
     // declaring a real regression — this keeps the gate meaningful on
     // short runs and loaded CI machines.
     let mut escalations = 0;
-    while enabled_best / disabled_best - 1.0 >= 0.02 && escalations < reps.max(1) * 4 {
-        timed_pair(&mut disabled_best, &mut enabled_best);
+    while best[1].0 / best[0].0 - 1.0 >= 0.02 && escalations < reps.max(1) * 4 {
+        let fresh = measure::best_of(1, &mut [&mut disabled_mode, &mut enabled_mode]);
+        measure::merge_best(&mut best, fresh);
         escalations += 1;
     }
     if escalations > 0 {
@@ -104,7 +104,13 @@ fn main() {
     }
     nomad_obs::set_enabled(false);
 
-    let enabled_report = enabled_report.expect("reps >= 1");
+    let disabled_best = best[0].0 * 1e3;
+    let enabled_best = best[1].0 * 1e3;
+    let enabled_report = best
+        .pop()
+        .expect("two modes")
+        .1
+        .expect("enabled mode carries its report");
     let series = enabled_report
         .obs
         .as_ref()

@@ -19,7 +19,7 @@
 // `NOMAD_JOBS` (parallel-mode worker count; default: available
 // parallelism).
 
-use nomad_bench::{figs, load_json, par, save_json, Scale};
+use nomad_bench::{apply_perf_gate, figs, load_json, measure, par, save_json, Scale};
 use nomad_sim::SchemeSpec;
 use nomad_trace::WorkloadProfile;
 use serde::{Deserialize, Serialize};
@@ -79,34 +79,28 @@ fn main() {
         host_threads, scale.jobs, reps
     );
 
-    // Interleave the two modes across repetitions and keep each mode's
-    // best time, so frequency scaling and scheduler noise hit both
-    // sides evenly.
-    let mut seq_secs = f64::INFINITY;
-    let mut par_secs = f64::INFINITY;
-    let mut seq_rows = None;
-    let mut par_rows = None;
-    for rep in 0..reps {
-        eprintln!("— rep {} / {}: sequential (jobs=1)", rep + 1, reps);
+    // Interleaved best-of-reps (see `nomad_bench::measure`): the two
+    // modes alternate so frequency scaling and scheduler noise hit
+    // both sides evenly.
+    let mut seq_rep = 0;
+    let mut seq_mode = || {
+        seq_rep += 1;
+        eprintln!("— rep {seq_rep} / {reps}: sequential (jobs=1)");
         let t0 = Instant::now();
         let rows = figs::sweep(&scale.with_jobs(1), &specs, &workloads);
-        seq_secs = seq_secs.min(t0.elapsed().as_secs_f64());
-        seq_rows = Some(rows);
-
-        eprintln!(
-            "— rep {} / {}: parallel (jobs={})",
-            rep + 1,
-            reps,
-            scale.jobs
-        );
+        (t0.elapsed().as_secs_f64(), rows)
+    };
+    let mut par_rep = 0;
+    let mut par_mode = || {
+        par_rep += 1;
+        eprintln!("— rep {par_rep} / {reps}: parallel (jobs={})", scale.jobs);
         let t0 = Instant::now();
         let rows = figs::sweep(&scale, &specs, &workloads);
-        par_secs = par_secs.min(t0.elapsed().as_secs_f64());
-        par_rows = Some(rows);
-    }
-
-    let seq_rows = seq_rows.expect("at least one rep");
-    let par_rows = par_rows.expect("at least one rep");
+        (t0.elapsed().as_secs_f64(), rows)
+    };
+    let mut best = measure::best_of(reps, &mut [&mut seq_mode, &mut par_mode]);
+    let (par_secs, par_rows) = best.pop().expect("two modes");
+    let (seq_secs, seq_rows) = best.pop().expect("two modes");
     let seq_json = serde_json::to_string(&seq_rows).expect("plain data");
     let par_json = serde_json::to_string(&par_rows).expect("plain data");
     assert_eq!(
@@ -130,17 +124,21 @@ fn main() {
     );
     println!("speedup: {speedup:.2}x (rows byte-identical)");
 
-    // Report-only comparison against the committed baseline artifact
-    // (if any). Wall-clock and host-dependent; informational only.
+    // Comparison against the committed baseline artifact (if any).
+    // Wall-clock and host-dependent, so informational by default;
+    // `NOMAD_PERF_GATE_PCT` (CI: 25) turns a drop past the threshold
+    // into a failure.
+    let mut deltas = Vec::new();
     if let Some(base) = load_json::<SweepSpeed>("sweep_speed") {
         if base.cells == cells && base.instructions == scale.instructions {
             let base_cps = base.cells as f64 / base.par_secs;
             let cps = cells as f64 / par_secs;
+            let delta = (cps / base_cps - 1.0) * 100.0;
             println!(
                 "cells/sec vs committed results/sweep_speed.json (parallel): \
-                 {base_cps:.2} -> {cps:.2} ({:+.1}%)",
-                (cps / base_cps - 1.0) * 100.0
+                 {base_cps:.2} -> {cps:.2} ({delta:+.1}%)"
             );
+            deltas.push(("sweep cells/sec (parallel)".to_string(), delta));
         } else {
             println!(
                 "committed results/sweep_speed.json ran a different scale \
@@ -167,4 +165,5 @@ fn main() {
             rows_identical: true,
         },
     );
+    apply_perf_gate(&deltas);
 }

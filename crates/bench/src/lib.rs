@@ -17,7 +17,13 @@
 //! * `NOMAD_JOBS` — sweep worker threads (default: the host's
 //!   available parallelism; 0 or garbage clamp to 1). Results are
 //!   collected in submission order, so every table and JSON artifact
-//!   is byte-identical at any job count — see [`par`].
+//!   is byte-identical at any job count — see [`par`];
+//! * `NOMAD_ARENA=0` — disable per-thread [`System`](nomad_sim::System)
+//!   reuse and build every sweep cell from scratch (default: recycle;
+//!   see [`arena`]);
+//! * `NOMAD_LOCAL_CACHE=1` — memoize finished cells in
+//!   `results/cache/` keyed by their serve-tier content address
+//!   (default: off; see [`localcache`]).
 //!
 //! Resilience knobs (see DESIGN.md §12):
 //!
@@ -31,8 +37,11 @@
 //! * `NOMAD_SERVE_*` — serve-client recovery budgets, documented on
 //!   `nomad_serve::ClientConfig`.
 
+pub mod arena;
 pub mod figs;
 pub mod journal;
+pub mod localcache;
+pub mod measure;
 pub mod par;
 pub mod signal;
 
@@ -220,7 +229,12 @@ pub fn run_cell(
     run_with_cfg_cell(&scale.config(), scale, spec, profile, cancel)
 }
 
-/// [`run_with_cfg`] with cooperative cancellation.
+/// [`run_with_cfg`] with cooperative cancellation. When the arena is
+/// enabled (default; see [`arena`]) the cell recycles this worker
+/// thread's parked [`System`](nomad_sim::System) instead of building
+/// one from scratch — behaviourally identical either way. With
+/// `NOMAD_LOCAL_CACHE` set (see [`localcache`]) the cell is served
+/// from (and stored to) the local content-addressed cache.
 pub fn run_with_cfg_cell(
     cfg: &SystemConfig,
     scale: &Scale,
@@ -228,15 +242,58 @@ pub fn run_with_cfg_cell(
     profile: &WorkloadProfile,
     cancel: &CancelToken,
 ) -> Option<RunReport> {
-    runner::run_one_cancellable(
-        cfg,
-        spec,
-        profile,
-        scale.instructions,
-        scale.warmup,
-        scale.seed,
-        cancel,
-    )
+    if localcache::dir().is_some() {
+        let job = nomad_serve::JobSpec {
+            cfg: cfg.clone(),
+            spec: spec.clone(),
+            profile: profile.clone(),
+            instructions: scale.instructions,
+            warmup: scale.warmup,
+            seed: scale.seed,
+        };
+        if let Some(hit) = localcache::lookup(&job) {
+            return Some(hit);
+        }
+        let report = execute_cell(cfg, scale, spec, profile, cancel)?;
+        localcache::store(&job, &report);
+        return Some(report);
+    }
+    execute_cell(cfg, scale, spec, profile, cancel)
+}
+
+/// The actual cell body behind [`run_with_cfg_cell`]: arena-pooled when
+/// enabled, fresh otherwise.
+fn execute_cell(
+    cfg: &SystemConfig,
+    scale: &Scale,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    if arena::enabled() {
+        arena::with_slot(|slot| {
+            runner::run_one_pooled(
+                slot,
+                cfg,
+                spec,
+                profile,
+                scale.instructions,
+                scale.warmup,
+                scale.seed,
+                cancel,
+            )
+        })
+    } else {
+        runner::run_one_cancellable(
+            cfg,
+            spec,
+            profile,
+            scale.instructions,
+            scale.warmup,
+            scale.seed,
+            cancel,
+        )
+    }
 }
 
 /// Write a JSON artifact under `results/` (best effort: failures are
@@ -294,6 +351,38 @@ pub fn load_json<T: serde::Deserialize>(name: &str) -> Option<T> {
     let path = root.join("results").join(format!("{name}.json"));
     let text = std::fs::read_to_string(path).ok()?;
     serde_json::from_str(&text).ok()
+}
+
+/// The soft perf-gate threshold from `NOMAD_PERF_GATE_PCT`: when set,
+/// a speed harness fails once throughput drops more than this many
+/// percent below its committed `results/*.json` baseline. Unset (the
+/// default) or unparsable means no gate — the harnesses stay
+/// report-only, because wall-clock numbers are host-dependent and a
+/// hard gate only makes sense against a baseline produced on
+/// comparable hardware (CI pins the gate at 25% for its own runners).
+pub fn perf_gate_pct() -> Option<f64> {
+    std::env::var("NOMAD_PERF_GATE_PCT").ok()?.parse().ok()
+}
+
+/// Apply the soft perf gate to `(label, delta_pct)` pairs, where a
+/// negative delta means "slower than the committed baseline by that
+/// many percent". A no-op when `NOMAD_PERF_GATE_PCT` is unset;
+/// otherwise prints every offender past the threshold and exits
+/// non-zero so CI fails the job.
+pub fn apply_perf_gate(deltas: &[(String, f64)]) {
+    let Some(gate) = perf_gate_pct() else { return };
+    let offenders: Vec<&(String, f64)> = deltas.iter().filter(|(_, d)| *d < -gate).collect();
+    if offenders.is_empty() {
+        println!(
+            "perf gate: {} delta(s) all within -{gate:.0}% of baseline",
+            deltas.len()
+        );
+        return;
+    }
+    for (label, d) in &offenders {
+        eprintln!("perf gate FAILED: {label} at {d:+.1}% (threshold -{gate:.0}%)");
+    }
+    std::process::exit(1);
 }
 
 /// Geometric mean of an iterator of positive values (the paper reports

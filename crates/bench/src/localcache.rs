@@ -1,0 +1,111 @@
+//! Local content-addressed cell cache (`NOMAD_LOCAL_CACHE`).
+//!
+//! The serve tier already content-addresses finished cells by the
+//! FNV-1a 64 of their canonical [`JobSpec`] JSON
+//! ([`JobSpec::content_key`]); this module gives a *local* sweep the
+//! same memoization without standing up a server. With
+//! `NOMAD_LOCAL_CACHE=1`, every completed cell is written to
+//! `results/cache/<key:016x>.json` and the next sweep that asks for a
+//! byte-identical job tuple gets the stored [`RunReport`] back instead
+//! of re-simulating — handy when iterating on one figure while the
+//! rest of the grid is unchanged.
+//!
+//! Any other non-empty value (except `0`) is taken as the cache
+//! directory itself, so tests and throwaway sweeps can point the cache
+//! at a scratch path.
+//!
+//! Correctness leans on two things:
+//!
+//! * the simulator is deterministic: the job tuple fully determines
+//!   the report, so a hit is byte-identical to a re-run (held by the
+//!   `local_cache` parity test);
+//! * 64-bit keys can collide, so each entry stores the canonical JSON
+//!   it was keyed from and a lookup whose canonical form mismatches is
+//!   treated as a miss (same discipline as
+//!   [`nomad_serve::ResultCache`]).
+//!
+//! Everything is best-effort: unreadable or unwritable entries degrade
+//! to a plain re-run, never an error.
+
+use nomad_serve::JobSpec;
+use nomad_sim::RunReport;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One stored cell: the canonical job JSON it was keyed from (the
+/// collision guard) plus the finished report.
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    canonical: String,
+    report: RunReport,
+}
+
+/// The active cache directory, or `None` when caching is disabled
+/// (unset, empty, or `0`). `1` selects the standard
+/// `results/cache/` next to the other artifacts; any other value is
+/// used as the directory verbatim.
+pub fn dir() -> Option<PathBuf> {
+    match std::env::var("NOMAD_LOCAL_CACHE") {
+        Err(_) => None,
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" => {
+            // Same workspace-root anchoring as `save_json`.
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root exists");
+            Some(root.join("results").join("cache"))
+        }
+        Ok(v) => Some(PathBuf::from(v)),
+    }
+}
+
+fn entry_path(dir: &std::path::Path, job: &JobSpec) -> PathBuf {
+    dir.join(format!("{:016x}.json", job.content_key()))
+}
+
+/// The stored report for `job`, if the cache holds one whose canonical
+/// JSON matches exactly. `None` on a miss, a key collision, or any
+/// read/parse failure.
+pub fn lookup(job: &JobSpec) -> Option<RunReport> {
+    let dir = dir()?;
+    let text = std::fs::read_to_string(entry_path(&dir, job)).ok()?;
+    let entry: Entry = serde_json::from_str(&text).ok()?;
+    (entry.canonical == job.canonical_json()).then_some(entry.report)
+}
+
+/// Store a finished cell (best effort; failures are reported to stderr
+/// and otherwise ignored).
+pub fn store(job: &JobSpec, report: &RunReport) {
+    let Some(dir) = dir() else { return };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
+    }
+    let entry = Entry {
+        canonical: job.canonical_json(),
+        report: report.clone(),
+    };
+    let path = entry_path(&dir, job);
+    let json = serde_json::to_string(&entry).expect("entry serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_values() {
+        // Can't touch the process environment safely under the
+        // multi-threaded test harness; exercise the parse rules on the
+        // current value instead: unset/empty/0 must disable.
+        match std::env::var("NOMAD_LOCAL_CACHE") {
+            Err(_) => assert!(dir().is_none()),
+            Ok(v) if v.is_empty() || v == "0" => assert!(dir().is_none()),
+            Ok(_) => assert!(dir().is_some()),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Interleaved best-of-N measurement, shared by the speed harnesses.
+//!
+//! Every speed harness in this crate compares two or more *modes* of
+//! running the same deterministic work (dense vs event kernel,
+//! sequential vs parallel sweep, observability off vs on). Wall-clock
+//! noise — frequency scaling, scheduler preemption, thermal drift —
+//! only ever *inflates* a sample, so the right estimator is the
+//! minimum over repetitions; and because drift is correlated in time,
+//! the modes must be **interleaved** (A B A B …), never phased
+//! (A A B B), or a mid-run frequency step charges all of its cost to
+//! one side. This module is that loop, written once.
+
+/// Run every mode once per repetition, in order, and keep each mode's
+/// best (minimum) reported wall-seconds together with the payload of
+/// that best repetition.
+///
+/// Each mode measures itself — it returns `(secs, payload)` — so
+/// untimed per-rep work (building a system, warming up) stays outside
+/// the number. With `reps == 0` one repetition still runs, so the
+/// result is never empty.
+pub fn best_of<R>(reps: u64, modes: &mut [&mut dyn FnMut() -> (f64, R)]) -> Vec<(f64, R)> {
+    let mut best: Vec<Option<(f64, R)>> = modes.iter().map(|_| None).collect();
+    for _ in 0..reps.max(1) {
+        for (slot, mode) in best.iter_mut().zip(modes.iter_mut()) {
+            let (secs, payload) = mode();
+            let keep = match slot.take() {
+                Some((prev_secs, prev)) if prev_secs <= secs => (prev_secs, prev),
+                _ => (secs, payload),
+            };
+            *slot = Some(keep);
+        }
+    }
+    best.into_iter()
+        .map(|slot| slot.expect("at least one repetition ran"))
+        .collect()
+}
+
+/// Merge a later [`best_of`] pass into an earlier one, mode by mode:
+/// keep whichever repetition was faster. The escalation loops use this
+/// to tighten estimates with extra interleaved pairs.
+pub fn merge_best<R>(acc: &mut [(f64, R)], fresh: Vec<(f64, R)>) {
+    for (slot, (secs, payload)) in acc.iter_mut().zip(fresh) {
+        if secs < slot.0 {
+            *slot = (secs, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_minimum_and_its_payload() {
+        let mut times_a = [3.0, 1.0, 2.0].into_iter();
+        let mut times_b = [5.0, 6.0, 4.0].into_iter();
+        let mut tag_a = 0;
+        let mut tag_b = 0;
+        let mut a = || {
+            tag_a += 1;
+            (times_a.next().unwrap(), tag_a)
+        };
+        let mut b = || {
+            tag_b += 1;
+            (times_b.next().unwrap(), tag_b)
+        };
+        let got = best_of(3, &mut [&mut a, &mut b]);
+        // Mode A's best was rep 2 (1.0), mode B's was rep 3 (4.0).
+        assert_eq!(got, vec![(1.0, 2), (4.0, 3)]);
+    }
+
+    #[test]
+    fn zero_reps_still_runs_once() {
+        let mut calls = 0;
+        let mut m = || {
+            calls += 1;
+            (1.0, ())
+        };
+        let got = best_of(0, &mut [&mut m]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn interleaves_rather_than_phases() {
+        // Record global call order: must be A B A B, not A A B B.
+        let order = std::cell::RefCell::new(Vec::new());
+        let mut a = || {
+            order.borrow_mut().push('a');
+            (1.0, ())
+        };
+        let mut b = || {
+            order.borrow_mut().push('b');
+            (1.0, ())
+        };
+        best_of(2, &mut [&mut a, &mut b]);
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'a', 'b']);
+    }
+
+    #[test]
+    fn merge_keeps_faster_side() {
+        let mut acc = vec![(2.0, 'x'), (1.0, 'y')];
+        merge_best(&mut acc, vec![(1.5, 'p'), (3.0, 'q')]);
+        assert_eq!(acc, vec![(1.5, 'p'), (1.0, 'y')]);
+    }
+}

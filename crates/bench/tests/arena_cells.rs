@@ -1,0 +1,51 @@
+//! The bench-side arena path (`run_with_cfg_cell` with per-thread
+//! [`System`](nomad_sim::System) reuse) must be byte-identical to a
+//! fresh uncached run for every cell — the sweep-level counterpart of
+//! `nomad-sim`'s `arena_parity` suite.
+
+use nomad_bench::{arena, run_with_cfg_cell, Scale};
+use nomad_sim::{runner, SchemeSpec};
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+
+#[test]
+fn arena_cells_match_fresh_runs() {
+    let scale = Scale {
+        instructions: 3_000,
+        warmup: 800,
+        cores: 2,
+        seed: 42,
+        jobs: 1,
+    };
+    let cfg = scale.config();
+    let cancel = CancelToken::new();
+    arena::clear();
+    // Three consecutive cells on this thread: the second and third
+    // recycle the first one's system (unless NOMAD_ARENA=0, in which
+    // case this degenerates to the fresh path — equality must hold
+    // either way).
+    let cells = [
+        (SchemeSpec::Baseline, WorkloadProfile::mcf()),
+        (SchemeSpec::Nomad, WorkloadProfile::tc()),
+        (SchemeSpec::Tdc, WorkloadProfile::mcf()),
+    ];
+    for (spec, profile) in &cells {
+        let pooled = run_with_cfg_cell(&cfg, &scale, spec, profile, &cancel)
+            .expect("uncancelled cell completes");
+        let fresh = runner::run_one(
+            &cfg,
+            spec,
+            profile,
+            scale.instructions,
+            scale.warmup,
+            scale.seed,
+        );
+        assert_eq!(
+            serde_json::to_string(&pooled).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "arena cell diverged for {spec:?} × {}",
+            profile.name
+        );
+    }
+    arena::clear();
+}

@@ -1,0 +1,117 @@
+//! Parity for the local content-addressed cell cache
+//! (`NOMAD_LOCAL_CACHE`): rows served from the cache must be
+//! byte-identical to freshly simulated ones, and collisions /
+//! corruption must degrade to a re-run, never a wrong answer.
+//!
+//! This file holds a single `#[test]` because it mutates the process
+//! environment; keeping it alone in its own integration-test binary
+//! means no concurrent test can race on `NOMAD_LOCAL_CACHE`.
+
+use nomad_bench::{localcache, run_with_cfg_cell, Scale};
+use nomad_serve::JobSpec;
+use nomad_sim::{runner, SchemeSpec};
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap()
+}
+
+#[test]
+fn cached_cells_are_byte_identical_to_fresh_runs() {
+    let dir = std::env::temp_dir().join(format!("nomad-local-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("NOMAD_LOCAL_CACHE", &dir);
+    assert_eq!(localcache::dir().as_deref(), Some(dir.as_path()));
+
+    let scale = Scale {
+        instructions: 3_000,
+        warmup: 800,
+        cores: 2,
+        seed: 42,
+        jobs: 1,
+    };
+    let cfg = scale.config();
+    let cancel = CancelToken::new();
+    let cells = [
+        (SchemeSpec::Baseline, WorkloadProfile::tc()),
+        (SchemeSpec::Nomad, WorkloadProfile::mcf()),
+    ];
+
+    for (spec, profile) in &cells {
+        // First pass populates the cache, second pass must hit it;
+        // both must equal an uncached reference run byte for byte.
+        let first = run_with_cfg_cell(&cfg, &scale, spec, profile, &cancel).unwrap();
+        let job = JobSpec {
+            cfg: cfg.clone(),
+            spec: spec.clone(),
+            profile: profile.clone(),
+            instructions: scale.instructions,
+            warmup: scale.warmup,
+            seed: scale.seed,
+        };
+        assert!(
+            localcache::lookup(&job).is_some(),
+            "finished cell was not stored"
+        );
+        let second = run_with_cfg_cell(&cfg, &scale, spec, profile, &cancel).unwrap();
+        let fresh = runner::run_one(
+            &cfg,
+            spec,
+            profile,
+            scale.instructions,
+            scale.warmup,
+            scale.seed,
+        );
+        assert_eq!(json(&first), json(&fresh), "first (miss) pass diverged");
+        assert_eq!(json(&second), json(&fresh), "cached pass diverged");
+    }
+
+    // A different seed is a different content address: no false hit.
+    let other = JobSpec {
+        cfg: cfg.clone(),
+        spec: SchemeSpec::Baseline,
+        profile: WorkloadProfile::tc(),
+        instructions: scale.instructions,
+        warmup: scale.warmup,
+        seed: scale.seed + 1,
+    };
+    assert!(localcache::lookup(&other).is_none());
+
+    // Corrupt an entry on disk: lookup must degrade to a miss and the
+    // sweep must transparently re-simulate the right answer.
+    let job = JobSpec {
+        cfg: cfg.clone(),
+        spec: SchemeSpec::Baseline,
+        profile: WorkloadProfile::tc(),
+        instructions: scale.instructions,
+        warmup: scale.warmup,
+        seed: scale.seed,
+    };
+    let path = dir.join(format!("{:016x}.json", job.content_key()));
+    std::fs::write(&path, b"{ not json").unwrap();
+    assert!(
+        localcache::lookup(&job).is_none(),
+        "corrupt entry must miss"
+    );
+    let recovered = run_with_cfg_cell(
+        &cfg,
+        &scale,
+        &SchemeSpec::Baseline,
+        &WorkloadProfile::tc(),
+        &cancel,
+    )
+    .unwrap();
+    let fresh = runner::run_one(
+        &cfg,
+        &SchemeSpec::Baseline,
+        &WorkloadProfile::tc(),
+        scale.instructions,
+        scale.warmup,
+        scale.seed,
+    );
+    assert_eq!(json(&recovered), json(&fresh));
+
+    std::env::remove_var("NOMAD_LOCAL_CACHE");
+    let _ = std::fs::remove_dir_all(&dir);
+}

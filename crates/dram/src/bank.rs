@@ -107,6 +107,27 @@ impl BankFile {
         ready
     }
 
+    /// Earliest device cycle a CAS may issue on bank `b` (bank-local
+    /// timing only; the open-row and bus constraints are the
+    /// scheduler's).
+    #[inline]
+    pub fn cas_ready_at(&self, b: usize) -> u64 {
+        self.cas_at[b]
+    }
+
+    /// Earliest device cycle an ACT may issue on bank `b` (bank-local
+    /// timing only; tRRD/tFAW are channel-level).
+    #[inline]
+    pub fn act_ready_at(&self, b: usize) -> u64 {
+        self.act_at[b]
+    }
+
+    /// Earliest device cycle a PRE may issue on bank `b`.
+    #[inline]
+    pub fn pre_ready_at(&self, b: usize) -> u64 {
+        self.pre_at[b]
+    }
+
     /// Issue an ACT for `row` on bank `b` at `now`.
     pub fn act(&mut self, b: usize, row: u64, now: u64, t: &TimingParams) {
         debug_assert!(self.can_act(b, now));
@@ -148,6 +169,17 @@ impl BankFile {
         for at in &mut self.cas_at {
             *at = (*at).max(ready_at);
         }
+    }
+
+    /// Return every bank to the just-constructed state (all rows
+    /// closed, no timing obligations), retaining the arrays'
+    /// allocations — the arena-reuse path between sweep cells.
+    pub fn reset(&mut self) {
+        self.open_row.fill(0);
+        self.act_at.fill(0);
+        self.cas_at.fill(0);
+        self.pre_at.fill(0);
+        self.open = 0;
     }
 
     /// Latest timing obligation across all banks that must drain before

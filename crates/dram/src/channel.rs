@@ -94,7 +94,18 @@ pub(crate) struct Channel {
     /// If refreshing, the device cycle the refresh completes.
     refresh_until: Option<u64>,
     timing: TimingParams,
+    /// Memoized [`next_interesting_dev_cycle`](Self::next_interesting_dev_cycle)
+    /// result (unclamped), or [`BOUND_DIRTY`]. Every candidate in the
+    /// bound is an absolute device cycle derived from channel state, so
+    /// the value stays valid until the state mutates — each mutation
+    /// site re-arms the sentinel via [`touch`](Self::touch). `Cell`
+    /// keeps the query `&self` for the read-only kernel scans.
+    bound_cache: std::cell::Cell<u64>,
 }
+
+/// Sentinel for an invalidated [`Channel::bound_cache`]; real bounds
+/// are device-cycle numbers and never reach `u64::MAX`.
+const BOUND_DIRTY: u64 = u64::MAX;
 
 impl Channel {
     pub fn new(cfg: &DramConfig) -> Self {
@@ -110,7 +121,32 @@ impl Channel {
             next_refresh: cfg.timing.t_refi,
             refresh_until: None,
             timing: cfg.timing,
+            bound_cache: std::cell::Cell::new(BOUND_DIRTY),
         }
+    }
+
+    /// Return the channel to its just-constructed state (empty queue,
+    /// idle banks, first refresh at `t_refi`), keeping every
+    /// allocation — the arena-reuse path between sweep cells.
+    pub fn reset(&mut self) {
+        self.banks.reset();
+        self.queue.clear();
+        self.queued_count.fill(0);
+        self.queued_mask = 0;
+        self.bus_free_at = 0;
+        self.next_act_ok = 0;
+        self.act_window = [0; 4];
+        self.next_refresh = self.timing.t_refi;
+        self.refresh_until = None;
+        self.bound_cache.set(BOUND_DIRTY);
+    }
+
+    /// Invalidate the memoized issue bound; must be called by every
+    /// mutation of state [`next_interesting_dev_cycle`](Self::next_interesting_dev_cycle)
+    /// reads (queue, banks, bus, ACT gates, refresh schedule).
+    #[inline]
+    fn touch(&mut self) {
+        self.bound_cache.set(BOUND_DIRTY);
     }
 
     /// Whether there is room for one more command.
@@ -150,6 +186,7 @@ impl Channel {
         });
         self.queued_count[bank] += 1;
         self.queued_mask |= 1u64 << bank;
+        self.touch();
         Ok(())
     }
 
@@ -184,6 +221,7 @@ impl Channel {
                 return true;
             }
             self.refresh_until = None;
+            self.touch();
         }
         if now >= self.next_refresh {
             // Wait for all banks to become precharge-able, then refresh.
@@ -193,6 +231,7 @@ impl Channel {
                 self.banks.refresh_close_all(until);
                 self.refresh_until = Some(until);
                 self.next_refresh += self.timing.t_refi;
+                self.touch();
                 stats.refreshes.inc();
                 return true;
             }
@@ -203,6 +242,7 @@ impl Channel {
     /// Issue the row-hit CAS queued at `i` and record its completion.
     fn issue_cas(&mut self, i: usize, now: u64, out: &mut Vec<ChannelCompletion>) {
         let t = self.timing;
+        self.touch();
         let cmd = self.take_queued(i);
         let data_start = match cmd.kind {
             AccessKind::Read => {
@@ -303,6 +343,7 @@ impl Channel {
                 Some(_) => {
                     if self.banks.can_pre(bank_idx, now) {
                         self.banks.pre(bank_idx, now, &t);
+                        self.touch();
                         return;
                     }
                     attempted |= bit;
@@ -312,6 +353,7 @@ impl Channel {
                         self.banks.act(bank_idx, row, now, &t);
                         self.queue[i].needed_act = true;
                         self.note_act(now);
+                        self.touch();
                         return;
                     }
                     attempted |= bit;
@@ -373,6 +415,7 @@ impl Channel {
                         && self.banks.can_pre(bank_idx, now)
                     {
                         self.banks.pre(bank_idx, now, &t);
+                        self.touch();
                         return;
                     }
                     attempted |= bit;
@@ -382,12 +425,77 @@ impl Channel {
                         self.banks.act(bank_idx, row, now, &t);
                         self.queue[i].needed_act = true;
                         self.note_act(now);
+                        self.touch();
                         return;
                     }
                     attempted |= bit;
                 }
             }
         }
+    }
+
+    /// Earliest device cycle strictly after `after` at which
+    /// [`tick_device`](Self::tick_device) could change channel state:
+    /// finish or start a refresh, or issue a CAS/PRE/ACT for a queued
+    /// command. `None` while the queue is empty — refresh-only progress
+    /// is replayable in bulk ([`replay_idle_refreshes`](Self::replay_idle_refreshes)),
+    /// so an empty channel needs no wake-up of its own.
+    ///
+    /// The bound is *exact or early, never late*: it is the minimum
+    /// over per-command issue candidates computed from the live
+    /// [`BankFile`] timing words, ignoring only constraints that can
+    /// delay an issue further (FR-FCFS protected/attempted sets, row
+    /// mismatches). Landing early costs one no-op tick; landing late
+    /// would break dense/event parity.
+    pub fn next_interesting_dev_cycle(&self, after: u64) -> Option<u64> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        // Mid-refresh the scheduler is frozen; nothing before `until`.
+        if let Some(until) = self.refresh_until {
+            return Some(until.max(after + 1));
+        }
+        let cached = self.bound_cache.get();
+        if cached != BOUND_DIRTY {
+            return Some(cached.max(after + 1));
+        }
+        // Refresh start: schedule, bank drain and bus must all allow it.
+        // State is frozen inside a skip window, so the max is exact.
+        let mut next = self
+            .next_refresh
+            .max(self.banks.max_busy_until())
+            .max(self.bus_free_at);
+        let t = self.timing;
+        let act_gate = self.next_act_ok.max(self.act_window[0]);
+        for cmd in &self.queue {
+            if next <= after + 1 {
+                break; // can't get earlier than the next cycle
+            }
+            let cand = match self.banks.open_row(cmd.bank) {
+                Some(open) if open == cmd.row => {
+                    // CAS: bank CAS timing plus the data-bus gate
+                    // (data_start = now + tCL/tCWL must be ≥ bus_free_at).
+                    let lead = match cmd.kind {
+                        AccessKind::Read => t.t_cl,
+                        AccessKind::Write => t.t_cwl,
+                    };
+                    self.banks
+                        .cas_ready_at(cmd.bank)
+                        .max(self.bus_free_at.saturating_sub(lead))
+                }
+                // Row conflict: the scheduler would PRE this bank.
+                Some(_) => self.banks.pre_ready_at(cmd.bank),
+                // Closed bank: ACT, gated by tRRD and the tFAW window.
+                None => self.banks.act_ready_at(cmd.bank).max(act_gate),
+            };
+            next = next.min(cand);
+        }
+        // An early-exited scan may memoize a value below the true
+        // minimum; re-reads then clamp to `after + 1` — an *early*
+        // answer, which the kernel contract tolerates (one no-op
+        // wake), never a late one.
+        self.bound_cache.set(next);
+        Some(next.max(after + 1))
     }
 
     /// Replay the refresh machinery over the idle device-cycle window

@@ -100,6 +100,16 @@ impl DramStats {
         self.queue_occupancy_samples += n;
     }
 
+    /// Record `n` constant-occupancy queue samples at once — what dense
+    /// ticking would have sampled across `n` device edges of a channel
+    /// whose queue held `occupancy` commands the whole window (no
+    /// command can issue inside an event-kernel skip, so the depth is
+    /// pinned).
+    pub(crate) fn sample_queue_busy(&mut self, occupancy: usize, n: u64) {
+        self.queue_occupancy_sum += occupancy as u64 * n;
+        self.queue_occupancy_samples += n;
+    }
+
     /// Bytes moved for `class` (both directions).
     pub fn bytes_for(&self, class: TrafficClass) -> ClassBytes {
         let idx = TrafficClass::ALL

@@ -19,6 +19,36 @@ fn run_session(
     seed: u64,
     cancel: Option<&CancelToken>,
 ) -> Option<RunReport> {
+    run_session_in(
+        &mut None,
+        cfg,
+        scheme,
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        cancel,
+    )
+}
+
+/// [`run_session`] against a reuse slot: when `slot` parks a [`System`]
+/// whose configuration matches, the cell recycles it via
+/// [`System::reset_for_cell`] instead of building afresh, and the
+/// system is parked back afterwards (even on cancellation — the next
+/// reset cleans any mid-run state). A slot miss (empty, config
+/// mismatch, or an observed run) falls back to `System::new`, so the
+/// pooled path is always behaviourally identical to the fresh one.
+#[allow(clippy::too_many_arguments)]
+fn run_session_in(
+    slot: &mut Option<System>,
+    cfg: &SystemConfig,
+    scheme: Box<dyn nomad_dcache::DcScheme>,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+    cancel: Option<&CancelToken>,
+) -> Option<RunReport> {
     let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
         .map(|i| {
             Box::new(SyntheticTrace::with_scale(
@@ -29,28 +59,66 @@ fn run_session(
             )) as Box<dyn TraceSource>
         })
         .collect();
-    let mut sys = System::new(cfg.clone(), scheme, traces);
+    let mut sys = match slot.take() {
+        Some(mut parked) if parked.can_reuse_for(cfg) => {
+            parked.reset_for_cell(scheme, traces);
+            parked
+        }
+        _ => System::new(cfg.clone(), scheme, traces),
+    };
     sys.prewarm();
-    if warmup_instructions > 0 {
+    let mut body = || -> Option<RunReport> {
+        if warmup_instructions > 0 {
+            match cancel {
+                Some(token) => {
+                    if !sys.run_with_cancel(warmup_instructions, token) {
+                        return None;
+                    }
+                    sys.reset_stats();
+                }
+                None => sys.warm_up(warmup_instructions),
+            }
+        }
         match cancel {
             Some(token) => {
-                if !sys.run_with_cancel(warmup_instructions, token) {
+                if !sys.run_with_cancel(instructions_per_core, token) {
                     return None;
                 }
-                sys.reset_stats();
             }
-            None => sys.warm_up(warmup_instructions),
+            None => sys.run(instructions_per_core),
         }
-    }
-    match cancel {
-        Some(token) => {
-            if !sys.run_with_cancel(instructions_per_core, token) {
-                return None;
-            }
-        }
-        None => sys.run(instructions_per_core),
-    }
-    Some(sys.report(&profile.name))
+        Some(sys.report(&profile.name))
+    };
+    let report = body();
+    *slot = Some(sys);
+    report
+}
+
+/// [`run_one_cancellable`] against a caller-held reuse slot — the
+/// arena-pooled per-cell body (`nomad_bench::SystemArena`). Each worker
+/// thread keeps one parked [`System`] and every grid cell it claims
+/// recycles that system's allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_one_pooled(
+    slot: &mut Option<System>,
+    cfg: &SystemConfig,
+    spec: &SchemeSpec,
+    profile: &WorkloadProfile,
+    instructions_per_core: u64,
+    warmup_instructions: u64,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Option<RunReport> {
+    run_session_in(
+        slot,
+        cfg,
+        spec.build(cfg),
+        profile,
+        instructions_per_core,
+        warmup_instructions,
+        seed,
+        Some(cancel),
+    )
 }
 
 /// Run one (scheme × workload) experiment: warm up for

@@ -11,7 +11,7 @@ use nomad_obs::{Histo, Registry, SnapshotLog, SpanRing, SIM_TRACKS, TRACK_LLC_MS
 use nomad_trace::TraceSource;
 use nomad_types::{
     AccessKind, BlockAddr, CancelToken, CoreId, Cycle, MemReq, MemTarget, NextActivity, ReqId,
-    TrafficClass, VirtAddr,
+    TimingWheel, TrafficClass, VirtAddr,
 };
 
 /// Per-core address-space namespacing: each core runs its own copy of
@@ -92,6 +92,8 @@ struct HotProfile {
     skips: u64,
     /// Cycles covered by those skips.
     skipped_cycles: u64,
+    /// Phase-5-only burst cycles (cpu-quiet regions) in the window.
+    burst_ticks: u64,
 }
 
 /// Snapshot of the hot-path profile ([`System::hot_profile`]),
@@ -114,6 +116,9 @@ pub struct HotProfileReport {
     pub skips: u64,
     /// Cycles covered by those skips.
     pub skipped_cycles: u64,
+    /// Phase-5-only burst cycles (cpu-quiet dense regions executed
+    /// without touching cores, translation or the SRAM hierarchy).
+    pub burst_ticks: u64,
 }
 
 /// Observability state of one system: the per-system [`Registry`] every
@@ -161,7 +166,21 @@ pub struct System {
     /// Hot-path wall-time profile; `None` (the common case) keeps the
     /// tick loop free of any clock reads.
     hot: Option<HotProfile>,
+    /// The event calendar: one deadline slot per source (see
+    /// [`Self::refresh_wheel`] for the layout), refreshed at kernel
+    /// decision points and read in O(1) by the run loop.
+    wheel: TimingWheel,
 }
+
+/// Wheel sources past the three per-core clusters: L3, scheme, HBM,
+/// DDR; see [`System::refresh_wheel`].
+const WHEEL_EXTRA: usize = 4;
+
+/// Shortest cpu-quiet window worth running as a burst instead of dense
+/// backoff ticks: a burst ends with a full wheel refresh (including the
+/// DRAM command-queue bound scans), so it must save at least this many
+/// phase-1–4 executions to pay for itself.
+const MIN_BURST: Cycle = 8;
 
 impl core::fmt::Debug for System {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -185,6 +204,11 @@ impl System {
         traces: Vec<Box<dyn TraceSource>>,
     ) -> Self {
         assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        assert!(
+            3 * cfg.cores + WHEEL_EXTRA <= nomad_types::wheel::MAX_SOURCES,
+            "the timing wheel tracks at most {} sources (3 per core + {WHEEL_EXTRA})",
+            nomad_types::wheel::MAX_SOURCES
+        );
         let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
@@ -210,6 +234,7 @@ impl System {
             measured_cycles: 0,
             obs: None,
             hot: None,
+            wheel: TimingWheel::new(3 * cfg.cores + WHEEL_EXTRA),
             cores,
             cfg,
         };
@@ -220,6 +245,69 @@ impl System {
             sys.enable_hot_profile();
         }
         sys
+    }
+
+    /// Whether this system can be recycled for a cell running under
+    /// `cfg`: the configuration must be identical (component geometry
+    /// is baked into every allocation), the system must be un-observed,
+    /// and observability must currently be off — [`System::new`] would
+    /// install a fresh registry for an observed cell, so recycling an
+    /// obs-less system while [`nomad_obs::enabled`] would silently
+    /// produce an unobserved run. Observed cells always build from
+    /// scratch.
+    pub fn can_reuse_for(&self, cfg: &SystemConfig) -> bool {
+        self.obs.is_none() && !nomad_obs::enabled() && self.cfg == *cfg
+    }
+
+    /// Recycle this system for a new cell: every component returns to
+    /// its just-constructed state while keeping its allocations, the
+    /// new scheme and traces are installed, and the clock rewinds to
+    /// cycle 0. The result is behaviourally indistinguishable from
+    /// `System::new(cfg, scheme, traces)` — the `arena_parity` suite
+    /// holds reused-vs-fresh runs to byte-identical [`RunReport`]s.
+    ///
+    /// Callers must check [`can_reuse_for`](Self::can_reuse_for) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count.
+    pub fn reset_for_cell(&mut self, scheme: Box<dyn DcScheme>, traces: Vec<Box<dyn TraceSource>>) {
+        assert_eq!(traces.len(), self.cfg.cores, "one trace per core");
+        debug_assert!(self.obs.is_none(), "observed systems are not reusable");
+        for (core, trace) in self.cores.iter_mut().zip(traces) {
+            core.reset_with_trace(trace);
+        }
+        for tlb in &mut self.tlbs {
+            tlb.reset();
+        }
+        for l1 in &mut self.l1s {
+            l1.reset();
+        }
+        for l2 in &mut self.l2s {
+            l2.reset();
+        }
+        self.l3.reset();
+        self.scheme = scheme;
+        self.hbm.reset();
+        self.ddr.reset();
+        self.cycle = 0;
+        for q in &mut self.walking {
+            q.clear();
+        }
+        for q in &mut self.blocked {
+            q.clear();
+        }
+        for q in &mut self.issue_q {
+            q.clear();
+        }
+        self.ev.clear();
+        self.measured_cycles = 0;
+        if self.hot.is_some() {
+            // Dram::reset cleared the devices' profiled time; restart
+            // the system-side laps to match a freshly armed profile.
+            self.hot = Some(HotProfile::default());
+        }
+        self.wheel.clear();
     }
 
     /// Arm the hot-path wall-time profile (see [`HotProfileReport`]).
@@ -244,6 +332,7 @@ impl System {
             dcache_nanos: to_nanos(h.scheme_raw.saturating_sub(dram_raw)),
             dram_nanos: to_nanos(dram_raw),
             dense_ticks: h.dense_ticks,
+            burst_ticks: h.burst_ticks,
             skips: h.skips,
             skipped_cycles: h.skipped_cycles,
         })
@@ -678,12 +767,95 @@ impl System {
         }
     }
 
+    /// Refresh every wheel source from post-tick component state
+    /// (`now = self.cycle - 1`, the cycle the just-finished tick ran
+    /// as, matching the [`NextActivity`] contract), then slide the
+    /// near window. Called at kernel decision points — the moment the
+    /// kernel knows any component's deadline may have changed. The
+    /// wheel's idempotent `set` makes unchanged sources free to
+    /// re-push.
+    ///
+    /// Source layout for `n` cores: `0..n` are per-core cpu clusters
+    /// (core state plus pending dispatch, in-flight walks and
+    /// translated issues), `n..2n` the L1s, `2n..3n` the L2s, then
+    /// L3, the scheme, HBM and DDR. Everything before the scheme is
+    /// "cpu-side": the burst loop requires all of it inactive.
+    fn refresh_wheel(&mut self) {
+        let now = self.cycle - 1;
+        let floor = now + 1;
+        let n = self.cores.len();
+        self.wheel.advance_to(now);
+        for c in 0..n {
+            let mut t = self.cores[c].next_activity_at(now).unwrap_or(Cycle::MAX);
+            if self.cores[c].dispatch_pending() {
+                t = floor;
+            }
+            for w in &self.walking[c] {
+                t = t.min(w.ready_at);
+            }
+            for e in &self.issue_q[c] {
+                t = t.min(e.at);
+            }
+            // `blocked` ops are reactive: their cores sleep until a
+            // scheme wake, which the scheme's own activity covers.
+            self.wheel.set(c, (t != Cycle::MAX).then(|| t.max(floor)));
+            let l1 = self.l1s[c].next_activity_at(now).map(|t| t.max(floor));
+            self.wheel.set(n + c, l1);
+            let l2 = self.l2s[c].next_activity_at(now).map(|t| t.max(floor));
+            self.wheel.set(2 * n + c, l2);
+        }
+        self.wheel
+            .set(3 * n, self.l3.next_activity_at(now).map(|t| t.max(floor)));
+        self.wheel.set(
+            3 * n + 1,
+            self.scheme.next_activity_at(now).map(|t| t.max(floor)),
+        );
+        // Devices count tick invocations: post-tick their `cpu_cycle`
+        // is `self.cycle`, and a predicted edge at count `k` fires
+        // during the tick of system cycle `k - 1`.
+        self.wheel.set(
+            3 * n + 2,
+            self.hbm
+                .next_activity_at(self.cycle)
+                .map(|t| (t - 1).max(floor)),
+        );
+        self.wheel.set(
+            3 * n + 3,
+            self.ddr
+                .next_activity_at(self.cycle)
+                .map(|t| (t - 1).max(floor)),
+        );
+    }
+
+    /// Earliest live deadline among the cpu-side wheel sources
+    /// (everything except the scheme and the DRAM devices), or `None`
+    /// when the whole cpu side is inert. Until this cycle, tick phases
+    /// 1–4 are pure stall accounting — the burst-eligibility bound.
+    #[inline]
+    fn cpu_side_next(&self) -> Option<Cycle> {
+        let mut live = self.wheel.live_mask() & ((1u64 << (3 * self.cores.len() + 1)) - 1);
+        let mut next: Option<Cycle> = None;
+        while live != 0 {
+            let src = live.trailing_zeros() as usize;
+            let t = self.wheel.deadline(src).expect("live source has deadline");
+            next = Some(next.map_or(t, |n| n.min(t)));
+            live &= live - 1;
+        }
+        next
+    }
+
     /// Earliest cycle at which ticking the system again could do more
     /// than constant-rate stat accounting, given the post-tick state,
     /// or `None` when every component is quiescent (only the deadlock
     /// horizon bounds the skip then). All results are `> self.cycle - 1`,
     /// i.e. candidate cycles for the *next* tick.
-    fn next_event_at(&self) -> Option<Cycle> {
+    ///
+    /// This is the pre-wheel pull-based min-scan, kept as the
+    /// differential oracle for the timing wheel: test and debug builds
+    /// assert at every kernel decision point that the wheel's chosen
+    /// next event equals this scan's.
+    #[cfg(any(test, debug_assertions))]
+    fn next_event_at_scan(&self) -> Option<Cycle> {
         // `self.cycle` was already incremented by the tick we are
         // summarizing; components speak the NextActivity contract
         // relative to the cycle that just ran.
@@ -738,8 +910,8 @@ impl System {
         for core in &mut self.cores {
             core.idle_advance(delta);
         }
-        self.hbm.advance_idle(delta);
-        self.ddr.advance_idle(delta);
+        self.hbm.advance(delta);
+        self.ddr.advance(delta);
         self.cycle += delta;
         self.measured_cycles += delta;
         if let Some(h) = self.hot.as_mut() {
@@ -824,9 +996,11 @@ impl System {
                 // again next cycle, so skip the (read-only, but not
                 // free) next-event query and just tick. Ticking a
                 // skippable cycle densely is always parity-safe — the
-                // dense loop *is* the reference semantics.
-                requery_in = 0;
-                noskip_streak = 0;
+                // dense loop *is* the reference semantics. The pacing
+                // streak deliberately survives commits: it only grows
+                // while queries keep failing, and a committing dense
+                // region is exactly where the next query will fail
+                // again. Successful skips/bursts reset it below.
                 continue;
             } else if self.cycle - last_progress > 3_000_000 {
                 panic!(
@@ -853,7 +1027,16 @@ impl System {
                 continue;
             }
             let horizon = last_progress + 3_000_000;
-            let target = match self.next_event_at() {
+            self.refresh_wheel();
+            let next = self.wheel.peek_next();
+            #[cfg(any(test, debug_assertions))]
+            assert_eq!(
+                next,
+                self.next_event_at_scan(),
+                "timing wheel diverged from the min-scan oracle at cycle {}",
+                self.cycle
+            );
+            let target = match next {
                 Some(t) => t.min(horizon),
                 None => horizon,
             };
@@ -862,9 +1045,40 @@ impl System {
             // bounds skips to its next edge, 2-3 cycles away) the
             // machinery costs more than the ticks it saves. Tick those
             // densely instead — dense ticking is always parity-safe.
+            let cpu_next = self.cpu_side_next().unwrap_or(Cycle::MAX);
             if target > self.cycle {
-                noskip_streak = 0;
-                self.skip(target - self.cycle);
+                let delta = target - self.cycle;
+                self.skip(delta);
+                if delta >= MIN_BURST {
+                    noskip_streak = 0;
+                } else {
+                    // A tiny skip (a busy DRAM device grinding from
+                    // edge to edge) saves fewer ticks than the query
+                    // cost it took to find; pace those like no-skip
+                    // outcomes so dense ticks amortize the next query.
+                    noskip_streak = noskip_streak.saturating_add(1);
+                    requery_in = 1u64 << (noskip_streak.min(6) - 1);
+                }
+            } else if cpu_next >= self.cycle + MIN_BURST {
+                // Dense region, but the whole cpu side is inert until
+                // `cpu_next`: run it as a scheme/DRAM-only burst
+                // instead of full ticks. Short quiet windows are not
+                // worth it — the burst ends with another full wheel
+                // refresh, which must be amortized over the cycles the
+                // burst wins, so tiny ones fall through to the dense
+                // backoff below, and a burst cut short by scheme
+                // events (a migration spraying responses) paces the
+                // next query like a no-skip outcome.
+                let start = self.cycle;
+                if !self.burst(cpu_next, horizon, cancel, &mut iters) {
+                    return false;
+                }
+                if self.cycle - start >= MIN_BURST {
+                    noskip_streak = 0;
+                } else {
+                    noskip_streak = noskip_streak.saturating_add(1);
+                    requery_in = 1u64 << (noskip_streak.min(6) - 1);
+                }
             } else {
                 // Nothing to skip right now; wait 1, 2, 4, … 32 dense
                 // ticks (any commit resets the pacing immediately)
@@ -873,6 +1087,132 @@ impl System {
                 requery_in = 1u64 << (noskip_streak.min(6) - 1);
             }
         }
+    }
+
+    /// Execute a cpu-quiet dense region as a scheme/DRAM-only burst.
+    ///
+    /// Entered only when every cpu-side wheel source is inert until
+    /// `until` (exclusive): the cores are stalled with nothing
+    /// dispatchable before then, no walk or translated issue matures
+    /// before then, and the whole SRAM hierarchy reports no earlier
+    /// self-driven work. Under the NextActivity contract that makes
+    /// tick phases 1–4 pure stall accounting for every cycle before
+    /// `until` — and cpu-side deadlines cannot move *earlier* during
+    /// the burst, because the only thing that changes cpu-side state
+    /// is a phase-5 delivery, which ends the burst. So each burst
+    /// cycle runs phase 5 alone, accumulates the cores' stall
+    /// accounting, and stops at `until` or the moment the scheme emits
+    /// anything cpu-visible (responses, shootdowns, wakes): the first
+    /// cycle whose phases 1–4 could stop being no-ops is then ticked
+    /// densely by the caller. Stall accounting is flushed *before*
+    /// wakes are applied, matching dense ordering (phase 1 of the
+    /// final cycle ran, still stalled, before phase 5 produced the
+    /// wake).
+    ///
+    /// Returns `false` when `cancel` fired; the deadlock `horizon`
+    /// bounds the burst exactly like it bounds skips.
+    fn burst(
+        &mut self,
+        until: Cycle,
+        horizon: Cycle,
+        cancel: Option<&CancelToken>,
+        iters: &mut u64,
+    ) -> bool {
+        let mut mark = self.hot.as_ref().map(|_| nomad_types::fastclock::now());
+        let mut pending_idle: Cycle = 0;
+        let mut burst_len: u64 = 0;
+        let mut cancelled = false;
+        loop {
+            if self.cycle >= until || self.cycle > horizon {
+                // Cpu side about to matter (or the no-progress panic is
+                // due): hand back to the full-tick loop.
+                break;
+            }
+            if let Some(token) = cancel {
+                *iters = iters.wrapping_add(1);
+                if *iters & 1023 == 0 && token.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+            }
+            let now = self.cycle;
+            pending_idle += 1;
+            burst_len += 1;
+
+            self.ev.clear();
+            {
+                let mut flush = HierFlush {
+                    l1s: &mut self.l1s,
+                    l2s: &mut self.l2s,
+                    l3: &mut self.l3,
+                };
+                self.scheme
+                    .tick(now, &mut self.hbm, &mut self.ddr, &mut flush, &mut self.ev);
+            }
+            let cpu_visible = !self.ev.responses.is_empty()
+                || !self.ev.shootdowns.is_empty()
+                || !self.ev.wakes.is_empty();
+            if cpu_visible {
+                for core in &mut self.cores {
+                    core.idle_advance(pending_idle);
+                }
+                pending_idle = 0;
+            }
+            for resp in self.ev.responses.drain(..) {
+                self.l3.push_resp(resp);
+            }
+            let shootdowns: Vec<_> = self.ev.shootdowns.drain(..).collect();
+            for vpn in shootdowns {
+                for c in 0..self.cores.len() {
+                    if self.tlbs[c].invalidate(vpn) {
+                        for d in self.tlbs[c].take_departures() {
+                            self.scheme.tlb_departed(c, d.vpn);
+                        }
+                    }
+                }
+            }
+            let mut rewalk: Vec<CoreId> = Vec::new();
+            for core_id in self.ev.wakes.drain(..) {
+                self.cores[core_id].wake_os();
+                rewalk.push(core_id);
+            }
+            for core_id in rewalk {
+                let ops = std::mem::take(&mut self.blocked[core_id]);
+                for op in ops {
+                    self.walking[core_id].push(Walk {
+                        op,
+                        ready_at: now + 1,
+                    });
+                }
+            }
+
+            if self.obs.as_ref().is_some_and(|o| now >= o.next_sample) {
+                // Gauges read live core state; bring the bulk stall
+                // accounting current before snapshotting.
+                if pending_idle > 0 {
+                    for core in &mut self.cores {
+                        core.idle_advance(pending_idle);
+                    }
+                    pending_idle = 0;
+                }
+                self.obs_sample(now);
+            }
+            self.cycle += 1;
+            self.measured_cycles += 1;
+            if cpu_visible {
+                break;
+            }
+        }
+        if pending_idle > 0 {
+            for core in &mut self.cores {
+                core.idle_advance(pending_idle);
+            }
+        }
+        self.lap(&mut mark, |h| &mut h.scheme_raw);
+        if let Some(h) = self.hot.as_mut() {
+            h.burst_ticks += burst_len;
+        }
+        !cancelled
     }
 
     /// The pre-event-kernel reference loop: tick every cycle with no
@@ -980,5 +1320,93 @@ fn resolve(frame: nomad_cache::FrameKind, vaddr: VirtAddr) -> (BlockAddr, MemTar
             BlockAddr::containing(cfn.with_offset(vaddr.page_offset()).raw()),
             MemTarget::DramCache,
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SchemeSpec;
+    use nomad_trace::{SyntheticTrace, WorkloadProfile};
+
+    fn build(spec: &SchemeSpec, profile: &WorkloadProfile, seed: u64) -> System {
+        let mut cfg = SystemConfig::scaled(1);
+        cfg.dc_capacity = 4 * 1024 * 1024;
+        let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+            .map(|i| {
+                Box::new(SyntheticTrace::with_scale(
+                    profile,
+                    seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9),
+                    cfg.pages_per_gb,
+                    cfg.l3_reach_pages(),
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        let mut sys = System::new(cfg.clone(), spec.build(&cfg), traces);
+        sys.prewarm();
+        sys
+    }
+
+    /// The wheel's chosen next event must equal the legacy pull-based
+    /// min-scan after *every* tick, on every scheme — not just at the
+    /// kernel's own (paced) decision points, which the inline
+    /// `run_inner` assert already covers. Dense ticking visits states
+    /// the paced kernel never queries, so this is the stronger
+    /// differential: wheel refresh is sound at arbitrary cycles, busy
+    /// or quiet, mid-fault or mid-migration.
+    #[test]
+    fn wheel_matches_min_scan_after_every_tick_on_all_schemes() {
+        for spec in [
+            SchemeSpec::Baseline,
+            SchemeSpec::Tid,
+            SchemeSpec::Tdc,
+            SchemeSpec::Nomad,
+        ] {
+            for profile in [WorkloadProfile::tc(), WorkloadProfile::mcf()] {
+                let mut sys = build(&spec, &profile, 42);
+                for _ in 0..6_000 {
+                    sys.tick();
+                    sys.refresh_wheel();
+                    assert_eq!(
+                        sys.wheel.peek_next(),
+                        sys.next_event_at_scan(),
+                        "wheel vs min-scan divergence: scheme {} workload {} cycle {}",
+                        sys.scheme.name(),
+                        profile.name,
+                        sys.cycle
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same differential through the event kernel's *skips*: after a
+    /// bulk advance lands the system on an event cycle, the wheel must
+    /// still agree with the scan (the skip must not have destroyed or
+    /// invented activity).
+    #[test]
+    fn wheel_matches_min_scan_across_skips() {
+        for spec in [SchemeSpec::Baseline, SchemeSpec::Nomad] {
+            let mut sys = build(&spec, &WorkloadProfile::mcf(), 7);
+            for _ in 0..2_000 {
+                sys.tick();
+                sys.refresh_wheel();
+                let next = sys.wheel.peek_next();
+                assert_eq!(next, sys.next_event_at_scan());
+                if let Some(t) = next {
+                    if t > sys.cycle {
+                        sys.skip(t - sys.cycle);
+                        sys.refresh_wheel();
+                        assert_eq!(
+                            sys.wheel.peek_next(),
+                            sys.next_event_at_scan(),
+                            "post-skip divergence: scheme {} cycle {}",
+                            sys.scheme.name(),
+                            sys.cycle
+                        );
+                    }
+                }
+            }
+        }
     }
 }

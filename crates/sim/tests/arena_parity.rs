@@ -1,0 +1,147 @@
+//! Fresh-vs-recycled system parity: the arena-reuse invariant.
+//!
+//! `System::reset_for_cell` promises that a recycled system is
+//! behaviourally indistinguishable from a freshly built one. This suite
+//! drives one reuse slot through a chain of cells that switch scheme
+//! AND workload at every step — so each reset must scrub the previous
+//! cell's caches, TLBs, DRAM bank/refresh state, core pipelines and
+//! kernel calendar — and holds every pooled report byte-identical to
+//! the same cell run on a fresh `System`.
+
+use nomad_sim::runner;
+use nomad_sim::{SchemeSpec, SystemConfig};
+use nomad_trace::WorkloadProfile;
+use nomad_types::CancelToken;
+
+const INSTR: u64 = 4_000;
+const WARMUP: u64 = 1_000;
+const SEED: u64 = 42;
+
+fn report_json(r: &nomad_sim::RunReport) -> String {
+    serde_json::to_string(r).expect("reports serialize")
+}
+
+#[test]
+fn recycled_system_matches_fresh_across_schemes_and_workloads() {
+    let cfg = SystemConfig::scaled(2);
+    let token = CancelToken::new();
+    // Every scheme family, alternating workloads, so consecutive cells
+    // never share scheme state or access patterns.
+    let cells: Vec<(SchemeSpec, WorkloadProfile)> = vec![
+        (SchemeSpec::Baseline, WorkloadProfile::tc()),
+        (SchemeSpec::Nomad, WorkloadProfile::mcf()),
+        (SchemeSpec::Tid, WorkloadProfile::tc()),
+        (SchemeSpec::Tdc, WorkloadProfile::mcf()),
+        (SchemeSpec::Ideal, WorkloadProfile::tc()),
+        // Revisit a scheme with the other workload: the second NOMAD
+        // cell must not remember the first one's DC contents.
+        (SchemeSpec::Nomad, WorkloadProfile::tc()),
+        (SchemeSpec::Baseline, WorkloadProfile::mcf()),
+    ];
+    let mut slot = None;
+    for (i, (spec, profile)) in cells.iter().enumerate() {
+        let fresh = runner::run_one(&cfg, spec, profile, INSTR, WARMUP, SEED);
+        let pooled =
+            runner::run_one_pooled(&mut slot, &cfg, spec, profile, INSTR, WARMUP, SEED, &token)
+                .expect("uncancelled run completes");
+        assert_eq!(
+            report_json(&fresh),
+            report_json(&pooled),
+            "cell {i} ({spec:?} × {}): recycled system diverged from fresh",
+            profile.name
+        );
+        assert!(
+            slot.is_some(),
+            "the system must be parked back after a cell"
+        );
+    }
+}
+
+#[test]
+fn config_mismatch_falls_back_to_fresh_build() {
+    let small = SystemConfig::scaled(1);
+    let big = SystemConfig::scaled(2);
+    let token = CancelToken::new();
+    let mut slot = None;
+    let a = runner::run_one_pooled(
+        &mut slot,
+        &small,
+        &SchemeSpec::Baseline,
+        &WorkloadProfile::tc(),
+        INSTR,
+        WARMUP,
+        SEED,
+        &token,
+    )
+    .expect("completes");
+    // Same slot, different geometry: must rebuild, not recycle.
+    let b = runner::run_one_pooled(
+        &mut slot,
+        &big,
+        &SchemeSpec::Baseline,
+        &WorkloadProfile::tc(),
+        INSTR,
+        WARMUP,
+        SEED,
+        &token,
+    )
+    .expect("completes");
+    let fresh_b = runner::run_one(
+        &big,
+        &SchemeSpec::Baseline,
+        &WorkloadProfile::tc(),
+        INSTR,
+        WARMUP,
+        SEED,
+    );
+    assert_eq!(report_json(&b), report_json(&fresh_b));
+    assert_ne!(
+        a.cores.len(),
+        b.cores.len(),
+        "the two configs really differ"
+    );
+}
+
+#[test]
+fn cancelled_cell_leaves_a_recyclable_system() {
+    let cfg = SystemConfig::scaled(1);
+    let mut slot = None;
+    // Pre-cancelled token: the cell aborts mid-flight.
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let none = runner::run_one_pooled(
+        &mut slot,
+        &cfg,
+        &SchemeSpec::Nomad,
+        &WorkloadProfile::mcf(),
+        INSTR,
+        WARMUP,
+        SEED,
+        &cancelled,
+    );
+    assert!(none.is_none(), "pre-cancelled run yields no report");
+    assert!(slot.is_some(), "the dirty system is still parked for reuse");
+    // The next cell recycles the aborted system and must still match a
+    // fresh run exactly.
+    let token = CancelToken::new();
+    let pooled = runner::run_one_pooled(
+        &mut slot,
+        &cfg,
+        &SchemeSpec::Tdc,
+        &WorkloadProfile::tc(),
+        INSTR,
+        WARMUP,
+        SEED,
+        &token,
+    )
+    .expect("completes");
+    let fresh = runner::run_one(
+        &cfg,
+        &SchemeSpec::Tdc,
+        &WorkloadProfile::tc(),
+        INSTR,
+        WARMUP,
+        SEED,
+    );
+    assert_eq!(report_json(&pooled), report_json(&fresh));
+}

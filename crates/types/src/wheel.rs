@@ -1,0 +1,409 @@
+//! A hierarchical timing wheel over a small, fixed set of event
+//! sources.
+//!
+//! The event kernel in `nomad-sim` tracks "when could this component do
+//! something again?" for every core, cache level, scheme and DRAM
+//! device. The kernel used to recompute a min over all of them on every
+//! decision point; the wheel turns that into an indexed calendar:
+//! sources *push* their next-activity cycle into the wheel the moment
+//! it changes ([`TimingWheel::set`]), and the kernel reads the earliest
+//! pending deadline in O(1) bitmap scans ([`TimingWheel::peek_next`]).
+//!
+//! # Layout
+//!
+//! Deadlines live in three places, always backed by one authoritative
+//! per-source array:
+//!
+//! - **near wheel** — [`BUCKETS`] buckets of [`SLOT_SPAN`] cycles each,
+//!   covering the window `[origin, origin + WINDOW)`. Each bucket is a
+//!   `u64` bitmap of the sources whose deadline falls inside it, and a
+//!   top-level `occupied` word maps the non-empty buckets, so the
+//!   earliest bucket is one `trailing_zeros` away.
+//! - **overflow heap** — deadlines at or beyond `origin + WINDOW` wait
+//!   in a min-heap. Entries are invalidated lazily: an entry is live
+//!   only while it still matches the source's authoritative deadline.
+//! - **deadline array** — `deadline[src]` is the source of truth;
+//!   bitmap and heap entries are an index over it, never a copy to
+//!   trust on their own.
+//!
+//! The window slides forward in whole-window steps
+//! ([`TimingWheel::advance_to`]); a slide re-places every live source,
+//! which is O([`MAX_SOURCES`]) and amortized over thousands of cycles.
+//!
+//! Capacity is bounded by [`MAX_SOURCES`] = 64 so every per-source set
+//! fits in one machine word — the same bound the DRAM bank masks and
+//! the MSHR occupancy words rely on.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum number of sources a wheel can track (bitmap word width).
+pub const MAX_SOURCES: usize = 64;
+/// Buckets in the near window.
+pub const BUCKETS: usize = 64;
+/// Cycles covered by one bucket.
+pub const SLOT_SPAN: u64 = 64;
+/// Cycles covered by the whole near window.
+pub const WINDOW: u64 = BUCKETS as u64 * SLOT_SPAN;
+
+/// A timing wheel tracking one deadline per source.
+///
+/// See the [module docs](self) for the layout. All operations are
+/// deterministic; the wheel never inspects wall-clock time.
+#[derive(Debug)]
+pub struct TimingWheel {
+    /// Authoritative per-source deadline; `Cycle::MAX` = inactive.
+    deadline: [Cycle; MAX_SOURCES],
+    /// Bitmap of sources with a deadline (`deadline[s] != MAX`).
+    live: u64,
+    /// Inclusive start of the near window.
+    origin: Cycle,
+    /// Bitmap of sources per bucket; bucket `b` covers
+    /// `[origin + b·SLOT_SPAN, origin + (b+1)·SLOT_SPAN)`, with
+    /// already-due deadlines clamped into bucket 0.
+    buckets: [u64; BUCKETS],
+    /// Bitmap of non-empty buckets.
+    occupied: u64,
+    /// Deadlines at or beyond `origin + WINDOW`, min-first. An entry
+    /// `(t, s)` is live iff `deadline[s] == t` and `t` is still beyond
+    /// the window (stale entries are skipped on pop).
+    overflow: BinaryHeap<Reverse<(Cycle, u32)>>,
+    /// Number of sources this wheel was created for (≤ MAX_SOURCES).
+    sources: usize,
+}
+
+impl TimingWheel {
+    /// A wheel for `sources` event sources, all initially inactive,
+    /// with the near window starting at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sources > MAX_SOURCES`.
+    pub fn new(sources: usize) -> Self {
+        assert!(
+            sources <= MAX_SOURCES,
+            "a timing wheel tracks at most {MAX_SOURCES} sources"
+        );
+        TimingWheel {
+            deadline: [Cycle::MAX; MAX_SOURCES],
+            live: 0,
+            origin: 0,
+            buckets: [0; BUCKETS],
+            occupied: 0,
+            overflow: BinaryHeap::new(),
+            sources,
+        }
+    }
+
+    /// Number of sources the wheel tracks.
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Forget every deadline and rewind the near window to cycle 0 —
+    /// the state of a freshly built wheel, with the overflow heap's
+    /// allocation retained (arena reuse across sweep cells).
+    pub fn clear(&mut self) {
+        self.deadline = [Cycle::MAX; MAX_SOURCES];
+        self.live = 0;
+        self.origin = 0;
+        self.buckets = [0; BUCKETS];
+        self.occupied = 0;
+        self.overflow.clear();
+    }
+
+    /// Bitmap of sources that currently have a deadline.
+    pub fn live_mask(&self) -> u64 {
+        self.live
+    }
+
+    /// The authoritative deadline of `src`, if any.
+    pub fn deadline(&self, src: usize) -> Option<Cycle> {
+        let t = self.deadline[src];
+        (t != Cycle::MAX).then_some(t)
+    }
+
+    /// Bucket index for an in-window (or past-due) deadline.
+    #[inline]
+    fn bucket_of(&self, t: Cycle) -> usize {
+        ((t.saturating_sub(self.origin)) / SLOT_SPAN) as usize
+    }
+
+    /// Remove `src`'s current near-window placement, if it has one.
+    #[inline]
+    fn unplace(&mut self, src: usize) {
+        let t = self.deadline[src];
+        if t == Cycle::MAX {
+            return;
+        }
+        if t < self.origin + WINDOW {
+            let b = self.bucket_of(t);
+            self.buckets[b] &= !(1u64 << src);
+            if self.buckets[b] == 0 {
+                self.occupied &= !(1u64 << b);
+            }
+        }
+        // Overflow entries are lazily invalidated: once `deadline[src]`
+        // changes, any heap entry recorded for the old value is dead.
+    }
+
+    /// Index the (already recorded) deadline of `src` into the near
+    /// window or the overflow heap.
+    #[inline]
+    fn place(&mut self, src: usize) {
+        let t = self.deadline[src];
+        debug_assert_ne!(t, Cycle::MAX);
+        if t < self.origin + WINDOW {
+            let b = self.bucket_of(t);
+            self.buckets[b] |= 1u64 << src;
+            self.occupied |= 1u64 << b;
+        } else {
+            self.overflow.push(Reverse((t, src as u32)));
+        }
+    }
+
+    /// Push `src`'s next-activity cycle (or clear it with `None`).
+    /// Idempotent: re-pushing the current deadline is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via indexing) when `src >= MAX_SOURCES`.
+    pub fn set(&mut self, src: usize, deadline: Option<Cycle>) {
+        debug_assert!(src < self.sources);
+        let t = deadline.unwrap_or(Cycle::MAX);
+        if self.deadline[src] == t {
+            return;
+        }
+        self.unplace(src);
+        self.deadline[src] = t;
+        if t == Cycle::MAX {
+            self.live &= !(1u64 << src);
+        } else {
+            self.live |= 1u64 << src;
+            self.place(src);
+        }
+    }
+
+    /// Slide the near window so it starts at `now`, re-indexing every
+    /// live source. Amortized O(sources) per window span: callers
+    /// invoke this as `now` grows, and it only rebuilds once `now` has
+    /// left the first half of the window.
+    pub fn advance_to(&mut self, now: Cycle) {
+        if now < self.origin + WINDOW / 2 {
+            return;
+        }
+        self.origin = now;
+        self.buckets = [0; BUCKETS];
+        self.occupied = 0;
+        self.overflow.clear();
+        let mut live = self.live;
+        while live != 0 {
+            let src = live.trailing_zeros() as usize;
+            live &= live - 1;
+            self.place(src);
+        }
+    }
+
+    /// The earliest deadline across all sources, or `None` when every
+    /// source is inactive.
+    pub fn peek_next(&mut self) -> Option<Cycle> {
+        if self.occupied != 0 {
+            // The first non-empty bucket holds the earliest deadlines;
+            // read the true values of its members from the array.
+            let b = self.occupied.trailing_zeros() as usize;
+            let mut members = self.buckets[b];
+            debug_assert_ne!(members, 0);
+            let mut min = Cycle::MAX;
+            while members != 0 {
+                let src = members.trailing_zeros() as usize;
+                members &= members - 1;
+                min = min.min(self.deadline[src]);
+            }
+            return Some(min);
+        }
+        // Near window empty: the earliest live overflow entry wins.
+        // Pop stale entries (deadline moved or re-indexed) as we go.
+        while let Some(&Reverse((t, s))) = self.overflow.peek() {
+            if self.deadline[s as usize] == t {
+                return Some(t);
+            }
+            self.overflow.pop();
+        }
+        debug_assert_eq!(self.live, 0);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference model: a plain deadline vector, min by scan.
+    struct Reference {
+        deadline: Vec<Option<Cycle>>,
+    }
+
+    impl Reference {
+        fn new(sources: usize) -> Self {
+            Reference {
+                deadline: vec![None; sources],
+            }
+        }
+        fn set(&mut self, src: usize, t: Option<Cycle>) {
+            self.deadline[src] = t;
+        }
+        fn peek_next(&self) -> Option<Cycle> {
+            self.deadline.iter().flatten().min().copied()
+        }
+        fn live_mask(&self) -> u64 {
+            self.deadline
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_some())
+                .fold(0u64, |m, (i, _)| m | (1u64 << i))
+        }
+    }
+
+    /// splitmix64 step, for a dependency-free seeded stream.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_wheel_has_no_deadline() {
+        let mut w = TimingWheel::new(8);
+        assert_eq!(w.peek_next(), None);
+        assert_eq!(w.live_mask(), 0);
+    }
+
+    #[test]
+    fn single_source_round_trip() {
+        let mut w = TimingWheel::new(4);
+        w.set(2, Some(100));
+        assert_eq!(w.peek_next(), Some(100));
+        assert_eq!(w.deadline(2), Some(100));
+        assert_eq!(w.live_mask(), 0b100);
+        w.set(2, None);
+        assert_eq!(w.peek_next(), None);
+        assert_eq!(w.live_mask(), 0);
+    }
+
+    #[test]
+    fn near_and_overflow_interleave() {
+        let mut w = TimingWheel::new(8);
+        w.set(0, Some(WINDOW + 5)); // overflow
+        w.set(1, Some(10)); // near
+        assert_eq!(w.peek_next(), Some(10));
+        w.set(1, None);
+        assert_eq!(w.peek_next(), Some(WINDOW + 5));
+        // Slide the window past the overflow entry; it must re-index.
+        w.advance_to(WINDOW);
+        assert_eq!(w.peek_next(), Some(WINDOW + 5));
+    }
+
+    #[test]
+    fn reset_to_same_deadline_is_idempotent() {
+        let mut w = TimingWheel::new(8);
+        w.set(3, Some(77));
+        w.set(3, Some(77));
+        w.set(3, Some(77));
+        assert_eq!(w.peek_next(), Some(77));
+        w.set(3, Some(78));
+        assert_eq!(w.peek_next(), Some(78));
+    }
+
+    #[test]
+    fn past_due_deadlines_stay_visible() {
+        let mut w = TimingWheel::new(8);
+        w.advance_to(10_000);
+        // A deadline behind the window origin clamps into bucket 0 but
+        // keeps its true value.
+        w.set(1, Some(9_500));
+        w.set(2, Some(10_001));
+        assert_eq!(w.peek_next(), Some(9_500));
+    }
+
+    #[test]
+    fn clear_restores_fresh_state() {
+        let mut w = TimingWheel::new(8);
+        w.set(0, Some(10));
+        w.set(1, Some(WINDOW * 2));
+        w.advance_to(WINDOW);
+        w.clear();
+        assert_eq!(w.peek_next(), None);
+        assert_eq!(w.live_mask(), 0);
+        // Post-clear behaviour matches a fresh wheel from cycle 0.
+        w.set(2, Some(5));
+        assert_eq!(w.peek_next(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 sources")]
+    fn rejects_too_many_sources() {
+        let _ = TimingWheel::new(65);
+    }
+
+    /// Randomized differential test: arbitrary set/clear/advance/peek
+    /// sequences must match the sorted-scan reference model exactly.
+    #[test]
+    fn differential_vs_reference_model() {
+        for seed in 1u64..=8 {
+            let sources = 1 + (seed as usize * 7) % MAX_SOURCES;
+            let mut wheel = TimingWheel::new(sources);
+            let mut reference = Reference::new(sources);
+            let mut rng = seed;
+            let mut now: Cycle = 0;
+            for step in 0..20_000 {
+                match mix(&mut rng) % 10 {
+                    // Set a deadline: mostly near, sometimes far, and
+                    // occasionally already past (a source that was due
+                    // but not yet serviced).
+                    0..=5 => {
+                        let src = (mix(&mut rng) as usize) % sources;
+                        let spread = match mix(&mut rng) % 4 {
+                            0 => SLOT_SPAN,
+                            1 => WINDOW / 2,
+                            2 => WINDOW * 3,
+                            _ => 16,
+                        };
+                        let back = mix(&mut rng).is_multiple_of(8);
+                        let off = mix(&mut rng) % spread;
+                        let t = if back {
+                            now.saturating_sub(off)
+                        } else {
+                            now + off
+                        };
+                        wheel.set(src, Some(t));
+                        reference.set(src, Some(t));
+                    }
+                    // Clear a deadline.
+                    6..=7 => {
+                        let src = (mix(&mut rng) as usize) % sources;
+                        wheel.set(src, None);
+                        reference.set(src, None);
+                    }
+                    // Advance time (the kernel's forward march).
+                    _ => {
+                        now += mix(&mut rng) % (WINDOW / 2);
+                        wheel.advance_to(now);
+                    }
+                }
+                assert_eq!(
+                    wheel.peek_next(),
+                    reference.peek_next(),
+                    "seed {seed} step {step} now {now}: wheel diverged from reference"
+                );
+                assert_eq!(
+                    wheel.live_mask(),
+                    reference.live_mask(),
+                    "seed {seed} step {step}: live mask diverged"
+                );
+            }
+        }
+    }
+}
