@@ -49,6 +49,7 @@ fn bench_dram_channel(c: &mut Criterion) {
                     kind: AccessKind::Read,
                     class: TrafficClass::DemandRead,
                     wants_completion: false,
+                    probe: nomad_dram::Probe::Data,
                 });
                 token += 1;
             }

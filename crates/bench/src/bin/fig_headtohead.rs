@@ -1,0 +1,6 @@
+//! Binary mirror of the `fig_headtohead` bench target:
+//! `cargo run --release -p nomad-bench --bin fig_headtohead`.
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/benches/fig_headtohead.rs"
+));

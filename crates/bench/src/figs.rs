@@ -544,6 +544,90 @@ pub mod fig09 {
     }
 }
 
+/// Head-to-head — the seven first-class schemes (Baseline, TiD, TDRAM,
+/// Banshee, TDC, NOMAD, Ideal) across all workloads, summarized per
+/// RMHB class.
+pub mod fig_headtohead {
+    use super::*;
+    use nomad_trace::WorkloadClass;
+
+    /// Scheme column order; matches [`SchemeSpec::headtohead_set`].
+    pub const SCHEMES: [&str; 7] = [
+        "Baseline", "TiD", "TDRAM", "Banshee", "TDC", "NOMAD", "Ideal",
+    ];
+
+    /// Run the full 7-scheme cross product over every workload —
+    /// in-process, or via a serve/fleet tier per the usual env vars.
+    pub fn run(scale: &Scale) -> Vec<Row> {
+        sweep_maybe_serviced(
+            scale,
+            &SchemeSpec::headtohead_set(),
+            &WorkloadProfile::all(),
+        )
+    }
+
+    /// Print per-workload IPC relative to Baseline, then the per-class
+    /// geomean summary across the four RMHB classes.
+    pub fn print(rows: &[Row]) {
+        println!("\nHead-to-head: IPC relative to Baseline, all first-class schemes");
+        hr(118);
+        print!("{:<7} {:<6}", "class", "wl");
+        for s in SCHEMES {
+            print!(" {:>10}", s);
+        }
+        println!();
+        hr(118);
+        let workloads: Vec<String> = {
+            let mut seen = Vec::new();
+            for r in rows {
+                if !seen.contains(&r.workload) {
+                    seen.push(r.workload.clone());
+                }
+            }
+            seen
+        };
+        let find = |w: &str, s: &str| rows.iter().find(|r| r.workload == w && r.scheme == s);
+        for w in &workloads {
+            let base = find(w, "Baseline").map(|r| r.ipc).unwrap_or(1.0);
+            let class = find(w, "Baseline")
+                .map(|r| r.class.clone())
+                .unwrap_or_default();
+            print!("{:<7} {:<6}", class, w);
+            for s in SCHEMES {
+                match find(w, s) {
+                    Some(r) => print!(" {:>10.2}", r.ipc / base),
+                    None => print!(" {:>10}", "-"),
+                }
+            }
+            println!();
+        }
+        hr(118);
+        println!("Per-class geomean of IPC relative to Baseline:");
+        for class in WorkloadClass::ALL {
+            let in_class: Vec<&String> = workloads
+                .iter()
+                .filter(|w| find(w, "Baseline").map(|r| r.class.as_str()) == Some(class.label()))
+                .collect();
+            print!("{:<7}", class.label());
+            for s in SCHEMES {
+                let g = geomean(in_class.iter().filter_map(|w| {
+                    let base = find(w, "Baseline")?.ipc;
+                    let x = find(w, s)?.ipc;
+                    (base > 0.0).then_some(x / base)
+                }));
+                print!(" {:>10.2}", g);
+            }
+            println!();
+        }
+        hr(118);
+        println!("(expected shape at default scale: block-granularity TDRAM leads the");
+        println!(" non-ideal field under miss-handling pressure (no page-fill RMHB);");
+        println!(" NOMAD leads the page-granularity schemes everywhere; blocking TDC");
+        println!(" collapses on the bursty Tight class; TiD pays its metadata tax");
+        println!(" throughout — see EXPERIMENTS.md for the measured walkthrough)");
+    }
+}
+
 /// Fig. 10 — on-package bandwidth-usage breakdown + row-buffer hit
 /// rates for TiD / TDC / NOMAD.
 pub mod fig10 {

@@ -37,7 +37,12 @@ fn fleet_rows_match_local_at_every_size_and_width() {
         seed: 17,
         jobs: 2,
     };
-    let specs = [SchemeSpec::Baseline, SchemeSpec::Nomad];
+    let specs = [
+        SchemeSpec::Baseline,
+        SchemeSpec::Tdram,
+        SchemeSpec::Banshee,
+        SchemeSpec::Nomad,
+    ];
     let workloads = [WorkloadProfile::tc(), WorkloadProfile::libq()];
 
     let oracle = sweep(&scale, &specs, &workloads);

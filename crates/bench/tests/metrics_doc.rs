@@ -81,6 +81,8 @@ fn metrics_md_matches_the_registries() {
     for spec in [
         SchemeSpec::Baseline,
         SchemeSpec::Tid,
+        SchemeSpec::Tdram,
+        SchemeSpec::Banshee,
         SchemeSpec::Tdc,
         SchemeSpec::Nomad,
         SchemeSpec::Ideal,

@@ -22,9 +22,10 @@ fn small_scale() -> Scale {
 #[test]
 fn parallel_sweep_rows_match_sequential_oracle() {
     let scale = small_scale();
-    // A small Fig. 9 grid: the full scheme set over one low-RMHB and
-    // one bursty workload (2 × 5 = 10 cells).
-    let specs = SchemeSpec::fig9_set();
+    // A small head-to-head grid: all seven schemes (including Banshee
+    // and TDRAM) over one low-RMHB and one bursty workload (2 × 7 = 14
+    // cells).
+    let specs = SchemeSpec::headtohead_set();
     let workloads = [WorkloadProfile::tc(), WorkloadProfile::libq()];
 
     let oracle = sweep(&scale.with_jobs(1), &specs, &workloads);

@@ -1,0 +1,124 @@
+//! SCHEMES.md must document exactly the schemes the simulator can run
+//! — no stale sections, no undocumented schemes — and each section's
+//! knob table must match the corresponding `*Spec` struct's serde
+//! fields exactly, both directions.
+//!
+//! Section headings are `` ## `Name` `` where `Name` is the scheme's
+//! `name()` string; knob rows are markdown table rows whose first cell
+//! is the backtick-quoted field name (`` | `knob` | ... ``). Schemes
+//! without a `*Spec` struct (unit `SchemeSpec` variants) must document
+//! no knob rows.
+
+use nomad_sim::{BansheeSpec, NomadSpec, SchemeSpec, SystemConfig, TdramSpec, TidSpec};
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `(heading name, knob keys documented in that section)` for every
+/// `` ## `Name` `` section of SCHEMES.md, in file order.
+fn documented_sections() -> Vec<(String, BTreeSet<String>)> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../SCHEMES.md");
+    let text = std::fs::read_to_string(path).expect("SCHEMES.md exists at the workspace root");
+    let mut sections: Vec<(String, BTreeSet<String>)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("## `") {
+            let end = rest.find('`').expect("unterminated scheme heading");
+            sections.push((rest[..end].to_string(), BTreeSet::new()));
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(end) = rest.find('`') else {
+            continue;
+        };
+        let (_, knobs) = sections
+            .last_mut()
+            .expect("knob row before the first scheme heading");
+        knobs.insert(rest[..end].to_string());
+    }
+    sections
+}
+
+/// The serde field names of a `*Spec` struct, via the vendored
+/// `serde_json::to_value`.
+fn spec_keys<T: Serialize>(spec: &T) -> BTreeSet<String> {
+    match serde_json::to_value(spec).expect("spec serializes") {
+        Value::Object(fields) => fields.into_iter().map(|(k, _)| k).collect(),
+        other => panic!("spec did not serialize to an object: {other:?}"),
+    }
+}
+
+/// `name() -> expected knob keys` for every scheme in the head-to-head
+/// set (empty set = unit variant, no knob table allowed).
+fn exported_schemes() -> BTreeMap<String, BTreeSet<String>> {
+    let cfg = SystemConfig::scaled(2);
+    SchemeSpec::headtohead_set()
+        .iter()
+        .map(|spec| {
+            let name = spec.build(&cfg).name().to_string();
+            let knobs = match spec {
+                SchemeSpec::Tid | SchemeSpec::TidWith(_) => spec_keys(&TidSpec::default()),
+                SchemeSpec::Tdram | SchemeSpec::TdramWith(_) => spec_keys(&TdramSpec::default()),
+                SchemeSpec::Banshee | SchemeSpec::BansheeWith(_) => {
+                    spec_keys(&BansheeSpec::default())
+                }
+                SchemeSpec::Nomad | SchemeSpec::NomadWith(_) => spec_keys(&NomadSpec::default()),
+                SchemeSpec::Baseline | SchemeSpec::Tdc | SchemeSpec::Ideal => BTreeSet::new(),
+            };
+            (name, knobs)
+        })
+        .collect()
+}
+
+#[test]
+fn schemes_md_matches_the_scheme_set() {
+    let exported = exported_schemes();
+    let sections = documented_sections();
+    let documented: BTreeSet<&String> = sections.iter().map(|(name, _)| name).collect();
+    assert_eq!(
+        sections.len(),
+        documented.len(),
+        "SCHEMES.md documents a scheme twice"
+    );
+
+    let exported_names: BTreeSet<&String> = exported.keys().collect();
+    let undocumented: Vec<_> = exported_names.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&exported_names).collect();
+    assert!(
+        undocumented.is_empty() && stale.is_empty(),
+        "SCHEMES.md out of sync with SchemeSpec::headtohead_set().\n\
+         Schemes without a section: {undocumented:#?}\n\
+         Sections without a scheme: {stale:#?}"
+    );
+
+    for (name, doc_knobs) in &sections {
+        let spec_knobs = &exported[name];
+        let undocumented: Vec<_> = spec_knobs.difference(doc_knobs).collect();
+        let stale: Vec<_> = doc_knobs.difference(spec_knobs).collect();
+        assert!(
+            undocumented.is_empty() && stale.is_empty(),
+            "SCHEMES.md `{name}` knob table out of sync with its spec struct.\n\
+             Spec fields without a row: {undocumented:#?}\n\
+             Rows without a spec field: {stale:#?}"
+        );
+    }
+}
+
+#[test]
+fn heading_order_matches_headtohead_order() {
+    // The reference reads best in the order the figures print columns.
+    let cfg = SystemConfig::scaled(2);
+    let expected: Vec<String> = SchemeSpec::headtohead_set()
+        .iter()
+        .map(|s| s.build(&cfg).name().to_string())
+        .collect();
+    let actual: Vec<String> = documented_sections()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    assert_eq!(
+        actual, expected,
+        "SCHEMES.md sections are not in head-to-head column order"
+    );
+}

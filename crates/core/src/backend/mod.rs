@@ -436,6 +436,7 @@ impl Backend {
                     kind: AccessKind::Read,
                     class,
                     wants_completion: true,
+                    probe: nomad_dram::Probe::Data,
                 });
             }
             for _ in 0..self.cfg.writes_per_tick {
@@ -467,6 +468,7 @@ impl Backend {
                     kind: AccessKind::Write,
                     class,
                     wants_completion: true,
+                    probe: nomad_dram::Probe::Data,
                 });
             }
         }

@@ -60,6 +60,7 @@ impl DemandPath {
             kind: req.kind,
             class,
             wants_completion: wants,
+            probe: nomad_dram::Probe::Data,
         });
     }
 

@@ -14,7 +14,13 @@
 //! * [`Tid`] — the HW-based *tags-in-DRAM* design modeled after Unison
 //!   Cache: 1 KiB lines, 4-way sets with an ideal way predictor,
 //!   tag/metadata traffic in on-package DRAM, MSHRs with
-//!   critical-block-first fills.
+//!   critical-block-first fills;
+//! * [`Banshee`] — page-granular, TLB/PTE-tracked tags with a
+//!   sampled-frequency, bandwidth-aware replacement policy and lazy
+//!   tag-table writeback;
+//! * [`Tdram`] — a HW-managed design with per-row *on-die* tags: hits
+//!   are single DRAM accesses, misses are detected early by cheap
+//!   tag-only probes ([`nomad_dram::Probe::TagOnly`]).
 //!
 //! The NOMAD scheme itself (and TDC, which shares its front-end) lives
 //! in the `nomad-core` crate; shared machinery — the circular
@@ -22,18 +28,22 @@
 //! and the demand-routing helper ([`DemandPath`]) — lives here so both
 //! crates can use it.
 
+mod banshee;
 mod baseline;
 mod demand;
 mod frames;
 mod ideal;
 mod scheme;
 mod stats;
+mod tdram;
 mod tid;
 
+pub use banshee::{Banshee, BansheeConfig};
 pub use baseline::Baseline;
 pub use demand::DemandPath;
 pub use frames::{CacheFrames, Cpd, EvictCandidate};
 pub use ideal::Ideal;
 pub use scheme::{CacheFlush, DcAccessReq, DcScheme, NoFlush, SchemeEvents, WalkOutcome};
 pub use stats::{SchemeStats, SchemeStatsObs};
+pub use tdram::{Tdram, TdramConfig};
 pub use tid::{Tid, TidConfig};

@@ -87,7 +87,8 @@ impl CacheFlush for NoFlush {
 /// A DRAM-cache scheme: owns the page table and all memory-side
 /// behaviour below the LLC.
 pub trait DcScheme {
-    /// Scheme name for reports ("Baseline", "TiD", "TDC", "NOMAD", …).
+    /// Scheme name for reports ("Baseline", "TiD", "TDRAM", "Banshee",
+    /// "TDC", "NOMAD", "Ideal").
     fn name(&self) -> &'static str;
 
     /// Perform the page-table walk for `vpn` on behalf of `core`

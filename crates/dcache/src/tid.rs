@@ -23,7 +23,7 @@
 use crate::scheme::{CacheFlush, DcAccessReq, DcScheme, SchemeEvents, WalkOutcome};
 use crate::stats::SchemeStats;
 use nomad_cache::{CacheArray, PageTable, TlbEntry};
-use nomad_dram::{Dram, DramRequest};
+use nomad_dram::{Dram, DramRequest, Probe};
 use nomad_types::{AccessKind, CoreId, Cycle, MemResp, ReqId, TrafficClass, Vpn, BLOCK_SIZE};
 use std::collections::{HashMap, VecDeque};
 
@@ -177,6 +177,7 @@ impl Tid {
             kind: AccessKind::Read,
             class: TrafficClass::Metadata,
             wants_completion: false,
+            probe: Probe::Data,
         });
     }
 
@@ -187,6 +188,7 @@ impl Tid {
             kind: AccessKind::Write,
             class: TrafficClass::Metadata,
             wants_completion: false,
+            probe: Probe::Data,
         });
     }
 
@@ -211,6 +213,7 @@ impl Tid {
                 TrafficClass::DemandRead
             },
             wants_completion: wants,
+            probe: Probe::Data,
         });
     }
 
@@ -315,6 +318,7 @@ impl Tid {
                 kind: AccessKind::Read,
                 class: TrafficClass::Fill,
                 wants_completion: true,
+                probe: Probe::Data,
             });
         }
         if let Some(v) = victim {
@@ -330,6 +334,7 @@ impl Tid {
                         kind: AccessKind::Read,
                         class: TrafficClass::Writeback,
                         wants_completion: true,
+                        probe: Probe::Data,
                     });
                 }
             }
@@ -376,6 +381,7 @@ impl Tid {
                     kind: AccessKind::Read,
                     class: TrafficClass::Fill,
                     wants_completion: true,
+                    probe: Probe::Data,
                 });
             }
         }
@@ -418,6 +424,7 @@ impl Tid {
             kind: AccessKind::Write,
             class: TrafficClass::Fill,
             wants_completion: false,
+            probe: Probe::Data,
         });
         self.stats.fill_bytes.add(BLOCK_SIZE);
         self.try_retire(idx);
@@ -438,6 +445,7 @@ impl Tid {
             kind: AccessKind::Write,
             class: TrafficClass::Writeback,
             wants_completion: false,
+            probe: Probe::Data,
         });
         self.try_retire(idx);
     }

@@ -26,6 +26,7 @@
 
 use crate::bank::BankFile;
 use crate::config::{DramConfig, TimingParams};
+use crate::device::Probe;
 use crate::stats::DramStats;
 use nomad_types::{AccessKind, ReqId, TrafficClass};
 use std::collections::VecDeque;
@@ -53,6 +54,8 @@ struct QueuedCmd {
     wants_completion: bool,
     /// CPU cycle at which the request was pushed (for latency stats).
     push_cpu: u64,
+    /// Full data burst or tag-only probe (sets the burst length).
+    probe: Probe,
     /// Whether this request had to activate its row (row miss) — set
     /// when the scheduler ACTs on its behalf.
     needed_act: bool,
@@ -68,6 +71,8 @@ pub(crate) struct ChannelCompletion {
     pub wants_completion: bool,
     /// CPU cycle at which the request was pushed.
     pub push_cpu: u64,
+    /// Full data burst or tag-only probe (sets the bytes transferred).
+    pub probe: Probe,
     /// Whether the access hit an open row.
     pub row_hit: bool,
 }
@@ -170,6 +175,7 @@ impl Channel {
         class: TrafficClass,
         wants_completion: bool,
         push_cpu: u64,
+        probe: Probe,
     ) -> Result<(), QueuePushError> {
         if !self.can_accept() {
             return Err(QueuePushError);
@@ -182,6 +188,7 @@ impl Channel {
             class,
             wants_completion,
             push_cpu,
+            probe,
             needed_act: false,
         });
         self.queued_count[bank] += 1;
@@ -254,14 +261,22 @@ impl Channel {
                 now + t.t_cwl
             }
         };
-        self.bus_free_at = data_start + t.t_burst;
+        // The probe sets the burst length: a tag-only probe moves
+        // `t_tag` beats instead of a full `t_burst` data burst, so it
+        // both finishes and frees the bus earlier.
+        let beats = match cmd.probe {
+            Probe::Data => t.t_burst,
+            Probe::TagOnly => t.t_tag,
+        };
+        self.bus_free_at = data_start + beats;
         out.push(ChannelCompletion {
             token: cmd.token,
             kind: cmd.kind,
             class: cmd.class,
-            done_at: data_start + t.t_burst,
+            done_at: data_start + beats,
             wants_completion: cmd.wants_completion,
             push_cpu: cmd.push_cpu,
+            probe: cmd.probe,
             row_hit: !cmd.needed_act,
         });
     }
@@ -580,6 +595,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         let done = drain_until(&mut ch, &mut stats, 200);
@@ -603,6 +619,7 @@ mod tests {
                 TrafficClass::DemandRead,
                 true,
                 0,
+                Probe::Data,
             )
             .unwrap();
         }
@@ -625,6 +642,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         ch.try_push(
@@ -635,6 +653,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         let done = drain_until(&mut ch, &mut stats, 500);
@@ -657,6 +676,7 @@ mod tests {
                 TrafficClass::DemandRead,
                 true,
                 0,
+                Probe::Data,
             )
             .unwrap();
         }
@@ -669,7 +689,8 @@ mod tests {
                 AccessKind::Read,
                 TrafficClass::DemandRead,
                 true,
-                0
+                0,
+                Probe::Data
             ),
             Err(QueuePushError)
         );
@@ -689,6 +710,7 @@ mod tests {
                 TrafficClass::DemandRead,
                 true,
                 0,
+                Probe::Data,
             )
             .unwrap();
         }
@@ -714,6 +736,7 @@ mod tests {
                 TrafficClass::DemandRead,
                 true,
                 0,
+                Probe::Data,
             )
             .unwrap();
         }
@@ -753,6 +776,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         ch.try_push(
@@ -763,6 +787,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         let done = drain_until(&mut ch, &mut stats, 300);
@@ -822,6 +847,7 @@ mod tests {
                         TrafficClass::DemandRead,
                         true,
                         now,
+                        Probe::Data,
                     )
                     .unwrap();
                     dense
@@ -833,6 +859,7 @@ mod tests {
                             TrafficClass::DemandRead,
                             true,
                             now,
+                            Probe::Data,
                         )
                         .unwrap();
                 }
@@ -862,6 +889,7 @@ mod tests {
             TrafficClass::DemandRead,
             true,
             0,
+            Probe::Data,
         )
         .unwrap();
         for now in 0..(cfg.timing.t_refi * 3) {

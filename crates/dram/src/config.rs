@@ -37,6 +37,10 @@ pub struct TimingParams {
     pub t_refi: u64,
     /// Refresh cycle time (channel blocked).
     pub t_rfc: u64,
+    /// Data-bus occupancy of a tag-only probe (TDRAM-style on-die tag
+    /// check): the handful of tag/metadata beats returned on the bus
+    /// instead of a full 64-byte burst. Must be ≤ [`t_burst`](Self::t_burst).
+    pub t_tag: u64,
 }
 
 /// Physical location of a block within a DRAM device.
@@ -212,6 +216,7 @@ impl DramConfig {
                 t_faw: 16,
                 t_refi: 3900,
                 t_rfc: 260,
+                t_tag: 1,
             },
             // 3.2 GHz CPU / 1.0 GHz device = 16/5 CPU cycles per device cycle.
             cpu_per_dev_num: 16,
@@ -249,6 +254,7 @@ impl DramConfig {
                 t_faw: 34,
                 t_refi: 12480,
                 t_rfc: 560,
+                t_tag: 1,
             },
             // 3.2 GHz CPU / 1.6 GHz device = 2 CPU cycles per device cycle.
             cpu_per_dev_num: 2,

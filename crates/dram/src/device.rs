@@ -7,6 +7,34 @@ use crate::stats::DramStats;
 use nomad_obs::{Gauge, Registry};
 use nomad_types::{AccessKind, Cycle, ReqId, TrafficClass};
 
+/// How much of the addressed block a request actually moves over the
+/// data bus.
+///
+/// Everything before the data transfer — bank state, ACT/PRE/CAS
+/// timing, FR-FCFS ordering — is identical for both variants; only the
+/// burst length (and hence bus occupancy and byte accounting) differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Probe {
+    /// A full 64-byte data burst ([`TimingParams::t_burst`](crate::TimingParams) beats).
+    #[default]
+    Data,
+    /// A tag-only probe ([`TimingParams::t_tag`](crate::TimingParams) beats): the
+    /// TDRAM-style on-die tag check that returns just the row's tag
+    /// metadata, signalling hit/miss without occupying the bus for a
+    /// full burst.
+    TagOnly,
+}
+
+impl Probe {
+    /// Bytes this probe moves over the data bus (for bandwidth stats).
+    pub fn bytes(self) -> u64 {
+        match self {
+            Probe::Data => 64,
+            Probe::TagOnly => 8,
+        }
+    }
+}
+
 /// A request submitted to a DRAM device. `addr` is a byte address in the
 /// device's own address space; only its 64-byte block identity matters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +50,8 @@ pub struct DramRequest {
     /// Whether the caller wants a [`DramCompletion`]. Posted writes that
     /// nobody tracks can set this to `false`.
     pub wants_completion: bool,
+    /// Full data burst or tag-only probe.
+    pub probe: Probe,
 }
 
 /// Completion of a DRAM request, delivered in CPU-cycle time.
@@ -231,6 +261,7 @@ impl Dram {
             req.class,
             req.wants_completion,
             self.cpu_cycle,
+            req.probe,
         ) {
             Ok(()) => Ok(()),
             Err(_) => Err(req),
@@ -268,7 +299,8 @@ impl Dram {
         }
         for c in self.scratch.drain(..) {
             self.stats.note_row_outcome(c.row_hit);
-            self.stats.note_transfer(c.class, c.kind.is_write(), 64);
+            self.stats
+                .note_transfer(c.class, c.kind.is_write(), c.probe.bytes());
             let pm = self.pending_min.get();
             if pm != PENDING_DIRTY && c.done_at < pm {
                 self.pending_min.set(c.done_at);
@@ -431,6 +463,7 @@ mod tests {
             kind: AccessKind::Read,
             class: TrafficClass::DemandRead,
             wants_completion: true,
+            probe: Probe::Data,
         }
     }
 
@@ -467,12 +500,39 @@ mod tests {
             kind: AccessKind::Write,
             class: TrafficClass::Writeback,
             wants_completion: false,
+            probe: Probe::Data,
         })
         .unwrap();
         let done = run(&mut dram, 500);
         assert!(done.is_empty());
         assert_eq!(dram.stats().bytes_for(TrafficClass::Writeback).written, 64);
         assert!(dram.is_idle());
+    }
+
+    #[test]
+    fn tag_probe_finishes_earlier_and_counts_tag_bytes() {
+        let cfg = DramConfig::hbm();
+        assert!(cfg.timing.t_tag < cfg.timing.t_burst);
+        let mut data = Dram::new(cfg.clone());
+        let mut tag = Dram::new(cfg);
+        data.try_push(read_req(1, 0x1000)).unwrap();
+        tag.try_push(DramRequest {
+            probe: Probe::TagOnly,
+            ..read_req(1, 0x1000)
+        })
+        .unwrap();
+        let a = run(&mut data, 500);
+        let b = run(&mut tag, 500);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(
+            b[0].at < a[0].at,
+            "tag probe at {} vs data burst at {}",
+            b[0].at,
+            a[0].at
+        );
+        assert_eq!(tag.stats().bytes_for(TrafficClass::DemandRead).read, 8);
+        assert_eq!(data.stats().bytes_for(TrafficClass::DemandRead).read, 64);
     }
 
     #[test]
@@ -647,6 +707,7 @@ mod tests {
                 },
                 class: TrafficClass::DemandRead,
                 wants_completion: true,
+                probe: Probe::Data,
             };
 
             // Dense reference: tick every cycle, push on schedule.

@@ -23,7 +23,7 @@
 //! # Example
 //!
 //! ```
-//! use nomad_dram::{Dram, DramConfig, DramRequest};
+//! use nomad_dram::{Dram, DramConfig, DramRequest, Probe};
 //! use nomad_types::{AccessKind, ReqId, TrafficClass};
 //!
 //! let mut dram = Dram::new(DramConfig::ddr4_2ch());
@@ -33,6 +33,7 @@
 //!     kind: AccessKind::Read,
 //!     class: TrafficClass::DemandRead,
 //!     wants_completion: true,
+//!     probe: Probe::Data,
 //! })
 //! .unwrap();
 //! let mut done = Vec::new();
@@ -50,5 +51,5 @@ mod device;
 mod stats;
 
 pub use config::{AddrLoc, AddrMap, DramConfig, TimingParams};
-pub use device::{Dram, DramCompletion, DramRequest};
+pub use device::{Dram, DramCompletion, DramRequest, Probe};
 pub use stats::{ClassBytes, DramStats};

@@ -40,5 +40,5 @@ mod system;
 
 pub use config::SystemConfig;
 pub use report::{ObsSeries, RunReport};
-pub use spec::{NomadSpec, SchemeSpec, TidSpec};
+pub use spec::{BansheeSpec, NomadSpec, SchemeSpec, TdramSpec, TidSpec};
 pub use system::{HotProfileReport, System};

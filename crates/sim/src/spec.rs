@@ -2,11 +2,14 @@
 
 use crate::config::SystemConfig;
 use nomad_core::{CachingPolicy, NomadConfig, NomadScheme};
-use nomad_dcache::{Baseline, DcScheme, Ideal, Tid, TidConfig};
+use nomad_dcache::{
+    Banshee, BansheeConfig, Baseline, DcScheme, Ideal, Tdram, TdramConfig, Tid, TidConfig,
+};
 use serde::{Deserialize, Serialize};
 
-/// Which DRAM-cache scheme a run uses — the five bars of Fig. 9 plus
-/// parameterized variants for the sensitivity studies.
+/// Which DRAM-cache scheme a run uses — the five bars of Fig. 9, the
+/// Banshee/TDRAM head-to-head contenders, plus parameterized variants
+/// for the sensitivity studies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SchemeSpec {
     /// Off-package memory only (lower bound).
@@ -15,6 +18,14 @@ pub enum SchemeSpec {
     Tid,
     /// TiD with an explicit configuration.
     TidWith(TidSpec),
+    /// HW-based cache with per-row on-die tags (tag-enhanced DRAM).
+    Tdram,
+    /// TDRAM with an explicit configuration.
+    TdramWith(TdramSpec),
+    /// Page-granular TLB-tracked tags with frequency-gated admission.
+    Banshee,
+    /// Banshee with an explicit configuration.
+    BansheeWith(BansheeSpec),
     /// Blocking OS-managed scheme (state of the art before NOMAD).
     Tdc,
     /// The paper's contribution, default configuration.
@@ -74,12 +85,58 @@ impl Default for TidSpec {
     }
 }
 
+/// Parameterization of a TDRAM variant (capacity comes from the
+/// [`SystemConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdramSpec {
+    /// MSHR count.
+    pub mshrs: usize,
+    /// Fill-buffer service latency in cycles.
+    pub buffer_latency: u64,
+}
+
+impl Default for TdramSpec {
+    fn default() -> Self {
+        TdramSpec {
+            mshrs: 32,
+            buffer_latency: 10,
+        }
+    }
+}
+
+/// Parameterization of a Banshee variant (capacity comes from the
+/// [`SystemConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BansheeSpec {
+    /// Set associativity of the page cache.
+    pub ways: usize,
+    /// Sample one in `sample_rate` accesses for frequency tracking.
+    pub sample_rate: u64,
+    /// Admission margin over the victim's frequency.
+    pub admit_threshold: u32,
+    /// Buffered tag-table updates flushed together.
+    pub tag_buffer_entries: usize,
+}
+
+impl Default for BansheeSpec {
+    fn default() -> Self {
+        BansheeSpec {
+            ways: 4,
+            sample_rate: 4,
+            admit_threshold: 1,
+            tag_buffer_entries: 32,
+        }
+    }
+}
+
 impl SchemeSpec {
     /// Short display label.
     pub fn label(&self) -> &'static str {
         match self {
             SchemeSpec::Baseline => "Baseline",
             SchemeSpec::Tid | SchemeSpec::TidWith(_) => "TiD",
+            SchemeSpec::Tdram | SchemeSpec::TdramWith(_) => "TDRAM",
+            SchemeSpec::Banshee | SchemeSpec::BansheeWith(_) => "Banshee",
             SchemeSpec::Tdc => "TDC",
             SchemeSpec::Nomad | SchemeSpec::NomadWith(_) => "NOMAD",
             SchemeSpec::Ideal => "Ideal",
@@ -97,6 +154,20 @@ impl SchemeSpec {
                 assoc: t.assoc,
                 mshrs: t.mshrs,
                 ..TidConfig::paper(cfg.dc_capacity)
+            })),
+            SchemeSpec::Tdram => Box::new(Tdram::new(TdramConfig::paper(cfg.dc_capacity))),
+            SchemeSpec::TdramWith(t) => Box::new(Tdram::new(TdramConfig {
+                mshrs: t.mshrs,
+                buffer_latency: t.buffer_latency,
+                ..TdramConfig::paper(cfg.dc_capacity)
+            })),
+            SchemeSpec::Banshee => Box::new(Banshee::new(BansheeConfig::paper(cfg.dc_capacity))),
+            SchemeSpec::BansheeWith(b) => Box::new(Banshee::new(BansheeConfig {
+                ways: b.ways,
+                sample_rate: b.sample_rate,
+                admit_threshold: b.admit_threshold,
+                tag_buffer_entries: b.tag_buffer_entries,
+                ..BansheeConfig::paper(cfg.dc_capacity)
             })),
             SchemeSpec::Tdc => Box::new(NomadScheme::tdc(cfg.dc_capacity, cfg.cores)),
             SchemeSpec::Nomad => Box::new(NomadScheme::nomad(cfg.dc_capacity)),
@@ -124,6 +195,21 @@ impl SchemeSpec {
             SchemeSpec::Ideal,
         ]
     }
+
+    /// All seven first-class schemes for the head-to-head comparison,
+    /// in plot order: bounds outermost, HW-based designs, then the
+    /// OS-managed designs.
+    pub fn headtohead_set() -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec::Baseline,
+            SchemeSpec::Tid,
+            SchemeSpec::Tdram,
+            SchemeSpec::Banshee,
+            SchemeSpec::Tdc,
+            SchemeSpec::Nomad,
+            SchemeSpec::Ideal,
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +223,33 @@ mod tests {
             let scheme = spec.build(&cfg);
             assert_eq!(scheme.name(), spec.label());
         }
+    }
+
+    #[test]
+    fn headtohead_has_all_seven_schemes() {
+        let cfg = SystemConfig::scaled(2);
+        let set = SchemeSpec::headtohead_set();
+        assert_eq!(set.len(), 7);
+        for spec in &set {
+            assert_eq!(spec.build(&cfg).name(), spec.label());
+        }
+        let labels: Vec<_> = set.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"Banshee") && labels.contains(&"TDRAM"));
+    }
+
+    #[test]
+    fn parameterized_contenders_build() {
+        let cfg = SystemConfig::scaled(2);
+        let t = SchemeSpec::TdramWith(TdramSpec {
+            mshrs: 8,
+            ..TdramSpec::default()
+        });
+        assert_eq!(t.build(&cfg).name(), "TDRAM");
+        let b = SchemeSpec::BansheeWith(BansheeSpec {
+            ways: 8,
+            ..BansheeSpec::default()
+        });
+        assert_eq!(b.build(&cfg).name(), "Banshee");
     }
 
     #[test]

@@ -1359,6 +1359,8 @@ mod tests {
         for spec in [
             SchemeSpec::Baseline,
             SchemeSpec::Tid,
+            SchemeSpec::Tdram,
+            SchemeSpec::Banshee,
             SchemeSpec::Tdc,
             SchemeSpec::Nomad,
         ] {

@@ -31,11 +31,15 @@ fn recycled_system_matches_fresh_across_schemes_and_workloads() {
         (SchemeSpec::Baseline, WorkloadProfile::tc()),
         (SchemeSpec::Nomad, WorkloadProfile::mcf()),
         (SchemeSpec::Tid, WorkloadProfile::tc()),
+        (SchemeSpec::Tdram, WorkloadProfile::mcf()),
+        (SchemeSpec::Banshee, WorkloadProfile::tc()),
         (SchemeSpec::Tdc, WorkloadProfile::mcf()),
         (SchemeSpec::Ideal, WorkloadProfile::tc()),
         // Revisit a scheme with the other workload: the second NOMAD
         // cell must not remember the first one's DC contents.
         (SchemeSpec::Nomad, WorkloadProfile::tc()),
+        (SchemeSpec::Tdram, WorkloadProfile::tc()),
+        (SchemeSpec::Banshee, WorkloadProfile::mcf()),
         (SchemeSpec::Baseline, WorkloadProfile::mcf()),
     ];
     let mut slot = None;

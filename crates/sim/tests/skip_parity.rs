@@ -76,6 +76,16 @@ fn tid_event_run_is_byte_identical() {
 }
 
 #[test]
+fn tdram_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Tdram, WorkloadProfile::tc(), 21);
+}
+
+#[test]
+fn banshee_event_run_is_byte_identical() {
+    assert_parity(1, SchemeSpec::Banshee, WorkloadProfile::tc(), 22);
+}
+
+#[test]
 fn tdc_event_run_is_byte_identical() {
     assert_parity(1, SchemeSpec::Tdc, WorkloadProfile::tc(), 13);
 }
