@@ -26,11 +26,12 @@ thread_local! {
     static SLOT: RefCell<Option<System>> = const { RefCell::new(None) };
 }
 
-/// Whether arena reuse is enabled (`NOMAD_ARENA`, default on; `0`
-/// disables). Read per call so tests and harnesses can flip it between
-/// cells; the lookup is noise next to a multi-millisecond cell.
+/// Whether arena reuse is enabled (`NOMAD_ARENA`, default on;
+/// `0`/`false`/`off`/`no` disable). Read per call so tests and
+/// harnesses can flip it between cells; the lookup is noise next to a
+/// multi-millisecond cell.
 pub fn enabled() -> bool {
-    std::env::var("NOMAD_ARENA").map_or(true, |v| v != "0")
+    nomad_types::env::bool_or("NOMAD_ARENA", true)
 }
 
 /// Run `f` against this thread's parked-system slot. `f` is expected to

@@ -40,6 +40,7 @@
 pub mod arena;
 pub mod figs;
 pub mod journal;
+pub mod loadgen;
 pub mod localcache;
 pub mod measure;
 pub mod par;
@@ -80,20 +81,17 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Read the scale from the environment, falling back to defaults.
+    /// Read the scale from the environment (via the shared
+    /// [`nomad_types::env`] reader: unset means default, garbage warns
+    /// and means default), falling back to defaults.
     pub fn from_env() -> Self {
-        let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
-        };
+        use nomad_types::env;
         let d = Scale::default();
         Scale {
-            instructions: get("NOMAD_INSTR", d.instructions),
-            warmup: get("NOMAD_WARMUP", d.warmup),
-            cores: get("NOMAD_CORES", d.cores as u64) as usize,
-            seed: get("NOMAD_SEED", d.seed),
+            instructions: env::u64_or("NOMAD_INSTR", d.instructions),
+            warmup: env::u64_or("NOMAD_WARMUP", d.warmup),
+            cores: env::usize_clamped("NOMAD_CORES", d.cores, 1, 4096),
+            seed: env::u64_or("NOMAD_SEED", d.seed),
             jobs: par::jobs_from_env(),
         }
     }

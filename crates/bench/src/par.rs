@@ -42,23 +42,20 @@ pub fn default_jobs() -> usize {
 }
 
 /// Interpret an explicit `NOMAD_JOBS` value: positive integers pass
-/// through, zero and garbage clamp to 1 (with a warning for garbage).
+/// through, zero and garbage clamp to 1 (with a warning for garbage,
+/// shared with every other knob via [`nomad_types::env::parse_u64`]).
 fn jobs_override(raw: &str) -> usize {
-    match raw.trim().parse::<usize>() {
-        Ok(n) => n.max(1),
-        Err(_) => {
-            eprintln!("warning: NOMAD_JOBS={raw:?} is not a non-negative integer; using 1");
-            1
-        }
-    }
+    (nomad_types::env::parse_u64("NOMAD_JOBS", raw, 1) as usize).max(1)
 }
 
 /// Worker count for sweep execution: `NOMAD_JOBS` when set (clamped
-/// ≥ 1), otherwise the host's available parallelism.
+/// ≥ 1), otherwise the host's available parallelism. Uses
+/// [`nomad_types::env::raw`] + `jobs_override` rather than a plain
+/// `u64_or` because the unset default is computed from the machine.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("NOMAD_JOBS") {
-        Ok(v) if !v.trim().is_empty() => jobs_override(&v),
-        _ => default_jobs(),
+    match nomad_types::env::raw("NOMAD_JOBS") {
+        Some(v) => jobs_override(&v),
+        None => default_jobs(),
     }
 }
 
@@ -80,10 +77,7 @@ pub fn sweep_token() -> &'static CancelToken {
 pub fn cell_retries_from_env() -> u32 {
     static RETRIES: OnceLock<u32> = OnceLock::new();
     *RETRIES.get_or_init(|| {
-        std::env::var("NOMAD_CELL_RETRIES")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(2)
+        nomad_types::env::u64_clamped("NOMAD_CELL_RETRIES", 2, 0, u32::MAX as u64) as u32
     })
 }
 

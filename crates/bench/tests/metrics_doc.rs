@@ -100,6 +100,9 @@ fn metrics_md_matches_the_registries() {
     for name in nomad_obs::fleet().metric_names() {
         exported.insert(normalize(&name));
     }
+    for name in nomad_obs::overload().metric_names() {
+        exported.insert(normalize(&name));
+    }
     nomad_obs::set_enabled(false);
 
     let documented = documented_names();

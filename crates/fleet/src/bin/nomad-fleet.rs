@@ -66,6 +66,7 @@ fn local(args: Vec<String>) {
     }
     let mut template = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        overload: nomad_serve::OverloadConfig::from_env(),
         ..ServerConfig::default()
     };
     let mut cache_base = Some(PathBuf::from("results/fleet-cache"));
@@ -138,18 +139,33 @@ fn status(addrs: Vec<String>) {
     let mut down = 0usize;
     for (i, addr) in addrs.iter().enumerate() {
         match Client::connect(addr).and_then(|mut c| c.stats()) {
-            Ok(s) => println!(
-                "node {i} {addr}: up, queue {}/{}, {} workers, jobs {} submitted / {} completed \
-                 / {} failed, cache {} hits / {} entries",
-                s.queue_depth,
-                s.queue_capacity,
-                s.workers,
-                s.jobs_submitted,
-                s.jobs_completed,
-                s.jobs_failed,
-                s.cache_hits,
-                s.cache_entries
-            ),
+            Ok(s) => {
+                let counter = |name: &str| {
+                    s.counters
+                        .iter()
+                        .find(|r| r.name == name)
+                        .map_or(0, |r| r.value)
+                };
+                let shed = counter("overload.admit_shed")
+                    + counter("overload.queue_shed")
+                    + counter("overload.codel_shed")
+                    + counter("overload.exec_shed");
+                println!(
+                    "node {i} {addr}: up, queue {}/{} (oldest {} ms), {} workers, jobs {} \
+                     submitted / {} completed / {} failed, shed {shed} ({} expired ran), \
+                     cache {} hits / {} entries",
+                    s.queue_depth,
+                    s.queue_capacity,
+                    s.queue_oldest_ms,
+                    s.workers,
+                    s.jobs_submitted,
+                    s.jobs_completed,
+                    s.jobs_failed,
+                    counter("overload.expired_executions"),
+                    s.cache_hits,
+                    s.cache_entries
+                );
+            }
             Err(e) => {
                 down += 1;
                 println!("node {i} {addr}: DOWN ({e})");

@@ -19,6 +19,12 @@
 //!   heartbeats plus the per-node reconnect ladder; a dead node's arc
 //!   is reassigned to the survivors, and past the last node the
 //!   remaining cells degrade to in-process execution.
+//! * **Circuit breakers** ([`member::Breaker`]) — one rung below
+//!   death: a node that keeps failing, shedding, or responding slowly
+//!   trips its breaker and loses traffic for a cooldown, then earns it
+//!   back through a single half-open probe. The ring never changes and
+//!   the node is never declared dead, so membership stays monotone
+//!   while overload oscillates freely.
 //!
 //! The house oracle carries over from the serve tier: a grid run
 //! through [`run_grid_via_fleet`] produces **byte-identical**
@@ -28,9 +34,10 @@
 //!
 //! Fault sites (see `nomad-faults`): `fleet.route` (placement falls
 //! back to the first alive node), `fleet.steal` (a steal attempt is
-//! abandoned), `fleet.member` (a heartbeat probe counts as missed).
-//! Fleet metrics are registered under `fleet.*` in `nomad-obs` and
-//! documented in `METRICS.md`.
+//! abandoned), `fleet.member` (a heartbeat probe counts as missed),
+//! `fleet.breaker` (a submit outcome is recorded as a failure).
+//! Fleet metrics are registered under `fleet.*` (breaker activity
+//! under `overload.*`) in `nomad-obs` and documented in `METRICS.md`.
 
 #![warn(missing_docs)]
 
@@ -38,7 +45,7 @@ pub mod member;
 pub mod ring;
 pub mod router;
 
-pub use member::{FleetConfig, Membership};
+pub use member::{Breaker, BreakerConfig, BreakerState, FleetConfig, Membership};
 pub use ring::HashRing;
 pub use router::{run_grid_via_fleet, run_grid_via_fleet_with, FleetClient};
 

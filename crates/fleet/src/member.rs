@@ -17,12 +17,22 @@
 //! the ring and falls back to the first alive node — simulating a
 //! corrupted placement decision, which the content-addressed jobs make
 //! harmless (any node computes the same bytes).
+//!
+//! **Circuit breakers** ([`Breaker`]) sit one rung below `mark_dead`
+//! on the health ladder: a node that keeps failing or responding
+//! slowly gets its breaker *tripped* (Open) and the router routes
+//! around it for a cooldown, then sends a single half-open probe to
+//! test recovery — all without declaring the node dead or touching the
+//! ring. Death stays monotone; breakers oscillate freely. Fault site
+//! `fleet.breaker`: an injected fault at outcome-recording time forces
+//! the outcome to a failure, so chaos plans can trip breakers on a
+//! healthy fleet.
 
 use crate::ring::HashRing;
 use nomad_serve::ClientConfig;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the fleet router, heartbeats and ring.
 ///
@@ -43,6 +53,8 @@ pub struct FleetConfig {
     /// Consecutive heartbeat misses before a node is declared dead
     /// (`NOMAD_FLEET_HB_MISSES`, default 2, clamped ≥ 1).
     pub heartbeat_misses: u32,
+    /// Per-node circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for FleetConfig {
@@ -52,6 +64,7 @@ impl Default for FleetConfig {
             client: ClientConfig::default(),
             heartbeat_interval: Duration::from_millis(200),
             heartbeat_misses: 2,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -60,23 +73,237 @@ impl FleetConfig {
     /// The defaults, overridden by any `NOMAD_FLEET_*` /
     /// `NOMAD_SERVE_*` environment variables that are set and parse.
     pub fn from_env() -> Self {
-        fn num(var: &str) -> Option<u64> {
-            std::env::var(var).ok()?.trim().parse().ok()
-        }
-        let mut cfg = FleetConfig {
+        use nomad_types::env;
+        let d = FleetConfig::default();
+        FleetConfig {
+            vnodes: env::usize_clamped("NOMAD_FLEET_VNODES", d.vnodes, 1, 4096),
             client: ClientConfig::from_env(),
-            ..FleetConfig::default()
+            heartbeat_interval: env::ms_clamped(
+                "NOMAD_FLEET_HB_MS",
+                d.heartbeat_interval.as_millis() as u64,
+                1,
+                u64::MAX,
+            ),
+            heartbeat_misses: env::u64_clamped(
+                "NOMAD_FLEET_HB_MISSES",
+                d.heartbeat_misses as u64,
+                1,
+                u32::MAX as u64,
+            ) as u32,
+            breaker: BreakerConfig::from_env(),
+        }
+    }
+}
+
+/// Thresholds for one node's circuit breaker.
+///
+/// The breaker watches a rolling window of the last `window` submit
+/// outcomes. Once `fail_threshold` of them are failures the breaker
+/// *trips* (Closed → Open): the router routes around the node for
+/// `cooldown` and then lets one probe through (Open → HalfOpen). A
+/// successful probe closes the breaker; a failed one re-opens it for
+/// another cooldown. `latency_threshold` (0 = disabled) additionally
+/// counts *slow successes* as failures, so a node limping along at 10×
+/// its peers' latency sheds its traffic without ever erroring.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Rolling outcome-window length (`NOMAD_FLEET_BREAKER_WINDOW`,
+    /// default 16, clamped 1..=1024).
+    pub window: u32,
+    /// Failures within the window that trip the breaker
+    /// (`NOMAD_FLEET_BREAKER_FAILS`, default 8, clamped ≥ 1).
+    pub fail_threshold: u32,
+    /// How long a tripped breaker stays open before probing
+    /// (`NOMAD_FLEET_BREAKER_COOLDOWN_MS`, default 500).
+    pub cooldown: Duration,
+    /// Successes slower than this count as failures; zero disables the
+    /// latency rule (`NOMAD_FLEET_BREAKER_LATENCY_MS`, default 0).
+    pub latency_threshold: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            fail_threshold: 8,
+            cooldown: Duration::from_millis(500),
+            latency_threshold: Duration::ZERO,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The defaults, overridden by any `NOMAD_FLEET_BREAKER_*`
+    /// environment variables that are set and parse.
+    pub fn from_env() -> Self {
+        use nomad_types::env;
+        let d = BreakerConfig::default();
+        BreakerConfig {
+            window: env::u64_clamped("NOMAD_FLEET_BREAKER_WINDOW", d.window as u64, 1, 1024) as u32,
+            fail_threshold: env::u64_clamped(
+                "NOMAD_FLEET_BREAKER_FAILS",
+                d.fail_threshold as u64,
+                1,
+                1024,
+            ) as u32,
+            cooldown: env::ms_clamped(
+                "NOMAD_FLEET_BREAKER_COOLDOWN_MS",
+                d.cooldown.as_millis() as u64,
+                1,
+                u64::MAX,
+            ),
+            latency_threshold: env::ms_or(
+                "NOMAD_FLEET_BREAKER_LATENCY_MS",
+                d.latency_threshold.as_millis() as u64,
+            ),
+        }
+    }
+}
+
+/// Where one breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes feed the rolling window.
+    Closed,
+    /// Tripped: the router routes around this node until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe is in flight; its outcome
+    /// decides Closed vs. re-Open.
+    HalfOpen,
+}
+
+/// A per-node circuit breaker over a pure millisecond clock.
+///
+/// Every method takes `now_ms` explicitly (milliseconds on any
+/// monotonic per-process clock), so the same state machine drives both
+/// the live router (fed from [`Membership::now_ms`]) and the
+/// virtual-time load generator — deterministic tests never sleep.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+    trips: AtomicU64,
+    probes: AtomicU64,
+    closes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Newest-first bitmask of the last `window` outcomes (1 = failure).
+    outcomes: u64,
+    /// When the current Open cooldown started, or when the outstanding
+    /// HalfOpen probe was issued.
+    since_ms: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with `cfg` thresholds. Windows wider than 64
+    /// outcomes are clamped (the rolling window is a u64 bitmask).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig {
+            window: cfg.window.clamp(1, 64),
+            ..cfg
         };
-        if let Some(v) = num("NOMAD_FLEET_VNODES") {
-            cfg.vnodes = (v.clamp(1, 4096)) as usize;
+        Breaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                outcomes: 0,
+                since_ms: 0,
+            }),
+            trips: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
         }
-        if let Some(v) = num("NOMAD_FLEET_HB_MS") {
-            cfg.heartbeat_interval = Duration::from_millis(v.max(1));
+    }
+
+    /// The current state (for status displays and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// Times this breaker tripped (entered Open).
+    pub fn trip_count(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Half-open probes this breaker issued.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Times this breaker closed again after a successful probe.
+    pub fn close_count(&self) -> u64 {
+        self.closes.load(Ordering::Relaxed)
+    }
+
+    /// May traffic flow to this node right now?
+    ///
+    /// Closed: always. Open: only once the cooldown has elapsed — that
+    /// caller becomes the half-open probe. HalfOpen: the outstanding
+    /// probe blocks further traffic, but after *another* cooldown a
+    /// fresh probe is allowed (a probe whose caller rerouted before
+    /// sending must not wedge the breaker half-open forever).
+    pub fn allow(&self, now_ms: u64) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open | BreakerState::HalfOpen => {
+                if now_ms.saturating_sub(inner.since_ms) < self.cfg.cooldown.as_millis() as u64 {
+                    return false;
+                }
+                inner.state = BreakerState::HalfOpen;
+                inner.since_ms = now_ms;
+                self.probes.fetch_add(1, Ordering::Relaxed);
+                nomad_obs::overload().breaker_probes.inc();
+                true
+            }
         }
-        if let Some(v) = num("NOMAD_FLEET_HB_MISSES") {
-            cfg.heartbeat_misses = (v.clamp(1, u32::MAX as u64)) as u32;
+    }
+
+    /// Fold one submit outcome in. Slow successes (past the latency
+    /// threshold, when enabled) count as failures. Outcomes arriving
+    /// while Open are ignored — they belong to requests that were
+    /// already in flight when the breaker tripped.
+    pub fn record(&self, now_ms: u64, ok: bool, latency: Duration) {
+        let failed =
+            !ok || (!self.cfg.latency_threshold.is_zero() && latency > self.cfg.latency_threshold);
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => {
+                if failed {
+                    self.trip(&mut inner, now_ms);
+                } else {
+                    inner.state = BreakerState::Closed;
+                    inner.outcomes = 0;
+                    self.closes.fetch_add(1, Ordering::Relaxed);
+                    nomad_obs::overload().breaker_closes.inc();
+                }
+            }
+            BreakerState::Closed => {
+                inner.outcomes = (inner.outcomes << 1) | u64::from(failed);
+                let window_mask = if self.cfg.window == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << self.cfg.window) - 1
+                };
+                let failures = (inner.outcomes & window_mask).count_ones();
+                if failures >= self.cfg.fail_threshold {
+                    self.trip(&mut inner, now_ms);
+                }
+            }
         }
-        cfg
+    }
+
+    fn trip(&self, inner: &mut BreakerInner, now_ms: u64) {
+        inner.state = BreakerState::Open;
+        inner.since_ms = now_ms;
+        inner.outcomes = 0;
+        self.trips.fetch_add(1, Ordering::Relaxed);
+        nomad_obs::overload().breaker_trips.inc();
     }
 }
 
@@ -86,6 +313,8 @@ struct Node {
     alive: AtomicBool,
     /// Consecutive heartbeat misses (reset by a successful ping).
     hb_misses: AtomicU32,
+    /// Overload/health breaker, one rung below `mark_dead`.
+    breaker: Breaker,
 }
 
 /// The live membership view shared by router workers and the
@@ -95,17 +324,26 @@ pub struct Membership {
     ring: Mutex<HashRing>,
     alive_count: AtomicUsize,
     vnodes: usize,
+    /// Epoch for the breakers' millisecond clock.
+    started: Instant,
 }
 
 impl Membership {
-    /// All nodes alive, ring over every slot.
+    /// All nodes alive, ring over every slot, default breaker
+    /// thresholds.
     pub fn new(addrs: &[String], vnodes: usize) -> Self {
+        Self::with_breakers(addrs, vnodes, BreakerConfig::default())
+    }
+
+    /// [`Membership::new`] with explicit breaker thresholds.
+    pub fn with_breakers(addrs: &[String], vnodes: usize, breaker: BreakerConfig) -> Self {
         let nodes: Vec<Node> = addrs
             .iter()
             .map(|a| Node {
                 addr: a.clone(),
                 alive: AtomicBool::new(true),
                 hb_misses: AtomicU32::new(0),
+                breaker: Breaker::new(breaker.clone()),
             })
             .collect();
         let slots: Vec<usize> = (0..nodes.len()).collect();
@@ -114,7 +352,45 @@ impl Membership {
             ring: Mutex::new(HashRing::new(&slots, vnodes)),
             nodes,
             vnodes,
+            started: Instant::now(),
         }
+    }
+
+    /// Milliseconds since this membership view was created — the
+    /// breakers' clock.
+    pub fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Slot `idx`'s breaker (status displays and tests).
+    pub fn breaker(&self, idx: usize) -> &Breaker {
+        &self.nodes[idx].breaker
+    }
+
+    /// Whether slot `idx` may receive traffic right now (alive and its
+    /// breaker admits it — possibly as a half-open probe).
+    pub fn breaker_allows(&self, idx: usize) -> bool {
+        self.is_alive(idx) && self.nodes[idx].breaker.allow(self.now_ms())
+    }
+
+    /// Fold one submit outcome into slot `idx`'s breaker.
+    ///
+    /// Fault site `fleet.breaker`: an injected fault forces the
+    /// outcome to a failure, so chaos plans can trip breakers without
+    /// a genuinely failing node.
+    pub fn record_outcome(&self, idx: usize, ok: bool, latency: Duration) {
+        let ok = ok && nomad_faults::inject("fleet.breaker").is_none();
+        self.nodes[idx].breaker.record(self.now_ms(), ok, latency);
+    }
+
+    /// The next slot after `avoid` (wrapping, in slot order) that is
+    /// alive and whose breaker admits traffic; `None` when no other
+    /// slot qualifies.
+    pub fn route_around(&self, avoid: usize) -> Option<usize> {
+        let n = self.nodes.len();
+        (1..n)
+            .map(|step| (avoid + step) % n)
+            .find(|&idx| self.breaker_allows(idx))
     }
 
     /// Total configured nodes (alive or dead).
@@ -252,5 +528,88 @@ mod tests {
         m.heartbeat_ok(0);
         assert!(!m.heartbeat_miss(0, 2), "reset counter starts over");
         assert!(m.heartbeat_miss(0, 2), "two consecutive misses hit");
+    }
+
+    fn breaker(fails: u32, cooldown_ms: u64, latency_ms: u64) -> Breaker {
+        Breaker::new(BreakerConfig {
+            window: 8,
+            fail_threshold: fails,
+            cooldown: Duration::from_millis(cooldown_ms),
+            latency_threshold: Duration::from_millis(latency_ms),
+        })
+    }
+
+    #[test]
+    fn breaker_trips_at_the_window_threshold_and_cools_down() {
+        let b = breaker(3, 100, 0);
+        let fast = Duration::from_millis(1);
+        b.record(0, false, fast);
+        b.record(1, false, fast);
+        assert_eq!(b.state(), BreakerState::Closed, "two failures stay closed");
+        assert!(b.allow(2));
+        b.record(2, false, fast);
+        assert_eq!(b.state(), BreakerState::Open, "third failure trips");
+        assert_eq!(b.trip_count(), 1);
+        assert!(!b.allow(50), "open within the cooldown blocks traffic");
+        assert!(b.allow(102), "cooldown elapsed: one probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.probe_count(), 1);
+        assert!(!b.allow(103), "the outstanding probe blocks a second");
+        b.record(110, true, fast);
+        assert_eq!(b.state(), BreakerState::Closed, "good probe closes");
+        assert_eq!(b.close_count(), 1);
+        // The window cleared on close: old failures don't linger.
+        b.record(111, false, fast);
+        b.record(112, false, fast);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_a_stuck_probe_expires() {
+        let b = breaker(1, 100, 0);
+        b.record(0, false, Duration::ZERO);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(100));
+        b.record(105, false, Duration::ZERO);
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(b.trip_count(), 2);
+        // A probe whose caller rerouted before sending must not wedge
+        // the breaker half-open: another cooldown earns a fresh probe.
+        assert!(b.allow(210));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(215));
+        assert!(b.allow(320), "re-probe after another full cooldown");
+        assert_eq!(b.probe_count(), 3);
+    }
+
+    #[test]
+    fn slow_successes_count_as_failures_when_the_latency_rule_is_on() {
+        let b = breaker(2, 100, 50);
+        b.record(0, true, Duration::from_millis(300));
+        b.record(1, true, Duration::from_millis(300));
+        assert_eq!(b.state(), BreakerState::Open, "slow successes trip");
+        let off = breaker(2, 100, 0);
+        off.record(0, true, Duration::from_millis(300));
+        off.record(1, true, Duration::from_millis(300));
+        assert_eq!(off.state(), BreakerState::Closed, "rule disabled at 0");
+    }
+
+    #[test]
+    fn route_around_skips_tripped_breakers_without_killing_nodes() {
+        let m = members(3);
+        // Trip node 1's breaker with direct failure records.
+        for _ in 0..8 {
+            m.record_outcome(1, false, Duration::ZERO);
+        }
+        assert_eq!(m.breaker(1).state(), BreakerState::Open);
+        assert!(m.is_alive(1), "a tripped breaker is not death");
+        assert_eq!(m.alive_count(), 3);
+        assert!(!m.breaker_allows(1));
+        assert_eq!(m.route_around(1), Some(2), "next slot in order");
+        assert_eq!(m.route_around(0), Some(2), "skips the tripped slot");
+        // With 1 tripped and 2 dead, only 0 remains.
+        m.mark_dead(2);
+        assert_eq!(m.route_around(1), Some(0));
+        assert_eq!(m.route_around(0), None, "no *other* slot qualifies");
     }
 }

@@ -118,7 +118,11 @@ impl FleetClient {
     /// A fleet over `addrs` with explicit budgets.
     pub fn with_config(addrs: &[String], cfg: FleetConfig) -> Self {
         FleetClient {
-            members: Arc::new(Membership::new(addrs, cfg.vnodes)),
+            members: Arc::new(Membership::with_breakers(
+                addrs,
+                cfg.vnodes,
+                cfg.breaker.clone(),
+            )),
             cfg,
         }
     }
@@ -328,11 +332,21 @@ fn run_item(
     let key = job.content_key();
     let canonical = job.canonical_json();
     let mut target = first_target;
-    // Each pass either succeeds, or kills `target` and re-routes; at
-    // most `len` passes before the fleet is empty.
+    // Each pass either succeeds, or kills/reroutes `target`; at most
+    // `len` passes before the fleet is empty.
     for _ in 0..=state.members.len() {
         if cancel.is_cancelled() {
             return Err("cancelled during fleet submission".to_string());
+        }
+        // Breaker gate: a tripped target loses this cell to the next
+        // allowed slot. With no alternative we force through the
+        // original — an all-tripped fleet must stay usable (the
+        // breaker is advisory; death is the ladder's call).
+        if !state.members.breaker_allows(target) {
+            if let Some(alt) = state.members.route_around(target) {
+                nomad_obs::overload().breaker_reroutes.inc();
+                target = alt;
+            }
         }
         // Shared cache tier: any *other* alive node that already
         // computed this cell answers it without a new simulation.
@@ -346,6 +360,18 @@ fn run_item(
                 match state.members.route(key) {
                     Some(next) => target = next,
                     None => break,
+                }
+            }
+            LadderOutcome::Overloaded => {
+                // The node is shedding past the client's retry budget:
+                // give its arc a breather rather than its life. Another
+                // slot takes the cell, or we degrade to local.
+                match state.members.route_around(target) {
+                    Some(next) => {
+                        nomad_obs::overload().breaker_reroutes.inc();
+                        target = next;
+                    }
+                    None => return run_cell_locally(job, cancel),
                 }
             }
         }
@@ -407,17 +433,28 @@ fn probe_peers(
     None
 }
 
+/// How many `Overloaded` responses the ladder absorbs (sleeping the
+/// server's retry-after hint each time) before handing the cell back
+/// to the router as [`LadderOutcome::Overloaded`]. Small on purpose:
+/// past a few rejections the right move is rerouting, not waiting.
+const LADDER_OVERLOAD_RETRIES: u32 = 8;
+
 /// What one node's recovery ladder concluded.
 enum LadderOutcome {
     /// The cell resolved (successfully or unrecoverably).
     Done(Box<Result<RunReport, String>>),
     /// The node is unreachable past the budget; fail it over.
     NodeDead,
+    /// The node kept shedding past the retry budget; route around it
+    /// without declaring it dead.
+    Overloaded,
 }
 
 /// The PR-5 ladder scoped to one node: reconnect with backoff, count
 /// `resilience.serve_reconnects`, give a server-side `Failed` one
-/// local retry, and report the node dead past the budget.
+/// local retry, and report the node dead past the budget. Every
+/// submit outcome also feeds the node's circuit breaker (success,
+/// failure, or shed — with the wall-clock latency of the exchange).
 fn submit_with_ladder(
     job: &JobSpec,
     salt: u64,
@@ -454,21 +491,32 @@ fn submit_with_ladder(
             }
         }
         let client = conns[target].as_mut().expect("connected above");
-        match client.submit_retrying(job, 1000) {
+        let t0 = std::time::Instant::now();
+        match client.submit_retrying(job, LADDER_OVERLOAD_RETRIES) {
             Ok(Response::Report { report, .. }) => {
-                return LadderOutcome::Done(Box::new(Ok(report)))
+                state.members.record_outcome(target, true, t0.elapsed());
+                return LadderOutcome::Done(Box::new(Ok(report)));
             }
             Ok(Response::Failed { error, attempts }) => {
+                // The node answered; a job-level failure is not a
+                // node-health signal.
+                state.members.record_outcome(target, true, t0.elapsed());
                 eprintln!(
                     "nomad-fleet: node {target} failed the job after {attempts} attempts \
                      ({error}); retrying locally"
                 );
                 return LadderOutcome::Done(Box::new(run_cell_locally(job, cancel)));
             }
-            Ok(Response::Rejected { .. }) => {
-                return LadderOutcome::Done(Box::new(Err(
-                    "job rejected past retry budget".to_string()
-                )))
+            Ok(Response::Overloaded { .. }) => {
+                state.members.record_outcome(target, false, t0.elapsed());
+                return LadderOutcome::Overloaded;
+            }
+            Ok(Response::Expired { error }) => {
+                // The node shed the job (queue-delay controller); treat
+                // like overload pressure and compute the cell locally.
+                state.members.record_outcome(target, false, t0.elapsed());
+                eprintln!("nomad-fleet: node {target} shed the job ({error}); running locally");
+                return LadderOutcome::Done(Box::new(run_cell_locally(job, cancel)));
             }
             Ok(other) => {
                 return LadderOutcome::Done(Box::new(Err(format!(
@@ -476,6 +524,7 @@ fn submit_with_ladder(
                 ))))
             }
             Err(_) => {
+                state.members.record_outcome(target, false, t0.elapsed());
                 conns[target] = None;
                 attempt += 1;
                 if attempt > cfg.reconnect_attempts {

@@ -48,6 +48,7 @@ pub mod export;
 pub mod fleet;
 pub mod json;
 pub mod metric;
+pub mod overload;
 pub mod registry;
 pub mod resilience;
 pub mod ring;
@@ -55,6 +56,7 @@ pub mod trace;
 
 pub use fleet::{fleet, Fleet};
 pub use metric::{Counter, Gauge, Histo};
+pub use overload::{overload, Overload};
 pub use registry::{MetricDesc, MetricKind, Registry, Snapshot, SnapshotLog};
 pub use resilience::{resilience, Resilience};
 pub use ring::{Span, SpanKind, SpanRing};

@@ -1,0 +1,178 @@
+//! Process-wide overload-protection counters.
+//!
+//! The overload layer (deadline admission, CoDel-style queue-delay
+//! shedding, per-node circuit breakers) spans nomad-serve, nomad-fleet
+//! and nomad-bench, so — exactly like [`crate::fleet()`] — its
+//! counters live in one process-global registry rather than in any
+//! per-server instance. A sweep or a load-generator run wants one
+//! answer to "how much work was shed, and where", no matter which
+//! queue or router absorbed the event.
+//!
+//! Like the resilience and fleet counters these are **not** gated on
+//! [`enabled`](crate::enabled): sheds and breaker transitions are rare
+//! relative to the request rate and each is one relaxed atomic add, so
+//! they always count. Documented in `METRICS.md` and held against this
+//! registry by the two-way `metrics_doc` test.
+
+use crate::metric::Counter;
+use crate::registry::Registry;
+use std::sync::OnceLock;
+
+/// Handles to the process-wide overload counters.
+pub struct Overload {
+    registry: Registry,
+    /// Submissions shed at admission: the deadline budget cannot be
+    /// met by the estimated queue wait, or an injected `serve.admit`
+    /// fault forced a rejection (`overload.admit_shed`).
+    pub admit_shed: Counter,
+    /// Jobs shed at dequeue because their deadline expired while they
+    /// waited in the queue (`overload.queue_shed`).
+    pub queue_shed: Counter,
+    /// Jobs shed by the pre-execute recheck: the deadline expired
+    /// between dequeue and the execution attempt
+    /// (`overload.exec_shed`).
+    pub exec_shed: Counter,
+    /// Jobs shed by the CoDel-style queue-delay controller: sojourn
+    /// time exceeded the target while a backlog remained
+    /// (`overload.codel_shed`).
+    pub codel_shed: Counter,
+    /// Executions started *after* the job's deadline had already
+    /// expired. With shedding enabled this is structurally zero — it
+    /// is the SLO witness the load generator asserts on
+    /// (`overload.expired_executions`).
+    pub expired_executions: Counter,
+    /// Circuit breakers tripped from closed (or re-tripped from a
+    /// failed half-open probe) into open (`overload.breaker_trips`).
+    pub breaker_trips: Counter,
+    /// Half-open probe requests admitted through an open breaker after
+    /// its cooldown (`overload.breaker_probes`).
+    pub breaker_probes: Counter,
+    /// Breakers closed again by a successful half-open probe
+    /// (`overload.breaker_closes`).
+    pub breaker_closes: Counter,
+    /// Requests rerouted around a node whose breaker refused traffic,
+    /// without declaring the node dead
+    /// (`overload.breaker_reroutes`).
+    pub breaker_reroutes: Counter,
+}
+
+impl Overload {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Overload {
+            admit_shed: registry.counter(
+                "overload.admit_shed",
+                "jobs",
+                "overload",
+                "Submissions shed at admission (deadline unmeetable or injected serve.admit fault)",
+            ),
+            queue_shed: registry.counter(
+                "overload.queue_shed",
+                "jobs",
+                "overload",
+                "Jobs shed at dequeue because their deadline expired while queued",
+            ),
+            exec_shed: registry.counter(
+                "overload.exec_shed",
+                "jobs",
+                "overload",
+                "Jobs shed by the pre-execute deadline recheck",
+            ),
+            codel_shed: registry.counter(
+                "overload.codel_shed",
+                "jobs",
+                "overload",
+                "Jobs shed by the CoDel-style queue-delay controller",
+            ),
+            expired_executions: registry.counter(
+                "overload.expired_executions",
+                "jobs",
+                "overload",
+                "Executions started past an expired deadline (zero while shedding is enabled)",
+            ),
+            breaker_trips: registry.counter(
+                "overload.breaker_trips",
+                "transitions",
+                "overload",
+                "Circuit breakers tripped into the open state",
+            ),
+            breaker_probes: registry.counter(
+                "overload.breaker_probes",
+                "probes",
+                "overload",
+                "Half-open probe requests admitted through an open breaker",
+            ),
+            breaker_closes: registry.counter(
+                "overload.breaker_closes",
+                "transitions",
+                "overload",
+                "Breakers closed again by a successful half-open probe",
+            ),
+            breaker_reroutes: registry.counter(
+                "overload.breaker_reroutes",
+                "requests",
+                "overload",
+                "Requests rerouted around a breaker-refused node without declaring it dead",
+            ),
+            registry,
+        }
+    }
+
+    /// Sorted base names of every overload metric (for the
+    /// `metrics_doc` two-way diff).
+    pub fn metric_names(&self) -> Vec<String> {
+        self.registry.names()
+    }
+
+    /// Sorted `(name, value)` rows of the live counters.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        self.registry.snapshot(0).values
+    }
+
+    /// The live value of one counter by its registered name; `None`
+    /// for names this registry does not export.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.rows()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// The process-wide [`Overload`] counters.
+pub fn overload() -> &'static Overload {
+    static GLOBAL: OnceLock<Overload> = OnceLock::new();
+    GLOBAL.get_or_init(Overload::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_under_documented_names() {
+        let names = overload().metric_names();
+        assert_eq!(
+            names,
+            vec![
+                "overload.admit_shed",
+                "overload.breaker_closes",
+                "overload.breaker_probes",
+                "overload.breaker_reroutes",
+                "overload.breaker_trips",
+                "overload.codel_shed",
+                "overload.exec_shed",
+                "overload.expired_executions",
+                "overload.queue_shed",
+            ]
+        );
+    }
+
+    #[test]
+    fn rows_track_increments() {
+        let before = overload().value("overload.admit_shed").expect("row");
+        overload().admit_shed.inc();
+        let after = overload().value("overload.admit_shed").expect("row");
+        assert_eq!(after, before + 1);
+    }
+}

@@ -25,7 +25,7 @@
 //! With observability enabled (`NOMAD_OBS=1`), a Chrome trace of every
 //! executed job is written to `results/serve.trace.json` on shutdown.
 
-use nomad_serve::{serve, ServerConfig};
+use nomad_serve::{serve, OverloadConfig, ServerConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -33,6 +33,7 @@ fn main() {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7979".to_string(),
         cache_dir: Some(PathBuf::from("results/cache")),
+        overload: OverloadConfig::from_env(),
         ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);

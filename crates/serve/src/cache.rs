@@ -46,6 +46,58 @@ pub struct JobFailure {
 /// The outcome of one job execution.
 pub type JobResult = Result<Arc<RunReport>, JobFailure>;
 
+/// Error prefix marking a deadline-expired shed (see
+/// [`JobFailure::expired`]).
+const EXPIRED_PREFIX: &str = "deadline expired";
+
+/// Error prefix marking a CoDel queue-delay shed (see
+/// [`JobFailure::codel_shed`]).
+const CODEL_PREFIX: &str = "shed by queue-delay controller";
+
+impl JobFailure {
+    /// A deadline-expired shed: the job was dropped without running
+    /// because its budget could not be (or was not) met. `where_` names
+    /// the checkpoint (admission, queue, pre-execute) for the error
+    /// text.
+    pub fn expired(where_: &str, waited_ms: u64) -> Self {
+        JobFailure {
+            error: format!("{EXPIRED_PREFIX} at {where_} after {waited_ms} ms"),
+            attempts: 0,
+        }
+    }
+
+    /// An admission-time shed: the estimated queue wait alone already
+    /// exceeds the job's deadline budget, so enqueueing it would only
+    /// manufacture expired work.
+    pub fn admit_expired(estimated_wait_ms: u64, deadline_ms: u64) -> Self {
+        JobFailure {
+            error: format!(
+                "{EXPIRED_PREFIX} at admission: estimated {estimated_wait_ms} ms wait \
+                 exceeds the {deadline_ms} ms budget"
+            ),
+            attempts: 0,
+        }
+    }
+
+    /// A CoDel shed: sojourn time exceeded the queue-delay target while
+    /// a backlog remained.
+    pub fn codel_shed(sojourn_ms: u64, target_ms: u64) -> Self {
+        JobFailure {
+            error: format!("{CODEL_PREFIX}: {sojourn_ms} ms sojourn over {target_ms} ms target"),
+            attempts: 0,
+        }
+    }
+
+    /// Whether this failure is a shed (deadline-expired or CoDel) —
+    /// i.e. the job never ran and a retry with more budget (or less
+    /// load) may succeed. The server maps shed failures to
+    /// [`Response::Expired`](crate::proto::Response::Expired) instead
+    /// of `Failed`.
+    pub fn is_shed(&self) -> bool {
+        self.error.starts_with(EXPIRED_PREFIX) || self.error.starts_with(CODEL_PREFIX)
+    }
+}
+
 /// A rendezvous between one running job and any coalesced waiters.
 pub struct Flight {
     slot: Mutex<Option<JobResult>>,
@@ -79,6 +131,35 @@ impl Flight {
                 return result.clone();
             }
             slot = self.done.wait(slot).expect("flight lock");
+        }
+    }
+
+    /// [`wait`](Self::wait) with an optional deadline: returns `None`
+    /// once `deadline` passes with no result published. The flight
+    /// itself stays valid — a coalesced waiter giving up does not
+    /// disturb the runner or other waiters. `deadline: None` waits
+    /// forever, exactly like [`wait`](Self::wait).
+    pub fn wait_until(&self, deadline: Option<std::time::Instant>) -> Option<JobResult> {
+        let Some(deadline) = deadline else {
+            return Some(self.wait());
+        };
+        let mut slot = self.slot.lock().expect("flight lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("flight lock");
+            slot = guard;
+            if timeout.timed_out() && slot.is_none() {
+                return None;
+            }
         }
     }
 }

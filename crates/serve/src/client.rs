@@ -71,25 +71,37 @@ impl Default for ClientConfig {
 
 impl ClientConfig {
     /// The defaults, overridden by any of the documented
-    /// `NOMAD_SERVE_*` environment variables that are set and parse.
+    /// `NOMAD_SERVE_*` environment variables that are set and parse
+    /// (shared semantics in [`nomad_types::env`]: garbage warns and
+    /// falls back, out-of-range clamps).
     pub fn from_env() -> Self {
-        fn ms(var: &str) -> Option<u64> {
-            std::env::var(var).ok()?.trim().parse().ok()
+        use nomad_types::env;
+        let d = ClientConfig::default();
+        let io_default = d.io_timeout.map_or(0, |t| t.as_millis() as u64);
+        let io_ms = env::u64_or("NOMAD_SERVE_IO_TIMEOUT_MS", io_default);
+        ClientConfig {
+            connect_timeout: env::ms_clamped(
+                "NOMAD_SERVE_CONNECT_TIMEOUT_MS",
+                d.connect_timeout.as_millis() as u64,
+                1,
+                u64::MAX,
+            ),
+            // 0 disables the I/O timeout entirely.
+            io_timeout: (io_ms > 0).then(|| Duration::from_millis(io_ms)),
+            reconnect_attempts: env::u64_clamped(
+                "NOMAD_SERVE_RECONNECTS",
+                u64::from(d.reconnect_attempts),
+                0,
+                u64::from(u32::MAX),
+            ) as u32,
+            backoff_base: env::ms_clamped(
+                "NOMAD_SERVE_BACKOFF_MS",
+                d.backoff_base.as_millis() as u64,
+                1,
+                u64::MAX,
+            ),
+            backoff_cap: d.backoff_cap,
         }
-        let mut cfg = ClientConfig::default();
-        if let Some(v) = ms("NOMAD_SERVE_CONNECT_TIMEOUT_MS") {
-            cfg.connect_timeout = Duration::from_millis(v.max(1));
-        }
-        if let Some(v) = ms("NOMAD_SERVE_IO_TIMEOUT_MS") {
-            cfg.io_timeout = (v > 0).then(|| Duration::from_millis(v));
-        }
-        if let Some(v) = ms("NOMAD_SERVE_RECONNECTS") {
-            cfg.reconnect_attempts = v.min(u32::MAX as u64) as u32;
-        }
-        if let Some(v) = ms("NOMAD_SERVE_BACKOFF_MS") {
-            cfg.backoff_base = Duration::from_millis(v.max(1));
-        }
-        cfg
     }
 
     /// Backoff before reconnect attempt `attempt` (1-based):
@@ -167,8 +179,24 @@ impl Client {
         self.request(&Request::Submit(job.clone()))
     }
 
-    /// Submit, honouring `Rejected { retry_after_ms }` backpressure up
-    /// to `max_attempts` total tries. The advertised sleep is capped
+    /// Submit one job with a relative deadline budget (milliseconds
+    /// from server receipt); the server sheds it — `Expired` — instead
+    /// of executing it once the budget cannot be met. No backpressure
+    /// retry; see [`submit_within_deadline`] for the budget-splitting
+    /// retry/reconnect driver.
+    pub fn submit_with_deadline(
+        &mut self,
+        job: &JobSpec,
+        budget: Duration,
+    ) -> io::Result<Response> {
+        self.request(&Request::SubmitDeadline {
+            job: job.clone(),
+            deadline_ms: budget.as_millis() as u64,
+        })
+    }
+
+    /// Submit, honouring `Overloaded { retry_after_ms }` backpressure
+    /// up to `max_attempts` total tries. The advertised sleep is capped
     /// at 1 s per attempt (a buggy or hostile server cannot park this
     /// thread for minutes), and the final failed attempt returns
     /// immediately instead of sleeping a backoff nobody will use.
@@ -177,8 +205,8 @@ impl Client {
         let mut last = None;
         for attempt in 1..=max_attempts {
             match self.submit(job)? {
-                Response::Rejected { retry_after_ms } => {
-                    last = Some(Response::Rejected { retry_after_ms });
+                Response::Overloaded { retry_after_ms } => {
+                    last = Some(Response::Overloaded { retry_after_ms });
                     if attempt < max_attempts {
                         std::thread::sleep(Duration::from_millis(
                             retry_after_ms.min(MAX_REJECTED_SLEEP_MS),
@@ -248,6 +276,88 @@ fn unexpected(wanted: &str, got: &Response) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("expected {wanted}, got {got:?}"),
     )
+}
+
+/// Submit one job under a hard **client-side** deadline, splitting the
+/// remaining budget across backpressure retries and reconnects: every
+/// sleep (backoff or retry-after) is capped by the time left, every
+/// reconnect uses a connect timeout capped by the time left, and each
+/// submission hands the server only the *remaining* budget — so the
+/// total spent across all attempts never exceeds `budget`.
+///
+/// `conn` is the caller's reusable connection slot (dropped on
+/// transport errors, re-established lazily, exactly like the grid
+/// runner's). When the budget runs out client-side the call returns a
+/// fabricated `Response::Expired` — the caller cannot distinguish who
+/// shed first, and does not need to. Transport errors past
+/// `cfg.reconnect_attempts` surface as the underlying `io::Error`.
+pub fn submit_within_deadline(
+    conn: &mut Option<Client>,
+    addr: &str,
+    job: &JobSpec,
+    budget: Duration,
+    cfg: &ClientConfig,
+) -> io::Result<Response> {
+    let deadline = std::time::Instant::now() + budget;
+    let salt = job.content_key();
+    let mut attempt = 0u32;
+    let expired = || {
+        Ok(Response::Expired {
+            error: "deadline expired client-side: budget exhausted across retries".to_string(),
+        })
+    };
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return expired();
+        }
+        if conn.is_none() {
+            let mut connect_cfg = cfg.clone();
+            connect_cfg.connect_timeout = cfg.connect_timeout.min(remaining);
+            match Client::connect_with(addr, &connect_cfg) {
+                Ok(c) => {
+                    if attempt > 0 {
+                        nomad_obs::resilience().serve_reconnects.inc();
+                    }
+                    *conn = Some(c);
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > cfg.reconnect_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(cfg.backoff(salt, attempt).min(remaining));
+                    continue;
+                }
+            }
+        }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return expired();
+        }
+        let client = conn.as_mut().expect("connection established above");
+        match client.submit_with_deadline(job, remaining) {
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                let sleep = Duration::from_millis(retry_after_ms.min(MAX_REJECTED_SLEEP_MS));
+                if sleep >= deadline.saturating_duration_since(std::time::Instant::now()) {
+                    // The advertised backoff alone outlives the budget.
+                    return expired();
+                }
+                std::thread::sleep(sleep);
+            }
+            Ok(other) => return Ok(other),
+            Err(e) => {
+                // Transport error mid-request: unknown connection
+                // state, drop it and go around the ladder.
+                *conn = None;
+                attempt += 1;
+                if attempt > cfg.reconnect_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(cfg.backoff(salt, attempt).min(remaining));
+            }
+        }
+    }
 }
 
 /// Drop-in replacement for [`nomad_sim::runner::run_grid`]
@@ -403,8 +513,15 @@ fn run_cell_healing(
                 );
                 return run_cell_locally(job, cancel);
             }
-            Ok(Response::Rejected { .. }) => {
+            Ok(Response::Overloaded { .. }) => {
                 return Err("job rejected past retry budget".to_string())
+            }
+            Ok(Response::Expired { error }) => {
+                // The server shed the job (CoDel queue-delay drop —
+                // this runner submits without deadlines); the cell is
+                // still needed, so run it here.
+                eprintln!("nomad-serve client: job shed server-side ({error}); running locally");
+                return run_cell_locally(job, cancel);
             }
             Ok(other) => return Err(format!("unexpected response: {other:?}")),
             Err(e) => {

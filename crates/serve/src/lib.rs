@@ -23,6 +23,14 @@
 //!   wire, so a fleet router (`nomad-fleet`) can treat every node's
 //!   cache as one shared tier — any node can answer any previously
 //!   computed cell regardless of ring placement.
+//! * **Overload protection** ([`overload`]) — per-job deadline
+//!   budgets carried on the wire (`Request::SubmitDeadline`), an
+//!   admission controller that sheds work whose estimated wait exceeds
+//!   its budget, a CoDel-style queue-delay shedder, and dynamic
+//!   `Overloaded { retry_after_ms }` backpressure hints scaled by
+//!   queue depth. Expired work is shed at admission, dequeue, and
+//!   pre-execute; with shedding disabled the `overload.expired_executions`
+//!   counter witnesses every deadline violation that ran anyway.
 //! * **Stats** ([`stats`], `Request::Stats`) — queue depth, cache hit
 //!   rate, per-worker utilization, p50/p99 job latency. Backed by a
 //!   [`nomad_obs::Registry`], so responses carry the same `serve.*`
@@ -47,6 +55,7 @@
 pub mod cache;
 pub mod client;
 pub mod hash;
+pub mod overload;
 pub mod proto;
 pub mod queue;
 pub mod server;
@@ -54,7 +63,11 @@ pub mod stats;
 pub mod worker;
 
 pub use cache::{JobFailure, ResultCache};
-pub use client::{run_grid_via, run_grid_via_jobs, run_grid_via_jobs_with, Client, ClientConfig};
+pub use client::{
+    run_grid_via, run_grid_via_jobs, run_grid_via_jobs_with, submit_within_deadline, Client,
+    ClientConfig,
+};
+pub use overload::OverloadConfig;
 pub use proto::{JobSpec, MetricRow, Request, Response, StatsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::ServiceStats;

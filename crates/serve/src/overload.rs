@@ -1,0 +1,165 @@
+//! Overload-protection policy: admission estimates, deadline checks,
+//! the CoDel-style queue-delay rule, and the retry-after curve.
+//!
+//! Everything here is a **pure function of integers** — no clocks, no
+//! atomics, no I/O — so the exact decision logic the live server runs
+//! is also what the deterministic load generator in `nomad-bench`
+//! replays under virtual time. The server's three checkpoints
+//! (admission in `server.rs`, dequeue in `worker.rs`, pre-execute in
+//! `worker.rs`) all call into this module; the byte-identical
+//! `results/loadgen.json` artifact is the proof the policy itself is
+//! deterministic.
+//!
+//! The model follows the paper's theme one layer up: NOMAD removes
+//! the blocking tag-check from the DRAM-cache critical path; the serve
+//! tier removes blocking admission from the request path. Work that
+//! cannot meet its deadline is shed *early* — at admission if the
+//! estimated queue wait already exceeds the budget, at dequeue if the
+//! budget died in the queue, and immediately before execution as a
+//! last line — so a burst degrades goodput gracefully instead of
+//! executing answers nobody is still waiting for.
+
+use std::time::Duration;
+
+/// Retry-after hint when the queue is empty (milliseconds).
+pub const BASE_RETRY_AFTER_MS: u64 = 25;
+
+/// Retry-after hint when the queue is full (milliseconds).
+pub const MAX_RETRY_AFTER_MS: u64 = 1_000;
+
+/// Tunable overload-protection knobs, carried in
+/// [`ServerConfig`](crate::server::ServerConfig).
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// CoDel-style queue-delay target. When a dequeued job's sojourn
+    /// exceeds this *and* a backlog remains behind it, the job is shed
+    /// (`overload.codel_shed`) so the queue drains toward the target.
+    /// Zero disables the controller (the default: batch sweeps care
+    /// about completion, not tail latency).
+    pub codel_target: Duration,
+    /// Master switch for shedding. With shedding off, deadline-expired
+    /// jobs are *executed anyway* and counted in
+    /// `overload.expired_executions` — the counter the load generator
+    /// asserts is zero when shedding is on.
+    pub shed: bool,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            codel_target: Duration::ZERO,
+            shed: true,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Read the knobs from the environment:
+    /// `NOMAD_SERVE_CODEL_TARGET_MS` (default 0 = disabled) and
+    /// `NOMAD_SERVE_SHED` (default on).
+    pub fn from_env() -> Self {
+        OverloadConfig {
+            codel_target: nomad_types::env::ms_or("NOMAD_SERVE_CODEL_TARGET_MS", 0),
+            shed: nomad_types::env::bool_or("NOMAD_SERVE_SHED", true),
+        }
+    }
+}
+
+/// The retry-after hint for an [`Overloaded`](crate::proto::Response)
+/// frame: [`BASE_RETRY_AFTER_MS`] with an empty queue, scaling
+/// linearly to [`MAX_RETRY_AFTER_MS`] at capacity. Backing off harder
+/// as the queue fills spreads the retry herd out instead of
+/// synchronizing it.
+pub fn retry_after_ms(depth: usize, capacity: usize) -> u64 {
+    let cap = capacity.max(1) as u64;
+    let depth = depth.min(capacity) as u64;
+    BASE_RETRY_AFTER_MS + (MAX_RETRY_AFTER_MS - BASE_RETRY_AFTER_MS) * depth / cap
+}
+
+/// Estimated queue wait for a newly admitted job, in milliseconds:
+/// `depth` jobs ahead, drained by `workers` threads, each taking the
+/// EWMA service time. `u64::MAX` with zero workers — nothing will
+/// ever drain, so any finite deadline is hopeless.
+pub fn estimated_wait_ms(depth: usize, workers: usize, service_ewma_ms: u64) -> u64 {
+    if workers == 0 {
+        return u64::MAX;
+    }
+    (depth as u64).saturating_mul(service_ewma_ms) / workers as u64
+}
+
+/// Admission verdict: shed now when the budget is already zero or the
+/// estimated wait alone would consume it. Erring optimistic is fine —
+/// the dequeue and pre-execute checks catch what admission lets
+/// through.
+pub fn admit_would_expire(deadline_ms: u64, estimated_wait_ms: u64) -> bool {
+    deadline_ms == 0 || estimated_wait_ms > deadline_ms
+}
+
+/// CoDel-style dequeue rule: shed the job whose queue sojourn exceeds
+/// `target_ms` **only while a backlog remains** (`backlog` = jobs
+/// still queued behind it). The last waiting job is always executed —
+/// shedding it would trade a late answer for no answer without
+/// protecting anyone behind it. `target_ms == 0` disables the rule.
+pub fn codel_should_shed(sojourn_ms: u64, target_ms: u64, backlog: usize) -> bool {
+    target_ms > 0 && backlog > 0 && sojourn_ms > target_ms
+}
+
+/// One exponentially-weighted moving average step over millisecond
+/// samples (alpha = 1/8, integer arithmetic). The first sample seeds
+/// the average directly so early estimates are not dragged toward
+/// zero.
+pub fn ewma_step(current: u64, sample_ms: u64) -> u64 {
+    if current == 0 {
+        sample_ms
+    } else {
+        (current * 7 + sample_ms) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_scales_with_queue_fill() {
+        assert_eq!(retry_after_ms(0, 32), BASE_RETRY_AFTER_MS);
+        assert_eq!(retry_after_ms(32, 32), MAX_RETRY_AFTER_MS);
+        assert_eq!(retry_after_ms(64, 32), MAX_RETRY_AFTER_MS);
+        let half = retry_after_ms(16, 32);
+        assert!(half > BASE_RETRY_AFTER_MS && half < MAX_RETRY_AFTER_MS);
+        // Degenerate capacity never divides by zero.
+        assert_eq!(retry_after_ms(0, 0), BASE_RETRY_AFTER_MS);
+    }
+
+    #[test]
+    fn estimated_wait_is_depth_times_service_over_workers() {
+        assert_eq!(estimated_wait_ms(8, 2, 40), 160);
+        assert_eq!(estimated_wait_ms(0, 2, 40), 0);
+        assert_eq!(estimated_wait_ms(8, 0, 40), u64::MAX);
+        assert_eq!(estimated_wait_ms(usize::MAX, 1, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn admission_sheds_zero_and_hopeless_budgets() {
+        assert!(admit_would_expire(0, 0), "zero budget is already expired");
+        assert!(admit_would_expire(100, 101));
+        assert!(!admit_would_expire(100, 100), "exact fit is admitted");
+        assert!(!admit_would_expire(100, 0));
+    }
+
+    #[test]
+    fn codel_never_sheds_the_last_job_and_honors_disable() {
+        assert!(codel_should_shed(250, 200, 3));
+        assert!(!codel_should_shed(250, 200, 0), "last job always runs");
+        assert!(!codel_should_shed(150, 200, 3), "under target");
+        assert!(!codel_should_shed(9_999, 0, 3), "target 0 disables");
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        assert_eq!(ewma_step(0, 40), 40);
+        let next = ewma_step(40, 120);
+        assert!(next > 40 && next < 120);
+        assert_eq!(ewma_step(8, 8), 8, "stable at the fixed point");
+    }
+}

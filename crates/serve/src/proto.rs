@@ -104,6 +104,25 @@ impl JobSpec {
 pub enum Request {
     /// Run (or fetch the cached result of) one job.
     Submit(JobSpec),
+    /// [`Submit`](Request::Submit) with a deadline budget. The budget
+    /// is *relative* (milliseconds from the server receiving the
+    /// frame), so it survives clock skew between client and server.
+    /// The server sheds the job — [`Response::Expired`] — instead of
+    /// executing it once the budget cannot be met: at admission (the
+    /// estimated queue wait already exceeds it), at dequeue, and
+    /// immediately before each execution attempt. Cache hits are
+    /// always served: they cost no queue time.
+    ///
+    /// The deadline is deliberately **not** part of [`JobSpec`]: the
+    /// same experiment submitted with different budgets must keep one
+    /// content key, or caching and fleet placement would fracture.
+    SubmitDeadline {
+        /// The job itself (content-addressed exactly like `Submit`).
+        job: JobSpec,
+        /// Deadline budget in milliseconds from frame receipt. Zero
+        /// means "already expired" and is shed at admission.
+        deadline_ms: u64,
+    },
     /// Does this node's cache hold a completed result for the job
     /// with this `(key, canonical)` identity? A pure read: never
     /// executes, never coalesces, never perturbs the hit/miss
@@ -148,10 +167,23 @@ pub enum Response {
         /// The simulation report.
         report: RunReport,
     },
-    /// The queue was full; retry after the given backoff.
-    Rejected {
-        /// Suggested client backoff in milliseconds.
+    /// The server refused the submission for load: the queue was full,
+    /// or an injected `serve.admit` fault forced a rejection. Nothing
+    /// was executed; the job is safe to retry after the hint.
+    Overloaded {
+        /// Suggested client backoff in milliseconds. Scales with how
+        /// full the queue is, so a deeply overloaded server pushes
+        /// retries further out instead of inviting a thundering herd.
         retry_after_ms: u64,
+    },
+    /// The job was shed instead of executed: its deadline budget
+    /// expired (at admission, in the queue, or just before execution),
+    /// or the CoDel queue-delay controller dropped it to protect the
+    /// queue's sojourn target. Distinct from [`Response::Failed`] —
+    /// nothing ran, and retrying with a larger budget may succeed.
+    Expired {
+        /// Human-readable description of where the job was shed.
+        error: String,
     },
     /// The job ran and failed (panicked past its retry budget, timed
     /// out, or the server shut down while it was queued).
@@ -199,6 +231,10 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Queue capacity (submissions beyond this are rejected).
     pub queue_capacity: usize,
+    /// Age in milliseconds of the oldest job still waiting in the
+    /// queue (0 when the queue is empty) — the live sojourn the CoDel
+    /// controller compares against its target.
+    pub queue_oldest_ms: u64,
     /// Worker threads.
     pub workers: usize,
     /// Total `Submit` requests received.
@@ -305,6 +341,10 @@ mod tests {
     fn requests_round_trip_the_wire() {
         let reqs = vec![
             Request::Submit(demo_job()),
+            Request::SubmitDeadline {
+                job: demo_job(),
+                deadline_ms: 400,
+            },
             Request::Probe {
                 key: demo_job().content_key(),
                 canonical: demo_job().canonical_json(),
@@ -334,7 +374,10 @@ mod tests {
     #[test]
     fn responses_round_trip_the_wire() {
         let resps = vec![
-            Response::Rejected { retry_after_ms: 25 },
+            Response::Overloaded { retry_after_ms: 25 },
+            Response::Expired {
+                error: "deadline expired after 12 ms in queue".into(),
+            },
             Response::Failed {
                 error: "panicked: boom".into(),
                 attempts: 3,

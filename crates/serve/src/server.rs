@@ -17,7 +17,8 @@
 //! submitters therefore always get an answer.
 
 use crate::cache::{Claim, JobFailure, ResultCache};
-use crate::proto::{self, Request, Response, StatsSnapshot};
+use crate::overload::{self, OverloadConfig};
+use crate::proto::{self, MetricRow, Request, Response, StatsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::ServiceStats;
 use crate::worker::{Job, Resolve, WorkerPool};
@@ -44,6 +45,8 @@ pub struct ServerConfig {
     /// Directory for spilling completed results to disk (reloaded on
     /// the next startup); `None` keeps the result cache memory-only.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Overload-protection knobs (deadline shedding, CoDel target).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +60,7 @@ impl Default for ServerConfig {
             job_timeout: Duration::from_secs(300),
             retry_budget: 2,
             cache_dir: None,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -68,26 +72,48 @@ struct Shared {
     stats: Arc<ServiceStats>,
     shutdown: AtomicBool,
     workers: usize,
+    overload: OverloadConfig,
 }
 
 impl Shared {
-    /// Backoff hint for rejected submissions.
+    /// Backoff hint for refused submissions: scales with queue fill
+    /// so a deeply overloaded server pushes retries further out.
     fn retry_after_ms(&self) -> u64 {
-        25
+        overload::retry_after_ms(self.queue.depth(), self.queue.capacity())
+    }
+
+    /// Age of the oldest queued job in milliseconds (0 when empty).
+    fn queue_oldest_ms(&self) -> u64 {
+        self.queue
+            .front_map(|job: &Job| job.submitted.elapsed().as_millis() as u64)
+            .unwrap_or(0)
     }
 
     fn snapshot(&self) -> StatsSnapshot {
         let (latency_p50_ms, latency_p99_ms) = self.stats.latency_quantiles_ms();
         let queue_depth = self.queue.depth();
-        let counters = self.stats.counter_rows(
+        let queue_oldest_ms = self.queue_oldest_ms();
+        let mut counters = self.stats.counter_rows(
             queue_depth,
+            queue_oldest_ms,
             self.cache.hits(),
             self.cache.misses(),
             self.cache.entries(),
         );
+        // Merge the process-global overload counters so one `/stats`
+        // round-trip carries the shed/breaker picture too. Re-sort:
+        // the rows contract is name-sorted.
+        counters.extend(
+            nomad_obs::overload()
+                .rows()
+                .into_iter()
+                .map(|(name, value)| MetricRow { name, value }),
+        );
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
         StatsSnapshot {
             queue_depth,
             queue_capacity: self.queue.capacity(),
+            queue_oldest_ms,
             workers: self.workers,
             jobs_submitted: self.stats.submitted.get(),
             jobs_completed: self.stats.completed.get(),
@@ -188,6 +214,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         stats: Arc::new(ServiceStats::new(cfg.workers)),
         shutdown: AtomicBool::new(false),
         workers: cfg.workers,
+        overload: cfg.overload.clone(),
     });
 
     let pool = WorkerPool::spawn(
@@ -197,6 +224,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         Arc::clone(&shared.stats),
         cfg.job_timeout,
         cfg.retry_budget,
+        cfg.overload.clone(),
     );
 
     let accept_shared = Arc::clone(&shared);
@@ -251,7 +279,10 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         let response = match request {
-            Request::Submit(spec) => handle_submit(spec, &shared),
+            Request::Submit(spec) => handle_submit(spec, None, &shared),
+            Request::SubmitDeadline { job, deadline_ms } => {
+                handle_submit(job, Some(deadline_ms), &shared)
+            }
             Request::Probe { key, canonical } => Response::ProbeResult {
                 hit: shared.cache.lookup(key, &canonical).is_some(),
             },
@@ -274,58 +305,140 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     }
 }
 
-fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
+/// Map a resolved job failure to its wire response: sheds (deadline,
+/// CoDel) answer `Expired`, real failures answer `Failed`.
+fn failure_response(failure: JobFailure) -> Response {
+    if failure.is_shed() {
+        Response::Expired {
+            error: failure.error,
+        }
+    } else {
+        Response::Failed {
+            error: failure.error,
+            attempts: failure.attempts,
+        }
+    }
+}
+
+/// The admission checkpoint for a deadline-budgeted submission that is
+/// about to enqueue new work: shed now if the estimated queue wait
+/// alone already eats the budget. Returns the shed failure, or `None`
+/// to admit.
+fn admission_shed(shared: &Shared, deadline_ms: Option<u64>) -> Option<JobFailure> {
+    let deadline_ms = deadline_ms?;
+    if !shared.overload.shed {
+        return None;
+    }
+    let est = overload::estimated_wait_ms(
+        shared.queue.depth(),
+        shared.workers,
+        shared.stats.service_ewma_ms(),
+    );
+    if overload::admit_would_expire(deadline_ms, est) {
+        nomad_obs::overload().admit_shed.inc();
+        Some(JobFailure::admit_expired(est, deadline_ms))
+    } else {
+        None
+    }
+}
+
+fn handle_submit(
+    spec: crate::proto::JobSpec,
+    deadline_ms: Option<u64>,
+    shared: &Shared,
+) -> Response {
     shared.stats.submitted.inc();
+    // Fault site `serve.admit`: `panic` kills this connection handler
+    // mid-admission (the client sees a dropped connection and rides
+    // its reconnect ladder), `delay` stalls admission inside
+    // `inject`, and `io`/`torn` force an `Overloaded` rejection as if
+    // the server were saturated. Nothing is enqueued in any case, so
+    // recovery is always a clean resubmission.
+    if let Some(fault) = nomad_faults::inject("serve.admit") {
+        if matches!(fault, nomad_faults::Fault::Panic) {
+            panic!("nomad-faults: injected panic at serve.admit");
+        }
+        shared.stats.rejected.inc();
+        nomad_obs::overload().admit_shed.inc();
+        return Response::Overloaded {
+            retry_after_ms: shared.retry_after_ms(),
+        };
+    }
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Failed {
             error: "server shutting down".to_string(),
             attempts: 0,
         };
     }
+    // Relative budget → absolute deadline, pinned at frame receipt.
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let canonical = spec.canonical_json();
     let key = crate::hash::fnv1a(canonical.as_bytes());
     match shared.cache.claim(key, &canonical) {
+        // Hits always serve: they cost no queue time, so even a zero
+        // budget is met.
         Claim::Hit(report) => Response::Report {
             cached: true,
             report: (*report).clone(),
         },
-        Claim::Wait(flight) => match flight.wait() {
-            Ok(report) => Response::Report {
+        Claim::Wait(flight) => match flight.wait_until(deadline) {
+            Some(Ok(report)) => Response::Report {
                 cached: true,
                 report: (*report).clone(),
             },
-            Err(failure) => Response::Failed {
-                error: failure.error,
-                attempts: failure.attempts,
-            },
+            Some(Err(failure)) => failure_response(failure),
+            None => {
+                // The budget died while coalesced behind an identical
+                // in-flight job; give up waiting (the runner and any
+                // other waiters are undisturbed).
+                nomad_obs::overload().queue_shed.inc();
+                Response::Expired {
+                    error: "deadline expired while coalesced onto an in-flight job".to_string(),
+                }
+            }
         },
         Claim::Run(flight) => {
+            if let Some(shed) = admission_shed(shared, deadline_ms) {
+                // Un-register the in-flight slot so coalesced waiters
+                // (and future submissions) are not stuck behind a job
+                // that never ran.
+                shared.cache.complete(key, Err(shed.clone()));
+                return failure_response(shed);
+            }
             let job = Job {
                 spec,
                 resolve: Resolve::Cache(key),
                 submitted: Instant::now(),
+                deadline,
             };
             match shared.queue.try_push(job) {
-                Ok(()) => match flight.wait() {
-                    Ok(report) => Response::Report {
+                Ok(()) => match flight.wait_until(deadline) {
+                    Some(Ok(report)) => Response::Report {
                         cached: false,
                         report: (*report).clone(),
                     },
-                    Err(failure) => Response::Failed {
-                        error: failure.error,
-                        attempts: failure.attempts,
-                    },
+                    Some(Err(failure)) => failure_response(failure),
+                    None => {
+                        // The budget ran out while the job sat queued
+                        // (or ran long); the dequeue/pre-execute
+                        // checkpoints will shed or finish it and
+                        // resolve the flight for the cache — this
+                        // submitter just stops waiting for a result
+                        // that is already late.
+                        nomad_obs::overload().queue_shed.inc();
+                        Response::Expired {
+                            error: "deadline expired while the job was queued".to_string(),
+                        }
+                    }
                 },
                 Err(push_err) => {
-                    // Un-register the in-flight slot so coalesced
-                    // waiters (and future submissions) are not stuck
-                    // behind a job that never ran.
+                    // Same un-register dance as the admission shed.
                     let (reason, response) = match &push_err {
                         PushError::Full(_) => {
                             shared.stats.rejected.inc();
                             (
                                 "queue full; job was rejected",
-                                Response::Rejected {
+                                Response::Overloaded {
                                     retry_after_ms: shared.retry_after_ms(),
                                 },
                             )
@@ -352,26 +465,33 @@ fn handle_submit(spec: crate::proto::JobSpec, shared: &Shared) -> Response {
         Claim::RunUncached => {
             // Content-key collision with a different job: run it
             // without caching, resolved through a private flight.
+            if let Some(shed) = admission_shed(shared, deadline_ms) {
+                return failure_response(shed);
+            }
             let flight = crate::cache::Flight::new();
             let job = Job {
                 spec,
                 resolve: Resolve::Direct(Arc::clone(&flight)),
                 submitted: Instant::now(),
+                deadline,
             };
             match shared.queue.try_push(job) {
-                Ok(()) => match flight.wait() {
-                    Ok(report) => Response::Report {
+                Ok(()) => match flight.wait_until(deadline) {
+                    Some(Ok(report)) => Response::Report {
                         cached: false,
                         report: (*report).clone(),
                     },
-                    Err(failure) => Response::Failed {
-                        error: failure.error,
-                        attempts: failure.attempts,
-                    },
+                    Some(Err(failure)) => failure_response(failure),
+                    None => {
+                        nomad_obs::overload().queue_shed.inc();
+                        Response::Expired {
+                            error: "deadline expired while the job was queued".to_string(),
+                        }
+                    }
                 },
                 Err(PushError::Full(_)) => {
                     shared.stats.rejected.inc();
-                    Response::Rejected {
+                    Response::Overloaded {
                         retry_after_ms: shared.retry_after_ms(),
                     }
                 }

@@ -10,6 +10,7 @@
 
 use crate::proto::MetricRow;
 use nomad_obs::{Counter, Gauge, Histo, Registry, Span, SpanRing};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Shared mutable service counters. Everything here is updated by
@@ -28,6 +29,12 @@ pub struct ServiceStats {
     /// Jobs waiting in the queue, sampled at snapshot time
     /// (`serve.queue.depth`).
     queue_depth: Gauge,
+    /// Age of the oldest queued job in milliseconds, sampled at
+    /// snapshot time (`serve.queue.oldest_ms`).
+    queue_oldest_ms: Gauge,
+    /// EWMA of execution time in milliseconds (alpha 1/8) — the
+    /// admission controller's service-time estimate.
+    service_ewma_ms: AtomicU64,
     /// Result-cache hit/miss/occupancy mirrors, sampled at snapshot
     /// time (`serve.cache.*`).
     cache_hits: Gauge,
@@ -78,6 +85,13 @@ impl ServiceStats {
                 "serve",
                 "Jobs waiting in the queue at snapshot time",
             ),
+            queue_oldest_ms: registry.gauge(
+                "serve.queue.oldest_ms",
+                "ms",
+                "serve",
+                "Age of the oldest queued job at snapshot time",
+            ),
+            service_ewma_ms: AtomicU64::new(0),
             cache_hits: registry.gauge(
                 "serve.cache.hits",
                 "requests",
@@ -127,6 +141,24 @@ impl ServiceStats {
         self.latency_ms.record(latency.as_millis() as u64);
     }
 
+    /// Fold one execution duration into the EWMA service-time
+    /// estimate. A racy read-modify-write is fine here: the estimate
+    /// feeds an admission heuristic, not an invariant.
+    pub fn record_service_time(&self, took: Duration) {
+        let sample = took.as_millis() as u64;
+        let current = self.service_ewma_ms.load(Ordering::Relaxed);
+        self.service_ewma_ms.store(
+            crate::overload::ewma_step(current, sample),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The EWMA execution-time estimate in milliseconds (0 before the
+    /// first completion).
+    pub fn service_ewma_ms(&self) -> u64 {
+        self.service_ewma_ms.load(Ordering::Relaxed)
+    }
+
     /// Record one executed job as a span on worker `id`'s trace track.
     /// `job_started` must be an `Instant` taken after the server
     /// started (the worker's execution start).
@@ -169,11 +201,13 @@ impl ServiceStats {
     pub fn counter_rows(
         &self,
         queue_depth: usize,
+        queue_oldest_ms: u64,
         cache_hits: u64,
         cache_misses: u64,
         cache_entries: usize,
     ) -> Vec<MetricRow> {
         self.queue_depth.set(queue_depth as u64);
+        self.queue_oldest_ms.set(queue_oldest_ms);
         self.cache_hits.set(cache_hits);
         self.cache_misses.set(cache_misses);
         self.cache_entries.set(cache_entries as u64);
@@ -231,7 +265,7 @@ mod tests {
         let s = ServiceStats::new(2);
         s.submitted.add(3);
         s.completed.inc();
-        let rows = s.counter_rows(5, 2, 1, 1);
+        let rows = s.counter_rows(5, 40, 2, 1, 1);
         let find = |name: &str| {
             rows.iter()
                 .find(|r| r.name == name)
@@ -241,6 +275,7 @@ mod tests {
         assert_eq!(find("serve.jobs.submitted"), 3);
         assert_eq!(find("serve.jobs.completed"), 1);
         assert_eq!(find("serve.queue.depth"), 5);
+        assert_eq!(find("serve.queue.oldest_ms"), 40);
         assert_eq!(find("serve.cache.hits"), 2);
         assert_eq!(find("serve.cache.entries"), 1);
         assert_eq!(find("serve.job.latency_ms.count"), 0);
@@ -248,6 +283,17 @@ mod tests {
         let mut sorted = rows.clone();
         sorted.sort_by(|a, b| a.name.cmp(&b.name));
         assert_eq!(rows, sorted, "rows are name-sorted");
+    }
+
+    #[test]
+    fn service_ewma_seeds_then_smooths() {
+        let s = ServiceStats::new(1);
+        assert_eq!(s.service_ewma_ms(), 0);
+        s.record_service_time(Duration::from_millis(40));
+        assert_eq!(s.service_ewma_ms(), 40, "first sample seeds directly");
+        s.record_service_time(Duration::from_millis(120));
+        let est = s.service_ewma_ms();
+        assert!(est > 40 && est < 120, "EWMA moved toward the sample: {est}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! simulation that exceeded the budget once will exceed it again.
 
 use crate::cache::{JobFailure, JobResult, ResultCache};
+use crate::overload::{self, OverloadConfig};
 use crate::proto::JobSpec;
 use crate::queue::BoundedQueue;
 use crate::stats::ServiceStats;
@@ -28,6 +29,9 @@ pub struct Job {
     pub resolve: Resolve,
     /// When the job was accepted, for latency accounting.
     pub submitted: Instant,
+    /// Absolute deadline for deadline-budgeted submissions; `None`
+    /// means no deadline (classic `Submit`).
+    pub deadline: Option<Instant>,
 }
 
 /// How a finished job reaches its submitter(s).
@@ -55,22 +59,47 @@ impl WorkerPool {
         stats: Arc<ServiceStats>,
         job_timeout: Duration,
         retry_budget: u32,
+        overload_cfg: OverloadConfig,
     ) -> Self {
         let handles = (0..count)
             .map(|id| {
                 let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
                 let stats = Arc::clone(&stats);
+                let ocfg = overload_cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("nomad-serve-worker-{id}"))
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
+                            // Dequeue checkpoint: shed instead of
+                            // executing work whose budget died in the
+                            // queue, or whose sojourn blew the CoDel
+                            // target while a backlog waits behind it.
+                            if let Some(shed) = dequeue_shed(&job, &ocfg, queue.depth()) {
+                                match job.resolve {
+                                    Resolve::Cache(key) => cache.complete(key, Err(shed)),
+                                    Resolve::Direct(flight) => flight.complete(Err(shed)),
+                                }
+                                continue;
+                            }
                             let t0 = Instant::now();
-                            let result = execute(&job.spec, job_timeout, retry_budget);
+                            let result = execute_with_deadline(
+                                &job.spec,
+                                job_timeout,
+                                retry_budget,
+                                job.deadline,
+                                ocfg.shed,
+                            );
                             stats.add_worker_busy(id, t0.elapsed());
                             stats.record_job_span(id, t0, result.is_ok());
                             match &result {
-                                Ok(_) => stats.completed.inc(),
+                                Ok(_) => {
+                                    stats.completed.inc();
+                                    stats.record_service_time(t0.elapsed());
+                                }
+                                // Sheds are counted by their overload
+                                // counter, not as job failures.
+                                Err(f) if f.is_shed() => {}
                                 Err(_) => stats.failed.inc(),
                             };
                             stats.record_latency(job.submitted.elapsed());
@@ -94,14 +123,64 @@ impl WorkerPool {
     }
 }
 
+/// The dequeue checkpoint: decide whether a just-popped job should be
+/// shed. Returns the shed failure, or `None` to execute. `backlog` is
+/// the queue depth *behind* this job (it was already popped).
+fn dequeue_shed(job: &Job, cfg: &OverloadConfig, backlog: usize) -> Option<JobFailure> {
+    if !cfg.shed {
+        return None;
+    }
+    let sojourn_ms = job.submitted.elapsed().as_millis() as u64;
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            nomad_obs::overload().queue_shed.inc();
+            return Some(JobFailure::expired("dequeue", sojourn_ms));
+        }
+    }
+    let target_ms = cfg.codel_target.as_millis() as u64;
+    if overload::codel_should_shed(sojourn_ms, target_ms, backlog) {
+        nomad_obs::overload().codel_shed.inc();
+        return Some(JobFailure::codel_shed(sojourn_ms, target_ms));
+    }
+    None
+}
+
 /// Run one job with retries: panics consume the retry budget, a
 /// timeout cancels the attempt (cooperatively, via its
 /// [`CancelToken`]) and fails immediately. In every outcome the
 /// attempt thread is joined before this function returns — timeouts do
 /// not leak a busy background thread.
 pub fn execute(spec: &JobSpec, timeout: Duration, retry_budget: u32) -> JobResult {
+    execute_with_deadline(spec, timeout, retry_budget, None, true)
+}
+
+/// [`execute`] with the pre-execute deadline checkpoint: immediately
+/// before each attempt (including retries after a panic), an expired
+/// deadline sheds the job (`overload.exec_shed`). With `shed` false
+/// the expired job is **executed anyway** and
+/// `overload.expired_executions` is incremented — the invariant
+/// counter the load generator asserts stays zero under shedding.
+pub fn execute_with_deadline(
+    spec: &JobSpec,
+    timeout: Duration,
+    retry_budget: u32,
+    deadline: Option<Instant>,
+    shed: bool,
+) -> JobResult {
     let mut attempts = 0u32;
     loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                if shed {
+                    nomad_obs::overload().exec_shed.inc();
+                    return Err(JobFailure::expired(
+                        "pre-execute",
+                        d.elapsed().as_millis() as u64,
+                    ));
+                }
+                nomad_obs::overload().expired_executions.inc();
+            }
+        }
         attempts += 1;
         let (tx, rx) = mpsc::channel();
         let job = spec.clone();
@@ -224,6 +303,75 @@ mod tests {
         let err = execute(&job, Duration::from_millis(5), 3).expect_err("times out");
         assert_eq!(err.attempts, 1, "timeouts are not retried");
         assert!(err.error.contains("timed out"), "{}", err.error);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_execution() {
+        let before = nomad_obs::overload()
+            .value("overload.exec_shed")
+            .expect("row");
+        let already_past = Instant::now() - Duration::from_millis(5);
+        let err = execute_with_deadline(
+            &tiny_job(),
+            Duration::from_secs(30),
+            2,
+            Some(already_past),
+            true,
+        )
+        .expect_err("shed, not executed");
+        assert!(err.is_shed(), "{}", err.error);
+        assert_eq!(err.attempts, 0, "nothing ran");
+        assert!(nomad_obs::overload().value("overload.exec_shed").unwrap() > before);
+    }
+
+    #[test]
+    fn shedding_disabled_executes_anyway_and_counts_the_violation() {
+        let before = nomad_obs::overload()
+            .value("overload.expired_executions")
+            .expect("row");
+        let already_past = Instant::now() - Duration::from_millis(5);
+        let r = execute_with_deadline(
+            &tiny_job(),
+            Duration::from_secs(30),
+            2,
+            Some(already_past),
+            false,
+        )
+        .expect("runs to completion with shedding off");
+        assert!(r.cycles > 0);
+        assert!(
+            nomad_obs::overload()
+                .value("overload.expired_executions")
+                .unwrap()
+                > before,
+            "the expired execution must be witnessed"
+        );
+    }
+
+    #[test]
+    fn dequeue_shed_honors_deadline_codel_and_the_last_job_rule() {
+        let job = |deadline, age_ms| Job {
+            spec: tiny_job(),
+            resolve: Resolve::Direct(crate::cache::Flight::new()),
+            submitted: Instant::now() - Duration::from_millis(age_ms),
+            deadline,
+        };
+        let mut cfg = OverloadConfig::default();
+        // No deadline, no CoDel target: never shed.
+        assert!(dequeue_shed(&job(None, 500), &cfg, 10).is_none());
+        // Expired deadline: shed regardless of backlog.
+        let past = Some(Instant::now() - Duration::from_millis(1));
+        assert!(dequeue_shed(&job(past, 10), &cfg, 0).is_some());
+        // CoDel: over-target sojourn sheds only while a backlog waits.
+        cfg.codel_target = Duration::from_millis(100);
+        assert!(dequeue_shed(&job(None, 500), &cfg, 3).is_some());
+        assert!(
+            dequeue_shed(&job(None, 500), &cfg, 0).is_none(),
+            "the last waiting job always executes"
+        );
+        // Master switch off: nothing is shed.
+        cfg.shed = false;
+        assert!(dequeue_shed(&job(past, 500), &cfg, 3).is_none());
     }
 
     /// Live threads whose name starts with the attempt-thread prefix

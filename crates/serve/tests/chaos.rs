@@ -78,6 +78,7 @@ fn test_server(cache_dir: Option<std::path::PathBuf>) -> nomad_serve::ServerHand
         job_timeout: Duration::from_secs(60),
         retry_budget: 2,
         cache_dir,
+        overload: Default::default(),
     })
     .expect("bind ephemeral port")
 }
@@ -500,6 +501,107 @@ fn fleet_route_and_steal_faults_stay_byte_identical() {
     assert!(
         nomad_faults::injected_total() > 0,
         "the plan must have fired"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos: the `serve.admit` and `fleet.breaker` fault sites —
+// forced rejections and forced breaker failures must degrade goodput
+// gracefully, never correctness.
+// ---------------------------------------------------------------------------
+
+/// Injected admission rejections (`serve.admit=io`) force `Overloaded`
+/// answers as if the server were saturated; the client's backpressure
+/// retry loop heals them, the grid recovers byte-identical, and every
+/// forced rejection is witnessed by `overload.admit_shed`.
+#[test]
+fn overload_injected_admit_rejections_heal_byte_identical() {
+    let cells = grid(&[200, 201, 202]);
+    let expected = expected_jsons(&cells);
+    let (got, shed_delta) = with_plan(Some("13:serve.admit=io@0.5"), || {
+        let before = nomad_obs::overload()
+            .value("overload.admit_shed")
+            .expect("counter registered");
+        let handle = test_server(None);
+        let addr = handle.local_addr().to_string();
+        let reports = run_grid_via_jobs_with(&addr, cells, 2, &CancelToken::new(), &fast_cfg())
+            .expect("backpressure retries heal the grid");
+        handle.shutdown();
+        let after = nomad_obs::overload()
+            .value("overload.admit_shed")
+            .expect("counter registered");
+        (
+            reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            after - before,
+        )
+    });
+    assert_eq!(got, expected, "forced rejections must heal byte-identical");
+    assert!(shed_delta > 0, "the plan must actually have rejected work");
+}
+
+/// Admission panics (`serve.admit=panic`) kill the connection handler
+/// mid-admission; the client sees a dropped connection, rides its
+/// reconnect ladder, and the grid still recovers byte-identical.
+#[test]
+fn overload_admit_panics_heal_byte_identical() {
+    let cells = grid(&[210, 211, 212]);
+    let expected = expected_jsons(&cells);
+    let (got, injected) = with_plan(Some("17:serve.admit=panic@0.6"), || {
+        let before = nomad_faults::injected_total();
+        let handle = test_server(None);
+        let addr = handle.local_addr().to_string();
+        let reports = run_grid_via_jobs_with(&addr, cells, 2, &CancelToken::new(), &fast_cfg())
+            .expect("reconnect ladder heals admission panics");
+        handle.shutdown();
+        (
+            reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            nomad_faults::injected_total() - before,
+        )
+    });
+    assert_eq!(got, expected, "admission panics must heal byte-identical");
+    assert!(injected > 0, "the plan must have fired");
+}
+
+/// Injected breaker failures (`fleet.breaker=io`) poison the routers'
+/// rolling outcome windows until breakers trip; traffic reroutes
+/// around the "unhealthy" nodes without declaring them dead, and the
+/// grid — jobs themselves are healthy — stays byte-identical.
+#[test]
+fn overload_injected_breaker_failures_reroute_byte_identical() {
+    let cells = grid(&[220, 221, 222, 223]);
+    let expected = expected_jsons(&cells);
+    let (got, trips_delta) = with_plan(Some("19:fleet.breaker=io@0.8"), || {
+        let before = nomad_obs::overload()
+            .value("overload.breaker_trips")
+            .expect("counter registered");
+        let (handles, addrs) = test_fleet(2);
+        let cfg = nomad_fleet::FleetConfig {
+            breaker: nomad_fleet::BreakerConfig {
+                window: 8,
+                fail_threshold: 2,
+                cooldown: Duration::from_millis(20),
+                latency_threshold: Duration::ZERO,
+            },
+            ..fast_fleet_cfg()
+        };
+        let reports =
+            nomad_fleet::run_grid_via_fleet_with(&addrs, cells, 2, &CancelToken::new(), cfg)
+                .expect("breaker reroutes are harmless to correctness");
+        for h in handles {
+            h.shutdown();
+        }
+        let after = nomad_obs::overload()
+            .value("overload.breaker_trips")
+            .expect("counter registered");
+        (
+            reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            after - before,
+        )
+    });
+    assert_eq!(got, expected, "breaker reroutes must stay byte-identical");
+    assert!(
+        trips_delta > 0,
+        "an 80% forced-failure rate over a 2-of-8 window must trip a breaker"
     );
 }
 

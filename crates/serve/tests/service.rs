@@ -32,6 +32,7 @@ fn test_server(workers: usize, queue_capacity: usize) -> nomad_serve::ServerHand
         job_timeout: Duration::from_secs(60),
         retry_budget: 2,
         cache_dir: None,
+        overload: Default::default(),
     })
     .expect("bind ephemeral port")
 }
@@ -183,8 +184,8 @@ fn full_queue_rejects_with_backpressure() {
     // A third distinct job must be rejected, with a backoff hint.
     let extra = job(SchemeSpec::Baseline, WorkloadProfile::tc(), 999);
     match client.submit(&extra).expect("submit") {
-        Response::Rejected { retry_after_ms } => assert!(retry_after_ms > 0),
-        other => panic!("expected Rejected, got {other:?}"),
+        Response::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+        other => panic!("expected Overloaded, got {other:?}"),
     }
     assert_eq!(client.stats().expect("stats").jobs_rejected, 1);
 

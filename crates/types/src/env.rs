@@ -1,0 +1,203 @@
+//! One shared parser for every `NOMAD_*` environment knob.
+//!
+//! Before this module existed, each crate hand-rolled its own
+//! `std::env::var(..).ok().and_then(..)` chain with subtly different
+//! edge-case behavior: some clamped zero to one, some silently fell
+//! back on garbage, some warned. This module is the single place those
+//! decisions live:
+//!
+//! * **Unset or empty/whitespace-only** values always mean "use the
+//!   default" — silently, because absence is the normal state.
+//! * **Garbage** (unparseable text, or a negative number fed to an
+//!   unsigned knob) falls back to the default *with a warning on
+//!   stderr*, so a typo in a deployment script is visible instead of
+//!   silently reverting behavior.
+//! * **Out-of-range** values are clamped into the documented range,
+//!   also with a warning.
+//!
+//! Values are trimmed before parsing, so `NOMAD_JOBS=" 4 "` works.
+//! Callers that need non-numeric semantics (file paths, fault plans)
+//! should use [`raw`] and keep their own parsing.
+
+use std::time::Duration;
+
+/// The raw value of `name`, trimmed — `None` when the variable is
+/// unset, empty, whitespace-only, or not valid UTF-8.
+pub fn raw(name: &str) -> Option<String> {
+    let v = std::env::var(name).ok()?;
+    let t = v.trim();
+    if t.is_empty() {
+        None
+    } else {
+        Some(t.to_string())
+    }
+}
+
+fn warn(name: &str, value: &str, what: &str, fallback: u64) {
+    eprintln!("warning: {name}={value:?} {what}; using {fallback}");
+}
+
+/// Parse an already-fetched string as `u64` with a warning on garbage.
+///
+/// This is the building block behind [`u64_or`], exposed separately so
+/// call sites that must distinguish *unset* from *garbage* (e.g.
+/// `NOMAD_JOBS`, whose default is computed from the machine) can fetch
+/// with [`raw`] and still share the parse-and-warn behavior.
+pub fn parse_u64(name: &str, value: &str, default: u64) -> u64 {
+    match value.trim().parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            warn(name, value, "is not a non-negative integer", default);
+            default
+        }
+    }
+}
+
+/// `name` as `u64`: unset/empty means `default`, garbage warns and
+/// means `default`.
+pub fn u64_or(name: &str, default: u64) -> u64 {
+    match raw(name) {
+        Some(v) => parse_u64(name, &v, default),
+        None => default,
+    }
+}
+
+/// [`u64_or`], then clamped into `[min, max]` with a warning when the
+/// parsed value was outside the range. The default itself is trusted
+/// and never clamped or warned about.
+pub fn u64_clamped(name: &str, default: u64, min: u64, max: u64) -> u64 {
+    let n = u64_or(name, default);
+    if n == default {
+        return default;
+    }
+    let clamped = n.clamp(min, max);
+    if clamped != n {
+        warn(
+            name,
+            &n.to_string(),
+            &format!("is outside {min}..={max}"),
+            clamped,
+        );
+    }
+    clamped
+}
+
+/// `name` as `usize`, clamped into `[min, max]` (see [`u64_clamped`]).
+pub fn usize_clamped(name: &str, default: usize, min: usize, max: usize) -> usize {
+    u64_clamped(name, default as u64, min as u64, max as u64) as usize
+}
+
+/// `name` as a millisecond count, returned as a [`Duration`]
+/// (`default_ms` on unset/garbage). Zero is allowed — knobs where zero
+/// means "disabled" document that themselves.
+pub fn ms_or(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(u64_or(name, default_ms))
+}
+
+/// `name` as a millisecond count clamped into `[min_ms, max_ms]`.
+pub fn ms_clamped(name: &str, default_ms: u64, min_ms: u64, max_ms: u64) -> Duration {
+    Duration::from_millis(u64_clamped(name, default_ms, min_ms, max_ms))
+}
+
+/// `name` as a boolean. Accepted spellings (case-insensitive):
+/// `0`/`false`/`off`/`no` and `1`/`true`/`on`/`yes`. Unset/empty means
+/// `default`; anything else warns and means `default`.
+pub fn bool_or(name: &str, default: bool) -> bool {
+    let Some(v) = raw(name) else {
+        return default;
+    };
+    match v.to_ascii_lowercase().as_str() {
+        "0" | "false" | "off" | "no" => false,
+        "1" | "true" | "on" | "yes" => true,
+        _ => {
+            warn(name, &v, "is not a boolean", default as u64);
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a unique variable name: the process environment is
+    // global, and `cargo test` runs tests concurrently.
+
+    #[test]
+    fn unset_and_empty_mean_default() {
+        assert_eq!(u64_or("NOMAD_ENVTEST_UNSET", 7), 7);
+        std::env::set_var("NOMAD_ENVTEST_EMPTY", "");
+        assert_eq!(u64_or("NOMAD_ENVTEST_EMPTY", 7), 7);
+        std::env::set_var("NOMAD_ENVTEST_BLANK", "   ");
+        assert_eq!(u64_or("NOMAD_ENVTEST_BLANK", 7), 7);
+        assert_eq!(raw("NOMAD_ENVTEST_BLANK"), None);
+    }
+
+    #[test]
+    fn garbage_and_negative_fall_back_to_default() {
+        std::env::set_var("NOMAD_ENVTEST_GARBAGE", "lots");
+        assert_eq!(u64_or("NOMAD_ENVTEST_GARBAGE", 3), 3);
+        std::env::set_var("NOMAD_ENVTEST_NEG", "-2");
+        assert_eq!(u64_or("NOMAD_ENVTEST_NEG", 3), 3);
+        std::env::set_var("NOMAD_ENVTEST_FLOAT", "1.5");
+        assert_eq!(u64_or("NOMAD_ENVTEST_FLOAT", 3), 3);
+    }
+
+    #[test]
+    fn zero_parses_and_clamping_applies() {
+        std::env::set_var("NOMAD_ENVTEST_ZERO", "0");
+        assert_eq!(u64_or("NOMAD_ENVTEST_ZERO", 9), 0);
+        // ...and a clamped knob pulls zero up to its floor.
+        std::env::set_var("NOMAD_ENVTEST_ZEROCLAMP", "0");
+        assert_eq!(u64_clamped("NOMAD_ENVTEST_ZEROCLAMP", 9, 1, 100), 1);
+        std::env::set_var("NOMAD_ENVTEST_HIGH", "5000");
+        assert_eq!(u64_clamped("NOMAD_ENVTEST_HIGH", 9, 1, 100), 100);
+    }
+
+    #[test]
+    fn whitespace_is_trimmed_before_parsing() {
+        std::env::set_var("NOMAD_ENVTEST_PAD", "  42 ");
+        assert_eq!(u64_or("NOMAD_ENVTEST_PAD", 1), 42);
+        assert_eq!(usize_clamped("NOMAD_ENVTEST_PAD", 1, 1, 64), 42);
+    }
+
+    #[test]
+    fn durations_come_back_in_millis() {
+        std::env::set_var("NOMAD_ENVTEST_MS", "250");
+        assert_eq!(ms_or("NOMAD_ENVTEST_MS", 50), Duration::from_millis(250));
+        assert_eq!(
+            ms_clamped("NOMAD_ENVTEST_MS", 50, 1, 100),
+            Duration::from_millis(100)
+        );
+        std::env::set_var("NOMAD_ENVTEST_MS_BAD", "soon");
+        assert_eq!(ms_or("NOMAD_ENVTEST_MS_BAD", 50), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn booleans_accept_the_documented_spellings() {
+        for (v, want) in [
+            ("0", false),
+            ("false", false),
+            ("OFF", false),
+            ("no", false),
+            ("1", true),
+            ("true", true),
+            ("On", true),
+            ("YES", true),
+        ] {
+            std::env::set_var("NOMAD_ENVTEST_BOOL", v);
+            assert_eq!(bool_or("NOMAD_ENVTEST_BOOL", !want), want, "value {v:?}");
+        }
+        std::env::set_var("NOMAD_ENVTEST_BOOL_BAD", "maybe");
+        assert!(bool_or("NOMAD_ENVTEST_BOOL_BAD", true));
+        assert!(!bool_or("NOMAD_ENVTEST_BOOL_BAD", false));
+        assert!(bool_or("NOMAD_ENVTEST_BOOL_UNSET", true));
+    }
+
+    #[test]
+    fn parse_u64_shares_semantics_with_u64_or() {
+        assert_eq!(parse_u64("NOMAD_ENVTEST_P", " 8 ", 2), 8);
+        assert_eq!(parse_u64("NOMAD_ENVTEST_P", "x", 2), 2);
+        assert_eq!(parse_u64("NOMAD_ENVTEST_P", "-1", 2), 2);
+    }
+}

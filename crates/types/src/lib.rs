@@ -13,6 +13,8 @@
 //! * **Content hashing** — the FNV-1a 64 function every
 //!   content-addressed identity in the workspace derives from: serve
 //!   cache keys, journal grid hashes, fleet ring placement ([`hash`]).
+//! * **Environment knobs** — the shared parse/clamp/warn-on-garbage
+//!   reader behind every `NOMAD_*` tuning variable ([`mod@env`]).
 //!
 //! The geometry constants ([`PAGE_SIZE`], [`BLOCK_SIZE`],
 //! [`SUB_BLOCKS_PER_PAGE`]) mirror the paper's configuration: 4 KiB pages
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod env;
 pub mod event;
 pub mod fastclock;
 pub mod geom;
